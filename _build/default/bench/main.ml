@@ -1,0 +1,496 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (thesis "The Reconstruction of SHARPE" / the DSN-2002 SHARPE tool paper)
+   and times the solver kernels with Bechamel.
+
+   Usage:
+     main.exe                 run every experiment, then the timing suite
+     main.exe --quick         skip the slow experiments (E7 ATM, E23 Erlang)
+     main.exe --table E9      run a single experiment
+     main.exe --no-time       skip the Bechamel timing suite
+
+   Experiment ids follow DESIGN.md's experiment index.  Every experiment
+   prints the rows of the corresponding paper artifact; several also print a
+   BASELINE column computed with an independent method (closed form, or the
+   thesis' own hand-reduced CTMC) so the reproduction can be judged in
+   place. *)
+
+module E = Sharpe_expo.Exponomial
+module D = Sharpe_expo.Dist
+module Ctmc = Sharpe_markov.Ctmc
+module Fast_mttf = Sharpe_markov.Fast_mttf
+module Net = Sharpe_petri.Net
+module Srn = Sharpe_petri.Srn
+module Reach = Sharpe_petri.Reach
+module Rbd = Sharpe_rbd.Rbd
+module Ftree = Sharpe_ftree.Ftree
+module Pfqn = Sharpe_pfqn.Pfqn
+
+let printf = Printf.printf
+
+(* --- running the thesis' own input files ------------------------------ *)
+
+let examples_dir =
+  match Sys.getenv_opt "SHARPE_EXAMPLES" with
+  | Some d -> d
+  | None ->
+      let rec find dir depth =
+        let cand = Filename.concat dir "examples/sharpe" in
+        if Sys.file_exists cand then cand
+        else if depth = 0 then "examples/sharpe"
+        else find (Filename.concat dir "..") (depth - 1)
+      in
+      find "." 4
+
+let run_example ?(grep = fun _ -> true) file =
+  let path = Filename.concat examples_dir file in
+  let buf = Buffer.create 4096 in
+  Sharpe_lang.Interp.run_file ~print:(Buffer.add_string buf) path;
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.iter (fun l -> if l <> "" && grep l then printf "  %s\n" l)
+
+(* --- experiment registry ---------------------------------------------- *)
+
+type experiment = { id : string; title : string; slow : bool; run : unit -> unit }
+
+let experiments : experiment list ref = ref []
+let register ?(slow = false) id title run =
+  experiments := { id; title; slow; run } :: !experiments
+
+(* ====================================================================== *)
+(* Chapter 2: SRN experiments                                             *)
+(* ====================================================================== *)
+
+(* E1 — Figure 2.9: wfs availability curves, with the hand-built CTMC of
+   Figure 2.7 (the thesis' own reduction of the net) as baseline. *)
+
+let wfs_net c =
+  let one_ _ = 1 in
+  let lw = 0.0001 and lf = 0.00005 and muw = 1.0 and muf = 0.5 in
+  let t name ?(kind = Net.Timed) rate ~ins ~outs ?(inh = []) () =
+    { Net.t_name = name; kind; rate; guard = (fun _ -> true); priority = 0;
+      inputs = ins; outputs = outs; inhibitors = inh }
+  in
+  Net.build
+    ~places:[ ("wsup", 2); ("fsup", 1); ("wst", 0); ("wsdn", 0); ("fsdn", 0) ]
+    ~transitions:
+      [ t "wsfl" (fun m -> float_of_int m.(0) *. lw) ~ins:[ (0, one_) ]
+          ~outs:[ (2, one_) ] ~inh:[ (4, one_) ] ();
+        t "fsfl" (fun _ -> lf) ~ins:[ (1, one_) ] ~outs:[ (4, one_) ]
+          ~inh:[ (3, fun _ -> 2) ] ();
+        t "wsrp" (fun _ -> muw) ~ins:[ (3, one_) ] ~outs:[ (0, one_) ]
+          ~inh:[ (4, one_) ] ();
+        t "fsrp" (fun _ -> muf) ~ins:[ (4, one_) ] ~outs:[ (1, one_) ] ();
+        t "wscv" ~kind:Net.Immediate (fun _ -> c) ~ins:[ (2, one_) ]
+          ~outs:[ (3, one_) ] ();
+        t "wsuc" ~kind:Net.Immediate (fun _ -> 1.0 -. c)
+          ~ins:[ (2, one_); (1, one_) ]
+          ~outs:[ (3, one_); (4, one_) ] () ]
+
+(* Figure 2.7's CTMC, built by hand:
+   states 0:(2 ws up, fs up) 1:(1,up) 2:(0,up) 3:(2,dn) 4:(1,dn) 5:(0,dn) *)
+let wfs_figure27_ctmc c =
+  let lw = 0.0001 and lf = 0.00005 and muw = 1.0 and muf = 0.5 in
+  Ctmc.make ~n:6
+    [ (0, 1, 2.0 *. lw *. c); (0, 4, 2.0 *. lw *. (1.0 -. c)); (0, 3, lf);
+      (1, 2, lw *. c); (1, 5, lw *. (1.0 -. c)); (1, 4, lf);
+      (1, 0, muw); (2, 1, muw);
+      (3, 0, muf); (4, 1, muf); (5, 2, muf) ]
+
+let wfs_avail m = if m.(0) > 0 && m.(1) = 1 then 1.0 else 0.0
+
+let e1 () =
+  printf "  %-6s %-6s %-14s %-14s %s\n" "c" "t" "SRN" "CTMC(Fig2.7)" "|diff|";
+  List.iter
+    (fun c ->
+      let s = Srn.solve (wfs_net c) in
+      let hand = wfs_figure27_ctmc c in
+      let init = [| 1.0; 0.0; 0.0; 0.0; 0.0; 0.0 |] in
+      List.iter
+        (fun t ->
+          let a_srn = Srn.exrt s wfs_avail t in
+          let pi = Ctmc.transient hand ~init t in
+          let a_hand = pi.(0) +. pi.(1) in
+          printf "  %-6.1f %-6.0f %-14.9f %-14.9f %.2e\n" c t a_srn a_hand
+            (Float.abs (a_srn -. a_hand)))
+        [ 1.0; 2.0; 5.0; 10.0; 20.0 ])
+    [ 0.7; 0.8; 0.9 ]
+
+let () = register "E1" "Figure 2.9 - wfs availability vs t (c = 0.7, 0.8, 0.9)" e1
+
+let () =
+  register "E2" "S2.4.2 - Molloy's GSPN, steady-state reward values" (fun () ->
+      run_example "molloy.sharpe")
+
+let () =
+  register "E3" "S2.4.3 - software performance, completion probability" (fun () ->
+      run_example "software.sharpe")
+
+(* E4 — M/M/m/b measures with the birth-death closed form as baseline *)
+let e4 () =
+  run_example "mmmb.sharpe" ~grep:(fun l -> String.length l > 3 && l.[0] = 's');
+  let lam = 0.9 and mu = 0.1 and m = 2 and b = 2 in
+  let unnorm = Array.make (b + 1) 1.0 in
+  for n = 1 to b do
+    unnorm.(n) <- unnorm.(n - 1) *. lam /. (float_of_int (min n m) *. mu)
+  done;
+  let z = Array.fold_left ( +. ) 0.0 unnorm in
+  let pi n = unnorm.(n) /. z in
+  printf "  BASELINE birth-death: qlength %.8f  probrej %.8f  probempty %.8f\n"
+    ((1.0 *. pi 1) +. (2.0 *. pi 2))
+    (pi 2) (pi 0)
+
+let () = register "E4" "S2.4.4 - M/M/m/b queue vs closed form" e4
+
+let () =
+  register "E5" "Figure 2.16 - C.mmp reliability and reward rate" (fun () ->
+      run_example "cmmp.sharpe")
+
+let () =
+  register "E6" "S2.4.6 - database system availability" (fun () ->
+      run_example "database.sharpe")
+
+let () =
+  register ~slow:true "E7" "Figure 2.20 - ATM network under overload" (fun () ->
+      run_example "atm.sharpe")
+
+let () =
+  register "E8" "S2.4.8 - Birnbaum and criticality importances" (fun () ->
+      run_example "importance.sharpe")
+
+let e9 () =
+  run_example "cellular_fp.sharpe";
+  printf "  PAPER tp: 4.054972 5.557387 6.098202 6.280690 6.340547 6.359983\n";
+  printf "  PAPER BH 6.50059657e-003  BN 3.03008702e-002  ACh 8.70770327e+000\n";
+  printf "  PAPER fnum/ftput2 4.21143605e-004\n"
+
+let () =
+  register "E9" "S2.4.9 - cellular fixed-point iteration (exact paper output)" e9
+
+let () =
+  register "E10" "S2.4.10 - while-statement syntax test" (fun () ->
+      run_example "whiletest.sharpe")
+
+(* ====================================================================== *)
+(* Chapter 3: the integrated model types                                  *)
+(* ====================================================================== *)
+
+let () =
+  register "E11" "S3.1.3 - three-phase PMS, six phase orders, ltimep/rtimep"
+    (fun () -> run_example "pms3.sharpe")
+
+let () =
+  register "E12" "Figure 3.4 - space-mission unreliability across the last phase"
+    (fun () -> run_example "space.sharpe")
+
+let () =
+  register "E13" "S3.2.3 - two-boards multi-state fault tree" (fun () ->
+      run_example "boards_mstree.sharpe")
+
+let () =
+  register "E14" "Figure 3.10 - network blocking probability (MFT over CTMC)"
+    (fun () -> run_example "netmft.sharpe")
+
+let () =
+  register "E15" "S3.3.3 - MRGP cellular network (C = 5, 6, 7; g = 3)" (fun () ->
+      run_example "mrgp_cellular.sharpe")
+
+let e16 () =
+  run_example "rbd2p3m.sharpe";
+  let lp = 1.0 /. 720.0 and lm = 1.0 /. 1440.0 in
+  let block k =
+    Rbd.Series
+      [ Rbd.Parallel [ Rbd.Comp (D.exponential lp); Rbd.Comp (D.exponential lp) ];
+        Rbd.Kofn (k, 3, Rbd.Comp (D.exponential lm)) ]
+  in
+  printf "  BASELINE api: mean(1) %.6f  mean(2) %.6f  ratio %.6f\n"
+    (Rbd.mean_time_to_failure (block 1))
+    (Rbd.mean_time_to_failure (block 2))
+    (Rbd.mean_time_to_failure (block 1) /. Rbd.mean_time_to_failure (block 2))
+
+let () = register "E16" "S3.4.2 - RBD 2 processors / 3 memories" e16
+
+let () =
+  register "E17" "S3.5.3 - fault tree 2p3m + instantaneous unavailability"
+    (fun () -> run_example "ft2p3m.sharpe")
+
+let () =
+  register "E18" "S3.6.3 - reliability graph with repeated edges (= shared model)"
+    (fun () -> run_example "relgraph_repeat.sharpe"
+        ~grep:(fun l -> String.length l <= 200))
+
+let () =
+  register "E19" "S3.6.3 - electrical-pyrotechnic system" (fun () ->
+      run_example "pyro.sharpe" ~grep:(fun l -> String.length l <= 200))
+
+let () =
+  register "E20" "S3.7.2 - CPU-I/O overlap speedups" (fun () ->
+      run_example "overlap.sharpe")
+
+let () =
+  register "E21" "S3.8.2 - PFQN terminal system, E[R] for 10..60 terminals"
+    (fun () -> run_example "pfqn916.sharpe")
+
+let () =
+  register "E22" "S3.9.2 - MPFQN version (must equal E21)" (fun () ->
+      run_example "mpfqn916.sharpe")
+
+let () =
+  register ~slow:true "E23"
+    "Figure 3.21 - Erlang loss: hierarchical vs composite blocking probability"
+    (fun () -> run_example "erlang_loss.sharpe")
+
+let () =
+  register "E24" "S3.11.2 - semi-Markov chain symbolic CDFs" (fun () ->
+      run_example "semimark1.sharpe")
+
+let e25 () =
+  run_example "mm1k_gspn.sharpe";
+  let rho = 0.5 and k = 10 in
+  let z = (1.0 -. (rho ** float_of_int (k + 1))) /. (1.0 -. rho) in
+  let pi n = (rho ** float_of_int n) /. z in
+  let ql = ref 0.0 in
+  for n = 1 to k do
+    ql := !ql +. (float_of_int n *. pi n)
+  done;
+  printf "  BASELINE M/M/1/10 (no failures): Pidle %.6f  qlength %.6f  tput %.6f\n"
+    (pi 0) !ql (2.0 *. (1.0 -. pi 0))
+
+let () = register "E25" "S3.12.2 - GSPN M/M/1/K with server failure/repair" e25
+
+let () =
+  register "E26" "C.3 - fast MTTF (Markov and semi-Markov)" (fun () ->
+      run_example "fastmttf_m6.sharpe";
+      run_example "fastmttf_semi.sharpe")
+
+let () =
+  register "E27" "C.1 - fault-tree extras (TEST_KEY 0.3, nkofn, mincuts, impt)"
+    (fun () -> run_example "ftree_extra.sharpe")
+
+let () =
+  register "E28" "C.2 - reliability-graph extras (bridge cuts/paths, impt)"
+    (fun () -> run_example "relgraph_extra.sharpe")
+
+let () =
+  register "E29" "C.4.1 - SRN mean time to absorption" (fun () ->
+      run_example "srn_mtta.sharpe")
+
+(* ====================================================================== *)
+(* Ablations                                                              *)
+(* ====================================================================== *)
+
+let a1 () =
+  let mk_tree n =
+    let t = Ftree.create () in
+    for i = 0 to n - 1 do
+      Ftree.repeat t (Printf.sprintf "c%d" i) (D.prob 0.01)
+    done;
+    let layer =
+      List.init (n / 2) (fun i ->
+          let g = Printf.sprintf "g%d" i in
+          Ftree.gate t g Ftree.And
+            [ Printf.sprintf "c%d" (2 * i); Printf.sprintf "c%d" ((2 * i) + 1) ];
+          g)
+    in
+    Ftree.gate t "top" Ftree.Or layer;
+    t
+  in
+  let t = mk_tree 16 in
+  let p_bdd = Ftree.sysprob t in
+  let t0 = Unix.gettimeofday () in
+  let p_enum = ref 0.0 in
+  for mask = 0 to 65535 do
+    let bit i = mask land (1 lsl i) <> 0 in
+    let any = ref false in
+    for i = 0 to 7 do
+      if bit (2 * i) && bit ((2 * i) + 1) then any := true
+    done;
+    if !any then begin
+      let p = ref 1.0 in
+      for i = 0 to 15 do
+        p := !p *. (if bit i then 0.01 else 0.99)
+      done;
+      p_enum := !p_enum +. !p
+    end
+  done;
+  let t_enum = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let reps = 100 in
+  for _ = 1 to reps do
+    ignore (Ftree.sysprob (mk_tree 16))
+  done;
+  let t_bdd = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  printf "  16-event tree: BDD %.9f  enumeration %.9f  |diff| %.2e\n" p_bdd !p_enum
+    (Float.abs (p_bdd -. !p_enum));
+  printf "  time/solve: BDD %.4f ms   2^16-enumeration %.4f ms\n" (t_bdd *. 1e3)
+    (t_enum *. 1e3)
+
+let () = register "A1" "ablation - BDD vs truth-table enumeration (fault tree)" a1
+
+let a2 () =
+  let module L = Sharpe_numerics.Linsolve in
+  let module S = Sharpe_numerics.Sparse in
+  let s = Srn.solve (wfs_net 0.9) in
+  let q = Ctmc.generator (Reach.ctmc (Srn.graph s)) in
+  let n = S.rows q in
+  let direct = L.ctmc_steady_state q in
+  let qt = S.transpose q in
+  let x = Array.make n (1.0 /. float_of_int n) in
+  let sweeps = ref 0 and delta = ref infinity in
+  while !delta > 1e-13 && !sweeps < 10000 do
+    let d = ref 0.0 in
+    for i = 0 to n - 1 do
+      let diag = ref 0.0 and acc = ref 0.0 in
+      S.iter_row qt i (fun j v -> if j = i then diag := v else acc := !acc +. (v *. x.(j)));
+      if !diag <> 0.0 then begin
+        let xi = -. !acc /. !diag in
+        let ch = Float.abs (xi -. x.(i)) /. Float.max 1e-300 (Float.abs xi) in
+        if ch > !d then d := ch;
+        x.(i) <- xi
+      end
+    done;
+    let total = Array.fold_left ( +. ) 0.0 x in
+    Array.iteri (fun i v -> x.(i) <- v /. total) x;
+    delta := !d;
+    incr sweeps
+  done;
+  let maxdiff = ref 0.0 in
+  Array.iteri (fun i v -> maxdiff := Float.max !maxdiff (Float.abs (v -. direct.(i)))) x;
+  printf
+    "  wfs CTMC (%d states): Gauss-Seidel converged in %d sweeps, max |GS - direct| = %.2e\n"
+    n !sweeps !maxdiff
+
+let () = register "A2" "ablation - Gauss-Seidel vs direct steady-state solve" a2
+
+let a3 () =
+  let t0 = Unix.gettimeofday () in
+  let reps = 200 in
+  for _ = 1 to reps do
+    ignore (Srn.solve (wfs_net 0.9))
+  done;
+  let full = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  let s = Srn.solve (wfs_net 0.9) in
+  printf
+    "  wfs: %d tangible + %d vanishing markings; reachability + elimination %.4f ms/solve\n"
+    (Reach.n_tangible (Srn.graph s))
+    (Reach.n_vanishing (Srn.graph s))
+    (full *. 1e3)
+
+let () = register "A3" "ablation - vanishing-marking elimination cost" a3
+
+let a4 () =
+  let mk lambda mu =
+    Ctmc.make ~n:4
+      [ (3, 2, 3.0 *. lambda); (2, 1, 2.0 *. lambda); (1, 0, lambda);
+        (2, 3, mu); (1, 2, mu) ]
+  in
+  printf "  %-10s %-16s %-16s %s\n" "lambda/mu" "exact" "aggregated" "rel.err";
+  List.iter
+    (fun ratio ->
+      let c = mk ratio 1.0 in
+      let init = [| 0.0; 0.0; 0.0; 1.0 |] in
+      let exact = Fast_mttf.mttf c ~init ~readf:[ 0 ] in
+      let fast = Fast_mttf.mttf_fast c ~init { reada = [ 2; 3 ]; readf = [ 0 ] } in
+      printf "  %-10.0e %-16.6e %-16.6e %.2e\n" ratio exact fast
+        (Float.abs (fast -. exact) /. exact))
+    [ 1e-2; 1e-4; 1e-6 ]
+
+let () = register "A4" "ablation - fast (aggregated) MTTF vs exact MTTF" a4
+
+(* ====================================================================== *)
+(* Bechamel timing suite                                                  *)
+(* ====================================================================== *)
+
+let timing_tests () =
+  let open Bechamel in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let s_cached = Srn.solve (wfs_net 0.9) in
+  let hand = wfs_figure27_ctmc 0.9 in
+  let big_chain =
+    Ctmc.make ~n:50
+      (List.concat (List.init 49 (fun i -> [ (i, i + 1, 1.0); (i + 1, i, 2.0) ])))
+  in
+  let big_init = Array.init 50 (fun i -> if i = 0 then 1.0 else 0.0) in
+  let mva_net =
+    Pfqn.make
+      ~stations:
+        [ ("cpu", Pfqn.Fcfs 89.3); ("term", Pfqn.Is (1.0 /. 15.0));
+          ("io1", Pfqn.Fcfs 44.6); ("io2", Pfqn.Fcfs 26.8); ("io3", Pfqn.Fcfs 13.4) ]
+      ~routing:
+        [ ("cpu", "term", 0.05); ("cpu", "io1", 0.5); ("cpu", "io2", 0.3);
+          ("cpu", "io3", 0.15); ("io1", "cpu", 1.0); ("io2", "cpu", 1.0);
+          ("io3", "cpu", 1.0); ("term", "cpu", 1.0) ]
+  in
+  let tests =
+    [ mk "E1 wfs: SRN reachability + vanishing elimination" (fun () ->
+          ignore (Srn.solve (wfs_net 0.9)));
+      mk "E1 wfs: cached-instance transient reward at t=10" (fun () ->
+          ignore (Srn.exrt s_cached wfs_avail 10.0));
+      mk "E1 baseline: 6-state CTMC steady state (direct)" (fun () ->
+          ignore (Ctmc.steady_state hand));
+      mk "E23 kernel: uniformization, 50-state chain, t=10" (fun () ->
+          ignore (Ctmc.transient big_chain ~init:big_init 10.0));
+      mk "E17 ftree 2p3m: BDD build + symbolic cdf" (fun () ->
+          let t = Ftree.create () in
+          Ftree.basic t "proc" (D.exponential (1.0 /. 720.0));
+          Ftree.basic t "mem" (D.exponential (1.0 /. 1440.0));
+          Ftree.gate t "procs" Ftree.And [ "proc"; "proc" ];
+          Ftree.gate t "mems" (Ftree.Kofn_identical (3, 3)) [ "mem" ];
+          Ftree.gate t "top" Ftree.Or [ "procs"; "mems" ];
+          ignore (Ftree.cdf t));
+      mk "E20 kernel: exponomial convolution Erlang5*Erlang5" (fun () ->
+          ignore (E.convolve (D.erlang 5 1.0) (D.erlang 5 2.0)));
+      mk "E21 pfqn ex9.16: exact MVA, 60 customers" (fun () ->
+          ignore (Pfqn.solve mva_net ~customers:60));
+      mk "language: parse + solve a block model" (fun () ->
+          ignore
+            (Sharpe_lang.Interp.eval_output
+               "block m\ncomp c exp(0.001)\nparallel top c c\nend\nexpr mean(m)")) ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  printf "\n== Timing (Bechamel, monotonic clock, OLS ns/run) ==\n%!";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some (est :: _) -> printf "  %-55s %14.1f ns/run\n%!" name est
+          | _ -> printf "  %-55s (no estimate)\n%!" name)
+        ols)
+    tests
+
+(* ====================================================================== *)
+(* main                                                                   *)
+(* ====================================================================== *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let no_time = List.mem "--no-time" args in
+  let only =
+    let rec find = function
+      | "--table" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let todo =
+    List.rev !experiments
+    |> List.filter (fun e ->
+           (match only with Some id -> e.id = id | None -> true)
+           && not (quick && e.slow))
+  in
+  List.iter
+    (fun e ->
+      printf "== %s: %s ==\n%!" e.id e.title;
+      (try e.run () with exn -> printf "  ERROR: %s\n" (Printexc.to_string exn));
+      printf "\n%!")
+    todo;
+  if (not no_time) && only = None then timing_tests ()

@@ -1,0 +1,38 @@
+(* The SHARPE command-line tool: execute SHARPE-language input files. *)
+
+let run_one path =
+  try
+    Sharpe_lang.Interp.run_file path;
+    `Ok ()
+  with
+  | Sharpe_lang.Parser.Parse_error msg ->
+      `Error (false, Printf.sprintf "%s: parse error: %s" path msg)
+  | Sharpe_lang.Eval.Error msg ->
+      `Error (false, Printf.sprintf "%s: error: %s" path msg)
+  | Failure msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> `Error (false, msg)
+  | Invalid_argument msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+
+let run files =
+  List.fold_left
+    (fun acc f -> match acc with `Ok () -> run_one f | e -> e)
+    (`Ok ()) files
+
+open Cmdliner
+
+let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"SHARPE input files")
+
+let cmd =
+  let doc = "Symbolic Hierarchical Automated Reliability and Performance Evaluator" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Executes SHARPE-language model specifications: reliability block \
+          diagrams, fault trees (incl. multi-state), phased-mission systems, \
+          reliability graphs, series-parallel task graphs, product-form \
+          queueing networks, Markov and semi-Markov chains, Markov \
+          regenerative processes, GSPNs and stochastic reward nets." ]
+  in
+  Cmd.v (Cmd.info "sharpe" ~version:"2002-ocaml" ~doc ~man)
+    Term.(ret (const run $ files))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/multiprocessor_availability.ml: Array List Printf Sharpe_petri

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array List Printf Sharpe_expo Sharpe_ftree Sharpe_lang Sharpe_markov Sharpe_rbd String

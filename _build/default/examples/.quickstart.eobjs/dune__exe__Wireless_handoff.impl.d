@@ -1,0 +1,1 @@
+examples/wireless_handoff.ml: Array List Printf Sharpe_expo Sharpe_markov Sharpe_mrgp

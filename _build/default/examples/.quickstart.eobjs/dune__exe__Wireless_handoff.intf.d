@@ -1,0 +1,1 @@
+examples/wireless_handoff.mli:

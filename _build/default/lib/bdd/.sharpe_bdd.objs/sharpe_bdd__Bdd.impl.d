@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Float Format Hashtbl List

@@ -1,0 +1,286 @@
+type manager = {
+  mutable var_of : int array; (* node id -> variable (max_int for terminals) *)
+  mutable lo_of : int array;
+  mutable hi_of : int array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_memo : (int * int * int, int) Hashtbl.t;
+}
+
+type t = { mgr : manager; node : int }
+
+let terminal_var = max_int
+
+let manager () =
+  let n = 1024 in
+  let m =
+    { var_of = Array.make n terminal_var;
+      lo_of = Array.make n 0;
+      hi_of = Array.make n 0;
+      next = 2;
+      unique = Hashtbl.create 1024;
+      ite_memo = Hashtbl.create 1024 }
+  in
+  (* ids 0 and 1 are the terminals *)
+  m
+
+let size m = m.next
+let zero m = { mgr = m; node = 0 }
+let one m = { mgr = m; node = 1 }
+let is_zero t = t.node = 0
+let is_one t = t.node = 1
+let equal a b = a.mgr == b.mgr && a.node = b.node
+let id t = t.node
+
+let grow m =
+  let cap = Array.length m.var_of in
+  if m.next >= cap then begin
+    let cap' = cap * 2 in
+    let extend a fill =
+      let a' = Array.make cap' fill in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    m.var_of <- extend m.var_of terminal_var;
+    m.lo_of <- extend m.lo_of 0;
+    m.hi_of <- extend m.hi_of 0
+  end
+
+let mk m v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt m.unique (v, lo, hi) with
+    | Some id -> id
+    | None ->
+        grow m;
+        let id = m.next in
+        m.next <- id + 1;
+        m.var_of.(id) <- v;
+        m.lo_of.(id) <- lo;
+        m.hi_of.(id) <- hi;
+        Hashtbl.add m.unique (v, lo, hi) id;
+        id
+
+let var m v =
+  if v < 0 || v >= terminal_var then invalid_arg "Bdd.var";
+  { mgr = m; node = mk m v 0 1 }
+
+let topvar m n = m.var_of.(n)
+
+let rec ite_node m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else
+    match Hashtbl.find_opt m.ite_memo (f, g, h) with
+    | Some r -> r
+    | None ->
+        let v =
+          min (topvar m f) (min (topvar m g) (topvar m h))
+        in
+        let cof n b =
+          if topvar m n = v then if b then m.hi_of.(n) else m.lo_of.(n) else n
+        in
+        let hi = ite_node m (cof f true) (cof g true) (cof h true) in
+        let lo = ite_node m (cof f false) (cof g false) (cof h false) in
+        let r = mk m v lo hi in
+        Hashtbl.add m.ite_memo (f, g, h) r;
+        r
+
+let check_mgr m t = if t.mgr != m then invalid_arg "Bdd: foreign node"
+
+let ite m f g h =
+  check_mgr m f; check_mgr m g; check_mgr m h;
+  { mgr = m; node = ite_node m f.node g.node h.node }
+
+let not_ m f = ite m f (zero m) (one m)
+let and_ m f g = ite m f g (zero m)
+let or_ m f g = ite m f (one m) g
+let xor m f g = ite m f (not_ m g) g
+let imp m f g = ite m f g (one m)
+
+let and_list m = List.fold_left (and_ m) (one m)
+let or_list m = List.fold_left (or_ m) (zero m)
+
+let kofn m k fs =
+  let n = List.length fs in
+  if k <= 0 then one m
+  else if k > n then zero m
+  else begin
+    (* row.(j) = "at least j of the inputs seen so far are true" *)
+    let row = Array.make (k + 1) (zero m) in
+    row.(0) <- one m;
+    List.iter
+      (fun f ->
+        for j = k downto 1 do
+          row.(j) <- ite m f row.(j - 1) row.(j)
+        done)
+      fs;
+    row.(k)
+  end
+
+let rec restrict_node m n v b =
+  if n < 2 then n
+  else
+    let nv = topvar m n in
+    if nv > v then n
+    else if nv = v then if b then m.hi_of.(n) else m.lo_of.(n)
+    else
+      let lo = restrict_node m m.lo_of.(n) v b in
+      let hi = restrict_node m m.hi_of.(n) v b in
+      mk m nv lo hi
+
+let restrict m t v b =
+  check_mgr m t;
+  { mgr = m; node = restrict_node m t.node v b }
+
+let support m t =
+  check_mgr m t;
+  let seen = Hashtbl.create 64 and vars = Hashtbl.create 16 in
+  let rec go n =
+    if n >= 2 && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Hashtbl.replace vars (topvar m n) ();
+      go m.lo_of.(n);
+      go m.hi_of.(n)
+    end
+  in
+  go t.node;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let eval m t ~p ~q ~add ~mul ~zero:z ~one:o =
+  check_mgr m t;
+  let memo = Hashtbl.create 256 in
+  let rec go n =
+    if n = 0 then z
+    else if n = 1 then o
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+          let v = topvar m n in
+          let r = add (mul (p v) (go m.hi_of.(n))) (mul (q v) (go m.lo_of.(n))) in
+          Hashtbl.add memo n r;
+          r
+  in
+  go t.node
+
+let prob m t pr =
+  eval m t ~p:pr ~q:(fun v -> 1.0 -. pr v) ~add:( +. ) ~mul:( *. ) ~zero:0.0 ~one:1.0
+
+type group_state = { state_prob : float; assigns : int -> bool }
+
+let prob_grouped m t ~groups =
+  check_mgr m t;
+  let groups = Array.of_list groups in
+  let memo = Hashtbl.create 256 in
+  let rec go n gi =
+    if n = 0 then 0.0
+    else if n = 1 then 1.0
+    else if gi >= Array.length groups then
+      invalid_arg "Bdd.prob_grouped: groups do not cover the support"
+    else
+      match Hashtbl.find_opt memo (n, gi) with
+      | Some r -> r
+      | None ->
+          let vars, states = groups.(gi) in
+          let r =
+            List.fold_left
+              (fun acc st ->
+                let n' =
+                  List.fold_left (fun n' v -> restrict_node m n' v (st.assigns v)) n vars
+                in
+                acc +. (st.state_prob *. go n' (gi + 1)))
+              0.0 states
+          in
+          Hashtbl.add memo (n, gi) r;
+          r
+  in
+  go t.node 0
+
+let sat_count m t ~nvars =
+  check_mgr m t;
+  let memo = Hashtbl.create 256 in
+  (* count over variables with index < nvars; weight by skipped levels *)
+  let level n = if n < 2 then nvars else topvar m n in
+  let rec go n =
+    if n = 0 then 0.0
+    else if n = 1 then 1.0
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+          let v = topvar m n in
+          let branch child =
+            go child *. Float.pow 2.0 (float_of_int (level child - v - 1))
+          in
+          let r = branch m.lo_of.(n) +. branch m.hi_of.(n) in
+          Hashtbl.add memo n r;
+          r
+  in
+  go t.node *. Float.pow 2.0 (float_of_int (level t.node))
+
+let minterms m t =
+  check_mgr m t;
+  let rec go n =
+    if n = 0 then []
+    else if n = 1 then [ [] ]
+    else
+      let v = topvar m n in
+      List.map (fun p -> (v, true) :: p) (go m.hi_of.(n))
+      @ List.map (fun p -> (v, false) :: p) (go m.lo_of.(n))
+  in
+  go t.node
+
+let subset a b =
+  (* sorted int lists *)
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' ->
+        if x = y then go a' b' else if x > y then go a b' else false
+  in
+  go a b
+
+let mincuts m t =
+  check_mgr m t;
+  let memo = Hashtbl.create 256 in
+  let rec go n =
+    if n = 0 then []
+    else if n = 1 then [ [] ]
+    else
+      match Hashtbl.find_opt memo n with
+      | Some r -> r
+      | None ->
+          let v = topvar m n in
+          let l = go m.lo_of.(n) and h = go m.hi_of.(n) in
+          (* cuts through the hi branch need v; drop those subsumed by an
+             lo-branch cut (monotone functions only) *)
+          let with_v =
+            List.filter_map
+              (fun c -> if List.exists (fun lc -> subset lc c) l then None else Some (v :: c))
+              h
+          in
+          let r = l @ with_v in
+          Hashtbl.add memo n r;
+          r
+  in
+  let cuts = go t.node in
+  List.sort
+    (fun a b ->
+      let c = compare (List.length a) (List.length b) in
+      if c <> 0 then c else compare a b)
+    cuts
+
+let pp m ppf t =
+  check_mgr m t;
+  let rec go ppf n =
+    if n = 0 then Format.fprintf ppf "F"
+    else if n = 1 then Format.fprintf ppf "T"
+    else
+      Format.fprintf ppf "@[(x%d ? %a : %a)@]" (topvar m n)
+        go m.hi_of.(n) go m.lo_of.(n)
+  in
+  go ppf t.node

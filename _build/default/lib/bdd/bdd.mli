@@ -1,0 +1,86 @@
+(** Reduced ordered binary decision diagrams with hash consing.
+
+    The combinatorial model types (fault trees, reliability graphs,
+    multi-state fault trees, phased-mission systems) are all solved by
+    building a BDD of the structure function and evaluating probabilities
+    over it — numerically or symbolically (exponomials), via {!eval}.
+
+    Variables are integers; the variable order is the integer order. *)
+
+type manager
+type t
+(** A node handle, valid only with the manager that created it. *)
+
+val manager : unit -> manager
+val size : manager -> int
+(** Number of live nodes (diagnostic). *)
+
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> int -> t
+(** [var m v] is the single-variable function for variable [v >= 0]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val equal : t -> t -> bool
+val id : t -> int
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor : manager -> t -> t -> t
+val imp : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val and_list : manager -> t list -> t
+val or_list : manager -> t list -> t
+
+val kofn : manager -> int -> t list -> t
+(** [kofn m k fs]: true iff at least [k] of the functions in [fs] are true. *)
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor: fix a variable to a constant. *)
+
+val support : manager -> t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val eval :
+  manager -> t ->
+  p:(int -> 'a) -> q:(int -> 'a) ->
+  add:('a -> 'a -> 'a) -> mul:('a -> 'a -> 'a) ->
+  zero:'a -> one:'a -> 'a
+(** Generic Shannon-expansion evaluation with memoization:
+    [eval f] = sum over nodes of [p v * eval hi + q v * eval lo].
+    With [p v = P(v = 1)] and [q v = 1 - p v] over floats this is the
+    probability that the function is true under independent variables; with
+    exponomial arguments it is the symbolic CDF. *)
+
+val prob : manager -> t -> (int -> float) -> float
+(** [prob m f pr]: probability under independent variables, [pr v] = P(v=1). *)
+
+type group_state = { state_prob : float; assigns : int -> bool }
+(** One mutually-exclusive state of a variable group: its probability and the
+    truth value it induces on each variable of the group. *)
+
+val prob_grouped :
+  manager -> t -> groups:(int list * group_state list) list -> float
+(** [prob_grouped m f ~groups] evaluates P(f) where the variables are
+    partitioned into groups; within a group the listed states are mutually
+    exclusive and exhaustive, distinct groups are independent.  Used by
+    multi-state fault trees (group = physical component, states = component
+    states) and phased-mission systems (group = component, states = "fails
+    during phase j" / "survives the mission").  Groups must cover the
+    support of [f]. *)
+
+val sat_count : manager -> t -> nvars:int -> float
+(** Number of satisfying assignments over [nvars] variables. *)
+
+val minterms : manager -> t -> (int * bool) list list
+(** All paths to 1, as partial assignments (variables absent from a path are
+    don't-cares). *)
+
+val mincuts : manager -> t -> int list list
+(** Minimal cut sets of a *monotone* function: the minimal sets of variables
+    whose being true forces [f] true.  Sorted by size then lexicographically. *)
+
+val pp : manager -> Format.formatter -> t -> unit

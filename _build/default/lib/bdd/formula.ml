@@ -1,0 +1,42 @@
+type 'v t =
+  | True
+  | False
+  | Var of 'v
+  | Not of 'v t
+  | And of 'v t list
+  | Or of 'v t list
+  | Kofn of int * 'v t list
+
+let rec build m enc = function
+  | True -> Bdd.one m
+  | False -> Bdd.zero m
+  | Var v -> enc v
+  | Not f -> Bdd.not_ m (build m enc f)
+  | And fs -> Bdd.and_list m (List.map (build m enc) fs)
+  | Or fs -> Bdd.or_list m (List.map (build m enc) fs)
+  | Kofn (k, fs) -> Bdd.kofn m k (List.map (build m enc) fs)
+
+let vars f =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go = function
+    | True | False -> ()
+    | Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          out := v :: !out
+        end
+    | Not f -> go f
+    | And fs | Or fs | Kofn (_, fs) -> List.iter go fs
+  in
+  go f;
+  List.rev !out
+
+let rec map_vars g = function
+  | True -> True
+  | False -> False
+  | Var v -> Var (g v)
+  | Not f -> Not (map_vars g f)
+  | And fs -> And (List.map (map_vars g) fs)
+  | Or fs -> Or (List.map (map_vars g) fs)
+  | Kofn (k, fs) -> Kofn (k, List.map (map_vars g) fs)

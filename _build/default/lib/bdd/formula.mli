@@ -1,0 +1,19 @@
+(** Boolean structure formulas, the shared front-end of the combinatorial
+    model types (fault trees, reliability graphs, multi-state trees,
+    phased-mission systems).  A formula over abstract variables ['v] is
+    compiled to a {!Bdd.t} given a variable encoding. *)
+
+type 'v t =
+  | True
+  | False
+  | Var of 'v
+  | Not of 'v t
+  | And of 'v t list
+  | Or of 'v t list
+  | Kofn of int * 'v t list
+
+val build : Bdd.manager -> ('v -> Bdd.t) -> 'v t -> Bdd.t
+val vars : 'v t -> 'v list
+(** Variables in order of first occurrence (duplicates removed). *)
+
+val map_vars : ('a -> 'b) -> 'a t -> 'b t

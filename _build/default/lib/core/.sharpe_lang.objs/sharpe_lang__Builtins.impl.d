@@ -1,0 +1,1 @@
+lib/core/builtins.ml: Acyclic Array Ast Ctmc D E Eval Fast_mttf Float Ftree Fun Hashtbl List Mpfqn Mrgp Mstree Net Pfqn Pms Printf Rbd Relgraph SM Sharpe_bdd Sharpe_petri Spg Srn String

@@ -1,0 +1,1 @@
+lib/core/interp.ml: Buffer Builtins Eval Parser

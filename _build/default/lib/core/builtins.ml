@@ -1,0 +1,924 @@
+(* Model instantiation and the system-analysis builtins.
+
+   Models are instantiated lazily: when an analysis function names a model,
+   its definition is evaluated under the current global bindings plus the
+   parameter values from the call's trailing argument group(s).  Instances
+   are cached per (model, arguments) and invalidated whenever any global
+   binding changes — which is exactly what makes fixed-point iteration
+   (bind inside while) re-solve the net each round. *)
+
+open Ast
+open Eval
+module F = Sharpe_bdd.Formula
+
+(* --- small helpers --------------------------------------------------- *)
+
+let ev ctx e = eval_expr ctx e
+let ev_int ctx e = int_of_float (Float.round (ev ctx e))
+
+let tname_str ctx (tn : tname) =
+  String.concat ""
+    (List.map
+       (function
+         | Lit s -> s
+         | Sub e ->
+             let v = ev ctx e in
+             if Float.is_integer v then string_of_int (int_of_float v)
+             else Printf.sprintf "%g" v)
+       tn)
+
+let name_of ctx = function
+  | Ident n -> n
+  | Tmpl tn -> tname_str ctx tn
+  | Num x ->
+      if Float.is_integer x then string_of_int (int_of_float x)
+      else Printf.sprintf "%g" x
+  | _ -> err "expected a name argument"
+
+(* --- distribution expressions ---------------------------------------- *)
+
+let dist_of_expr ctx e : E.t =
+  match e with
+  | Ident "zero" -> D.zero_dist
+  | Ident "inf" -> D.inf_dist
+  | Call ("exp", [ [ l ] ]) -> D.exponential (ev ctx l)
+  | Call ("prob", [ [ p ] ]) -> D.prob (ev ctx p)
+  | Call ("oneshot", [ [ p ] ]) -> D.oneshot (ev ctx p)
+  | Call (("erlang" | "Erlang"), [ [ n; l ] ]) -> D.erlang (ev_int ctx n) (ev ctx l)
+  | Call ("hypoexp", [ [ a; b ] ]) -> D.hypoexp (ev ctx a) (ev ctx b)
+  | Call ("hyperexp", [ [ m1; p1; m2; p2 ] ]) ->
+      D.hyperexp (ev ctx m1) (ev ctx p1) (ev ctx m2) (ev ctx p2)
+  | Call ("mixture", [ [ p1; p2; m ] ]) -> D.mixture (ev ctx p1) (ev ctx p2) (ev ctx m)
+  | Call ("defective", [ [ p; m ] ]) -> D.defective (ev ctx p) (ev ctx m)
+  | Call ("inst_unavail", [ [ l; m ] ]) -> D.inst_unavail (ev ctx l) (ev ctx m)
+  | Call ("ss_unavail", [ [ l; m ] ]) -> D.ss_unavail (ev ctx l) (ev ctx m)
+  | Call ("activeE", [ [ m ] ]) -> D.active_e (ev ctx m)
+  | Call ("activeU", [ [ a; b ] ]) -> D.active_u (ev ctx a) (ev ctx b)
+  | Call ("standbyE", [ [ m; s ] ]) -> D.standby_e (ev ctx m) (ev ctx s)
+  | Call ("standbyU", [ [ a; b; s ] ]) -> D.standby_u (ev ctx a) (ev ctx b) (ev ctx s)
+  | Call ("binomial", [ [ l; k; n ] ]) ->
+      D.binomial (ev ctx l) (ev_int ctx k) (ev_int ctx n)
+  | Call ("kofn_ftree", [ [ l; k; n ] ]) ->
+      D.kofn_ftree (ev ctx l) (ev_int ctx k) (ev_int ctx n)
+  | Call ("kofn_block", [ [ l; k; n ] ]) ->
+      D.kofn_block (ev ctx l) (ev_int ctx k) (ev_int ctx n)
+  | Call (("gen" | "cgen" | "tgen"), triples) ->
+      D.gen
+        (List.map
+           (function
+             | [ a; k; b ] -> (ev ctx a, ev ctx k, ev ctx b)
+             | _ -> err "gen distribution expects a,k,b triples")
+           triples)
+  | _ ->
+      (* user-defined distribution functions and bare probabilities reduce
+         to a constant (probability) distribution *)
+      D.prob (ev ctx e)
+
+(* --- model instantiation --------------------------------------------- *)
+
+let rec instantiate ctx mname (arg_vals : float list) : instance =
+  let key = (mname, arg_vals) in
+  match Hashtbl.find_opt ctx.env.cache key with
+  | Some (v, inst) when v = ctx.env.version -> inst
+  | _ ->
+      let m =
+        match Hashtbl.find_opt ctx.env.table mname with
+        | Some (Model m) -> m
+        | _ -> err "unknown model %s" mname
+      in
+      let params = model_params m in
+      if List.length params <> List.length arg_vals then
+        err "model %s expects %d argument(s), got %d" mname (List.length params)
+          (List.length arg_vals);
+      let tbl = Hashtbl.create 8 in
+      List.iter2 (fun p v -> Hashtbl.replace tbl p v) params arg_vals;
+      let mctx = { ctx with locals = [ tbl ] } in
+      let version = ctx.env.version in
+      let inst = build_model mctx m in
+      (* only cache when instantiation did not itself change the world *)
+      if ctx.env.version = version then Hashtbl.replace ctx.env.cache key (version, inst);
+      inst
+
+and build_model mctx = function
+  | MBlock { lines; _ } -> IRbd (build_block mctx lines)
+  | MFtree { lines; _ } -> IFtree (build_ftree mctx lines)
+  | MMstree { lines; _ } -> IMstree (build_mstree mctx lines)
+  | MPms { phases; _ } -> IPms (build_pms mctx phases)
+  | MRelgraph { edges; _ } -> IRelgraph (build_relgraph mctx edges)
+  | MGraph { edges; glines; _ } -> build_graph mctx edges glines
+  | MPfqn { routing; stations; chains; _ } -> build_pfqn mctx routing stations chains
+  | MMpfqn { routing; stations; chains; _ } -> build_mpfqn mctx routing stations chains
+  | MMarkov { edges; rewards; init; fastmttf; _ } ->
+      IMarkov (build_markov mctx edges rewards init fastmttf)
+  | MSemimark { mode; edges; rewards; init; fastmttf; _ } ->
+      ISemimark (build_semimark mctx mode edges rewards init fastmttf)
+  | MMrgp { edges; rewards; _ } -> IMrgp (build_mrgp mctx edges rewards)
+  | MSrn { places; timed; immediate; inputs; outputs; inhibitors; _ } ->
+      ISrn (build_srn mctx places timed immediate inputs outputs inhibitors)
+
+and build_block mctx lines =
+  let defs = Hashtbl.create 16 in
+  let last = ref None in
+  List.iter
+    (fun l ->
+      let n =
+        match l with
+        | BComp (n, _) | BCombine (_, n, _) | BKofn (n, _, _, _) -> n
+      in
+      Hashtbl.replace defs n l;
+      last := Some n)
+    lines;
+  let rec resolve n =
+    match Hashtbl.find_opt defs n with
+    | None -> err "block: undefined name %s" n
+    | Some (BComp (_, e)) -> Rbd.Comp (dist_of_expr mctx e)
+    | Some (BCombine (`Series, _, parts)) -> Rbd.Series (List.map resolve parts)
+    | Some (BCombine (`Parallel, _, parts)) -> Rbd.Parallel (List.map resolve parts)
+    | Some (BKofn (_, k, n', parts)) -> (
+        let k = ev_int mctx k and n' = ev_int mctx n' in
+        match parts with
+        | [ p ] -> Rbd.Kofn (k, n', resolve p)
+        | ps -> Rbd.Kofn_list (k, List.map resolve ps))
+  in
+  match !last with
+  | Some top -> resolve top
+  | None -> err "block: empty model"
+
+and build_ftree mctx lines =
+  let t = Ftree.create () in
+  List.iter
+    (fun l ->
+      match l with
+      | FBasic (n, e) -> Ftree.basic t n (dist_of_expr mctx e)
+      | FRepeat (n, e) -> Ftree.repeat t n (dist_of_expr mctx e)
+      | FTransfer (a, b) -> Ftree.transfer t a b
+      | FGate (n, g, inputs) ->
+          let kind =
+            match (g, inputs) with
+            | GAnd, _ -> Ftree.And
+            | GOr, _ -> Ftree.Or
+            | GNot, _ -> Ftree.Not
+            | GNand, _ -> Ftree.Nand
+            | GNor, _ -> Ftree.Nor
+            | GKofn (k, nn), [ _ ] -> Ftree.Kofn_identical (ev_int mctx k, ev_int mctx nn)
+            | GKofn (k, _), _ -> Ftree.Kofn (ev_int mctx k)
+            | GNkofn (k, nn), [ _ ] -> Ftree.Nkofn_identical (ev_int mctx k, ev_int mctx nn)
+            | GNkofn (k, _), _ -> Ftree.Nkofn (ev_int mctx k)
+          in
+          Ftree.gate t n kind inputs)
+    lines;
+  t
+
+and build_mstree mctx lines =
+  let t = Mstree.create () in
+  let basics = Hashtbl.create 16 in
+  let aliases = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      match l with
+      | MsBasic (c, s, e) ->
+          let p = E.mass_at_zero (dist_of_expr mctx e) in
+          Mstree.basic t ~comp:c ~state:s p;
+          Hashtbl.replace basics (c, s) ()
+      | MsTransfer (a, b) -> (
+          match String.index_opt b ':' with
+          | Some i ->
+              let c = String.sub b 0 i
+              and s = String.sub b (i + 1) (String.length b - i - 1) in
+              Mstree.transfer t a ~comp:c ~state:s;
+              Hashtbl.replace aliases a (c, s)
+          | None -> err "mstree transfer target %s is not component:state" b)
+      | MsGate (n, g, inputs) ->
+          let classify inp =
+            match Hashtbl.find_opt aliases inp with
+            | Some (c, s) -> Mstree.Event (c, s)
+            | None -> (
+                match String.index_opt inp ':' with
+                | Some i ->
+                    let c = String.sub inp 0 i
+                    and s = String.sub inp (i + 1) (String.length inp - i - 1) in
+                    if Hashtbl.mem basics (c, s) then Mstree.Event (c, s)
+                    else Mstree.Ref inp
+                | None -> Mstree.Ref inp)
+          in
+          let ins = List.map classify inputs in
+          (match g with
+          | MsAnd -> Mstree.gate_and t n ins
+          | MsOr -> Mstree.gate_or t n ins
+          | MsKofn (k, nn) ->
+              Mstree.gate_kofn t n ~k:(ev_int mctx k) ~n:(ev_int mctx nn) ins))
+    lines;
+  t
+
+and build_pms mctx phases =
+  let numbered =
+    List.map (fun (num, fname, dur) -> (ev mctx num, fname, ev mctx dur)) phases
+  in
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare a b) numbered in
+  let phase_of (_, fname, dur) =
+    let ft =
+      match instantiate mctx fname [] with
+      | IFtree t -> t
+      | _ -> err "pms phase %s is not a fault tree" fname
+    in
+    let tree, dists = Ftree.structure ft in
+    let dist c = try dists c with Invalid_argument _ -> D.inf_dist in
+    { Pms.name = fname; duration = dur; tree; dist }
+  in
+  Pms.make (List.map phase_of sorted)
+
+and build_relgraph mctx edges =
+  let g = Relgraph.create () in
+  List.iter
+    (fun e ->
+      let d = dist_of_expr mctx e.re_dist in
+      let h = Relgraph.edge ~bidirect:e.re_bidirect g e.re_from e.re_to d in
+      List.iter
+        (fun (a, b) -> Relgraph.repeat_edge ~bidirect:e.re_bidirect g a b h)
+        e.re_transfers)
+    edges;
+  g
+
+and build_graph mctx edges glines =
+  let g = Spg.create () in
+  let multpath = ref false in
+  List.iter (fun (u, vs) -> List.iter (fun v -> Spg.add_edge g u v) vs) edges;
+  let fix_entry n = if String.length n > 1 && String.sub n 0 2 = "E." then "E." else n in
+  List.iter
+    (fun l ->
+      match l with
+      | GExit (n, ex) ->
+          let ex' =
+            match ex with
+            | ExProb -> Spg.Prob
+            | ExMax -> Spg.Max
+            | ExMin -> Spg.Min
+            | ExKofn (k, nn) -> Spg.Kofn (ev_int mctx k, ev_int mctx nn)
+          in
+          Spg.set_exit g (fix_entry n) ex'
+      | GProb (u, v, e) -> Spg.set_prob g (fix_entry u) v (ev mctx e)
+      | GDist (n, e) -> Spg.set_dist g n (dist_of_expr mctx e)
+      | GMultpath -> multpath := true)
+    glines;
+  ISpg (g, !multpath)
+
+and build_pfqn mctx routing stations chains =
+  let stations' =
+    List.map
+      (fun (n, k) ->
+        let kind =
+          match k with
+          | SkIs e -> Pfqn.Is (ev mctx e)
+          | SkFcfs e -> Pfqn.Fcfs (ev mctx e)
+          | SkPs e -> Pfqn.Ps (ev mctx e)
+          | SkLcfspr e -> Pfqn.Lcfspr (ev mctx e)
+          | SkMs (n', r) -> Pfqn.Ms (ev_int mctx n', ev mctx r)
+          | SkLds rs -> Pfqn.Lds (List.map (ev mctx) rs)
+        in
+        (n, kind))
+      stations
+  in
+  let routing' = List.map (fun (u, v, e) -> (u, v, ev mctx e)) routing in
+  let customers =
+    match chains with
+    | (_, e) :: _ -> ev_int mctx e
+    | [] -> err "pfqn: missing customer count"
+  in
+  IPfqn (Pfqn.make ~stations:stations' ~routing:routing', customers)
+
+and build_mpfqn mctx routing stations chains =
+  let chain_names = List.map fst chains in
+  let stations' =
+    List.map
+      (fun (n, k, _) ->
+        let kind =
+          match k with
+          | SkIs _ -> Mpfqn.Is
+          | SkFcfs _ | SkPs _ | SkLcfspr _ -> Mpfqn.Queueing
+          | SkMs _ | SkLds _ -> err "mpfqn: ms/lds stations need a single-chain pfqn"
+        in
+        (n, kind))
+      stations
+  in
+  let rates =
+    List.concat_map
+      (fun (n, k, overrides) ->
+        let base =
+          match k with
+          | SkIs e | SkFcfs e | SkPs e | SkLcfspr e -> ev mctx e
+          | SkMs _ | SkLds _ -> 0.0
+        in
+        List.map
+          (fun ch ->
+            match List.assoc_opt ch overrides with
+            | Some (r :: _) -> (n, ch, ev mctx r)
+            | _ -> (n, ch, base))
+          chain_names)
+      stations
+  in
+  let routing' = List.map (fun (c, u, v, e) -> (c, u, v, ev mctx e)) routing in
+  let pops = List.map (fun (c, e) -> (c, ev_int mctx e)) chains in
+  IMpfqn (Mpfqn.make ~stations:stations' ~chains:chain_names ~rates ~routing:routing', pops)
+
+and expand_medges mctx edges =
+  List.concat_map
+    (fun e ->
+      match e with
+      | MEdge (a, b, rate) -> [ (tname_str mctx a, tname_str mctx b, ev mctx rate) ]
+      | MEdgeLoop (v, lo, hi, step, body) ->
+          expand_loop mctx v lo hi step (fun c -> expand_medges c body))
+    edges
+
+and expand_loop : 'a. ctx -> string -> expr -> expr -> expr option ->
+                  (ctx -> 'a list) -> 'a list =
+  fun mctx v lo hi step f ->
+  let lo = ev mctx lo and hi = ev mctx hi in
+  let step = match step with Some s -> ev mctx s | None -> if hi >= lo then 1.0 else -1.0 in
+  if step = 0.0 then err "loop step is zero";
+  let tbl = Hashtbl.create 1 in
+  let c = { mctx with locals = tbl :: mctx.locals } in
+  let out = ref [] in
+  let x = ref lo in
+  let continues x = if step > 0.0 then x <= hi +. 1e-9 else x >= hi -. 1e-9 in
+  while continues !x do
+    Hashtbl.replace tbl v !x;
+    out := List.rev_append (f c) !out;
+    x := !x +. step
+  done;
+  List.rev !out
+
+and expand_msets mctx sets =
+  List.concat_map
+    (fun s ->
+      match s with
+      | MSet (n, e) -> [ (tname_str mctx n, ev mctx e) ]
+      | MSetLoop (v, lo, hi, step, body) ->
+          expand_loop mctx v lo hi step (fun c -> expand_msets c body))
+    sets
+
+and state_table (pairs : (string * string) list) extra =
+  let idx = Hashtbl.create 32 in
+  let names = ref [] in
+  let count = ref 0 in
+  let add n =
+    if not (Hashtbl.mem idx n) then begin
+      Hashtbl.add idx n !count;
+      incr count;
+      names := n :: !names
+    end
+  in
+  List.iter (fun (a, b) -> add a; add b) pairs;
+  List.iter add extra;
+  (idx, Array.of_list (List.rev !names))
+
+and build_rewards mctx idx n rewards =
+  match rewards with
+  | None -> None
+  | Some (sets, default) ->
+      let arr = Array.make n (match default with Some e -> ev mctx e | None -> 0.0) in
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt idx name with
+          | Some i -> arr.(i) <- v
+          | None -> err "reward for unknown state %s" name)
+        (expand_msets mctx sets);
+      Some (fun i -> arr.(i))
+
+and build_init mctx idx n init =
+  match expand_msets mctx init with
+  | [] -> None
+  | sets ->
+      let arr = Array.make n 0.0 in
+      List.iter
+        (fun (name, v) ->
+          match Hashtbl.find_opt idx name with
+          | Some i -> arr.(i) <- arr.(i) +. v
+          | None -> err "initial probability for unknown state %s" name)
+        sets;
+      Some arr
+
+and build_fast mctx idx fast =
+  match fast with
+  | None -> None
+  | Some lines ->
+      let resolve tn =
+        let n = tname_str mctx tn in
+        match Hashtbl.find_opt idx n with
+        | Some i -> i
+        | None -> err "fastmttf: unknown state %s" n
+      in
+      let reada = List.filter_map (fun (n, k) -> if k = `Reada then Some (resolve n) else None) lines in
+      let readf = List.filter_map (fun (n, k) -> if k = `Readf then Some (resolve n) else None) lines in
+      Some (reada, readf)
+
+and build_markov mctx edges rewards init fastmttf =
+  let es = expand_medges mctx edges in
+  let idx, names = state_table (List.map (fun (a, b, _) -> (a, b)) es) [] in
+  let n = Array.length names in
+  let rates =
+    List.map (fun (a, b, r) -> (Hashtbl.find idx a, Hashtbl.find idx b, r)) es
+  in
+  let ctmc = Ctmc.make ~n rates in
+  let fast =
+    match build_fast mctx idx fastmttf with
+    | Some (reada, readf) -> Some { Fast_mttf.reada; readf }
+    | None -> None
+  in
+  { mk_ctmc = ctmc;
+    mk_index = idx;
+    mk_names = names;
+    mk_init = build_init mctx idx n init;
+    mk_reward = build_rewards mctx idx n rewards;
+    mk_fast = fast;
+    mk_steady = ref None }
+
+and expand_smedges mctx edges =
+  List.concat_map
+    (fun e ->
+      match e with
+      | SmEdge (a, b, d) ->
+          [ (tname_str mctx a, tname_str mctx b, dist_of_expr mctx d) ]
+      | SmEdgeLoop (v, lo, hi, step, body) ->
+          expand_loop mctx v lo hi step (fun c -> expand_smedges c body))
+    edges
+
+and build_semimark mctx mode edges rewards init fastmttf =
+  let es = expand_smedges mctx edges in
+  let idx, names = state_table (List.map (fun (a, b, _) -> (a, b)) es) [] in
+  let n = Array.length names in
+  let kernel =
+    List.map (fun (a, b, d) -> (Hashtbl.find idx a, Hashtbl.find idx b, d)) es
+  in
+  let sm = SM.make ~mode ~n kernel in
+  { sm;
+    sm_index = idx;
+    sm_names = names;
+    sm_init = build_init mctx idx n init;
+    sm_reward = build_rewards mctx idx n rewards;
+    sm_fast = build_fast mctx idx fastmttf }
+
+and build_mrgp mctx edges rewards =
+  let idx = Hashtbl.create 16 in
+  let count = ref 0 in
+  let add n =
+    if not (Hashtbl.mem idx n) then begin
+      Hashtbl.add idx n !count;
+      incr count
+    end
+  in
+  List.iter (fun (a, _, b, _) -> add a; add b) edges;
+  let exp_edges = ref [] and gen_edges = ref [] in
+  List.iter
+    (fun (a, kind, b, d) ->
+      let i = Hashtbl.find idx a and j = Hashtbl.find idx b in
+      match kind with
+      | `NonReg -> (
+          match d with
+          | Call ("exp", [ [ l ] ]) -> exp_edges := (i, j, ev mctx l) :: !exp_edges
+          | _ -> err "mrgp: non-regenerative edges must be exponential")
+      | `Reg -> gen_edges := (i, j, dist_of_expr mctx d) :: !gen_edges)
+    edges;
+  let mg = Mrgp.make ~n:!count ~exp_edges:!exp_edges ~gen_edges:!gen_edges in
+  let reward =
+    match rewards with
+    | [] -> None
+    | rs ->
+        let arr = Array.make !count 0.0 in
+        List.iter
+          (fun (n, e) ->
+            match Hashtbl.find_opt idx n with
+            | Some i -> arr.(i) <- ev mctx e
+            | None -> err "mrgp reward for unknown state %s" n)
+          rs;
+        Some (fun i -> arr.(i))
+  in
+  { mg; mg_index = idx; mg_reward = reward }
+
+and build_srn mctx places timed immediate inputs outputs inhibitors =
+  let places' = List.map (fun (n, e) -> (n, ev_int mctx e)) places in
+  let pindex = Hashtbl.create 16 in
+  List.iteri (fun i (n, _) -> Hashtbl.add pindex n i) places';
+  let pidx n =
+    match Hashtbl.find_opt pindex n with
+    | Some i -> i
+    | None -> err "srn: unknown place %s" n
+  in
+  let net_ref : Net.t option ref = ref None in
+  let with_marking m = { mctx with marking = Some (net_ref, m) } in
+  let rate_fn spec =
+    match spec with
+    | `Ind e -> fun m -> ev (with_marking m) e
+    | `Placedep (p, e) ->
+        let i = pidx p in
+        fun m -> float_of_int m.(i) *. ev (with_marking m) e
+    | `Gendep e -> fun m -> ev (with_marking m) e
+  in
+  let guard_fn = function
+    | None -> fun _ -> true
+    | Some g -> fun m -> truthy (ev (with_marking m) g)
+  in
+  let arcs_for tname arcs select =
+    List.filter_map
+      (fun (a, b, card) ->
+        let place, trans = select (a, b) in
+        if trans = tname then
+          Some (pidx place, fun m -> int_of_float (Float.round (ev (with_marking m) card)))
+        else None)
+      arcs
+  in
+  let mk_trans kind (tr : srn_trans) =
+    { Net.t_name = tr.st_name;
+      kind;
+      rate = rate_fn tr.st_rate;
+      guard = guard_fn tr.st_guard;
+      priority = (match tr.st_priority with Some e -> ev_int mctx e | None -> 0);
+      inputs = arcs_for tr.st_name inputs (fun (p, t) -> (p, t));
+      outputs = arcs_for tr.st_name outputs (fun (t, p) -> (p, t));
+      inhibitors = arcs_for tr.st_name inhibitors (fun (p, t) -> (p, t)) }
+  in
+  let transitions =
+    List.map (mk_trans Net.Timed) timed @ List.map (mk_trans Net.Immediate) immediate
+  in
+  let net = Net.build ~places:places' ~transitions in
+  net_ref := Some net;
+  Srn.solve net
+
+(* --- resolving analysis-call arguments -------------------------------- *)
+
+(* trailing groups are model arguments *)
+let model_of ctx sys_expr arg_groups =
+  let nm = name_of ctx sys_expr in
+  let args = List.map (ev ctx) (List.concat arg_groups) in
+  (nm, instantiate ctx nm args)
+
+let srn_of ctx sys arg_groups =
+  match model_of ctx sys arg_groups with
+  | _, ISrn s -> s
+  | nm, _ -> err "%s is not an SRN/GSPN model" nm
+
+let reward_of_func ctx (s : Sharpe_petri.Srn.t) fname =
+  let net_ref = ref (Some (Srn.net s)) in
+  fun m ->
+    let c = { ctx with marking = Some (net_ref, m) } in
+    eval_expr c (Call (fname, []))
+
+let markov_init mi =
+  match mi.mk_init with
+  | Some init -> init
+  | None ->
+      (* default: all mass on the first-declared state *)
+      let init = Array.make (Array.length mi.mk_names) 0.0 in
+      init.(0) <- 1.0;
+      init
+
+let markov_steady mi =
+  match !(mi.mk_steady) with
+  | Some pi -> pi
+  | None ->
+      let pi = Ctmc.steady_state mi.mk_ctmc in
+      mi.mk_steady := Some pi;
+      pi
+
+let state_idx idx name what =
+  match Hashtbl.find_opt idx name with
+  | Some i -> i
+  | None -> err "unknown %s state %s" what name
+
+(* --- the dispatcher --------------------------------------------------- *)
+
+let rec dispatch ctx f (groups : expr list list) : float =
+  match (f, groups) with
+  (* ---- time-dependent unreliability/unavailability ---- *)
+  | "tvalue", (t :: sys :: rest_in_g1) :: rest ->
+      let t = ev ctx t in
+      let _, inst = model_of ctx sys (if rest_in_g1 = [] then rest else [ rest_in_g1 ] @ rest) in
+      (match inst with
+      | IRbd b -> Rbd.unreliability b t
+      | IFtree ft -> Ftree.prob_at ft t
+      | IPms p -> Pms.unreliability ~side:ctx.env.side p t
+      | IRelgraph g -> Relgraph.unreliability g t
+      | ISpg (g, _) -> E.eval (Spg.completion_cdf g) t
+      | _ -> err "tvalue: unsupported model type")
+  | "tvalue", [ t ] :: sys_grp :: rest -> (
+      let t = ev ctx t in
+      match sys_grp with
+      | sys :: more ->
+          let _, inst = model_of ctx sys (if more = [] then rest else [ more ] @ rest) in
+          (match inst with
+          | IRbd b -> Rbd.unreliability b t
+          | IFtree ft -> Ftree.prob_at ft t
+          | IPms p -> Pms.unreliability ~side:ctx.env.side p t
+          | IRelgraph g -> Relgraph.unreliability g t
+          | ISpg (g, _) -> E.eval (Spg.completion_cdf g) t
+          | _ -> err "tvalue: unsupported model type")
+      | [] -> err "tvalue: missing model")
+  (* ---- transient state probability of a chain ---- *)
+  | "value", [ t ] :: (sys :: more) :: rest -> (
+      let t = ev ctx t in
+      let state =
+        match more with [ s ] -> name_of ctx s | _ -> err "value: expected a state"
+      in
+      match model_of ctx sys rest with
+      | _, IMarkov mi ->
+          let init = markov_init mi in
+          let pi = Ctmc.transient mi.mk_ctmc ~init t in
+          pi.(state_idx mi.mk_index state "markov")
+      | _, ISemimark si ->
+          let init =
+            match si.sm_init with
+            | Some i -> i
+            | None ->
+                let i = Array.make (Array.length si.sm_names) 0.0 in
+                i.(0) <- 1.0;
+                i
+          in
+          let occ = SM.occupancy si.sm ~init in
+          E.eval occ.(state_idx si.sm_index state "semi-markov") t
+      | nm, _ -> err "value: %s is not a chain model" nm)
+  (* ---- means ---- *)
+  | "mean", (sys :: more) :: rest -> (
+      match model_of ctx sys (if more = [] then rest else [ more ] @ rest) with
+      | _, IRbd b -> Rbd.mean_time_to_failure b
+      | _, IFtree ft -> Ftree.mean ft
+      | _, IRelgraph g -> Relgraph.mean g
+      | _, ISpg (g, _) -> Spg.mean g
+      | _, IMarkov mi -> Ctmc.mtta mi.mk_ctmc ~init:(markov_init mi)
+      | _, ISemimark si ->
+          SM.mean_time_to_absorption si.sm
+            ~init:(match si.sm_init with
+                   | Some i -> i
+                   | None ->
+                       let i = Array.make (Array.length si.sm_names) 0.0 in
+                       i.(0) <- 1.0; i)
+      | nm, _ -> err "mean: unsupported model %s" nm)
+  | "var", (sys :: more) :: rest -> (
+      match model_of ctx sys (if more = [] then rest else [ more ] @ rest) with
+      | _, ISpg (g, _) -> Spg.variance g
+      | nm, _ -> err "var: unsupported model %s" nm)
+  (* ---- probabilities of combinatorial systems ---- *)
+  | "sysprob", (sys :: more) :: rest -> (
+      let gate = match more with [ g ] -> Some (name_of ctx g) | _ -> None in
+      match model_of ctx sys rest with
+      | _, IFtree ft -> Ftree.sysprob ?gate ft
+      | _, IMstree ms -> (
+          match gate with
+          | Some g -> Mstree.sysprob ms g
+          | None -> err "sysprob: multi-state trees need a top:state gate")
+      | _, IRbd b -> Rbd.unreliability b 0.0
+      | _, IRelgraph g -> Relgraph.unreliability g 0.0
+      | nm, _ -> err "sysprob: unsupported model %s" nm)
+  | "pzero", (sys :: more) :: rest -> (
+      match model_of ctx sys (if more = [] then rest else [ more ] @ rest) with
+      | _, IFtree ft -> Ftree.sysprob ft
+      | _, IRbd b -> Rbd.unreliability b 0.0
+      | _, IRelgraph g -> Relgraph.unreliability g 0.0
+      | nm, _ -> err "pzero: unsupported model %s" nm)
+  (* ---- steady-state probabilities ---- *)
+  | "prob", (sys :: more) :: rest -> (
+      let state =
+        match more with [ s ] -> name_of ctx s | _ -> err "prob: expected a state"
+      in
+      match model_of ctx sys rest with
+      | _, IMarkov mi ->
+          let c = mi.mk_ctmc in
+          let has_absorbing = Ctmc.absorbing_states c <> [] in
+          let n = Ctmc.n_states c in
+          if has_absorbing && n > List.length (Ctmc.absorbing_states c) then
+            (Ctmc.absorption_probs c ~init:(markov_init mi)).(state_idx mi.mk_index state "markov")
+          else (markov_steady mi).(state_idx mi.mk_index state "markov")
+      | _, ISemimark si ->
+          (SM.steady_state si.sm).(state_idx si.sm_index state "semi-markov")
+      | _, IMrgp gi -> Mrgp.prob gi.mg (state_idx gi.mg_index state "mrgp")
+      | nm, _ -> err "prob: %s is not a chain model" nm)
+  | "exrss", (sys :: more) :: rest -> (
+      match model_of ctx sys (if more = [] then rest else [ more ] @ rest) with
+      | nm, IMarkov mi -> (
+          match mi.mk_reward with
+          | Some r ->
+              let pi = markov_steady mi in
+              let acc = ref 0.0 in
+              Array.iteri (fun i p -> acc := !acc +. (p *. r i)) pi;
+              !acc
+          | None -> err "exrss: model %s has no reward section" nm)
+      | nm, ISemimark si -> (
+          match si.sm_reward with
+          | Some r -> SM.expected_reward_ss si.sm ~reward:r
+          | None -> err "exrss: model %s has no reward section" nm)
+      | nm, IMrgp gi -> (
+          match gi.mg_reward with
+          | Some r -> Mrgp.expected_reward_ss gi.mg ~reward:r
+          | None -> err "exrss: model %s has no reward section" nm)
+      | nm, _ -> err "exrss: %s is not a chain model" nm)
+  | ("exrt" | "cexrt"), (t :: sys :: more) :: rest -> (
+      let tv = ev ctx t in
+      match model_of ctx sys (if more = [] then rest else [ more ] @ rest) with
+      | nm, IMarkov mi -> (
+          match mi.mk_reward with
+          | Some r ->
+              let init = markov_init mi in
+              if f = "exrt" then Ctmc.expected_reward_at mi.mk_ctmc ~init ~reward:r tv
+              else Ctmc.cumulative_reward mi.mk_ctmc ~init ~reward:r tv
+          | None -> err "%s: model %s has no reward section" f nm)
+      | nm, _ -> err "%s: %s is not a Markov reward model" f nm)
+  (* ---- MTTF ---- *)
+  | "fastmttf", (sys :: more) :: rest -> (
+      match model_of ctx sys (if more = [] then rest else [ more ] @ rest) with
+      | nm, IMarkov mi -> (
+          match mi.mk_fast with
+          | Some spec -> Fast_mttf.mttf_fast mi.mk_ctmc ~init:(markov_init mi) spec
+          | None -> err "fastmttf: model %s has no fastmttf section" nm)
+      | nm, ISemimark si -> (
+          match si.sm_fast with
+          | Some (_, readf) ->
+              let init =
+                match si.sm_init with
+                | Some i -> i
+                | None ->
+                    let i = Array.make (Array.length si.sm_names) 0.0 in
+                    i.(0) <- 1.0; i
+              in
+              SM.mttf si.sm ~init ~readf
+          | None -> err "fastmttf: model %s has no fastmttf section" nm)
+      | nm, _ -> err "fastmttf: %s is not a chain model" nm)
+  (* ---- importance measures ---- *)
+  | "bimpt", [ t ] :: (sys :: ev_names) :: rest ->
+      importance ctx `Birnbaum (Some (ev ctx t)) sys ev_names rest
+  | "cimpt", [ t ] :: (sys :: ev_names) :: rest ->
+      importance ctx `Criticality (Some (ev ctx t)) sys ev_names rest
+  | "simpt", (sys :: ev_names) :: rest ->
+      importance ctx `Structural None sys ev_names rest
+  (* ---- SRN measures ---- *)
+  | "srn_exrss", (sys :: extra) :: rf :: rest ->
+      let s = srn_of ctx sys (if extra = [] then rest else [ extra ] @ rest) in
+      Srn.exrss s (reward_of_func ctx s (reward_name ctx rf))
+  | ("srn_exrt" | "srn_cexrt" | "srn_ave_cexrt"), (t :: sys :: extra) :: rf :: rest ->
+      let tv = ev ctx t in
+      let s = srn_of ctx sys (if extra = [] then rest else [ extra ] @ rest) in
+      let r = reward_of_func ctx s (reward_name ctx rf) in
+      (match f with
+      | "srn_exrt" -> Srn.exrt s r tv
+      | "srn_cexrt" -> Srn.cexrt s r tv
+      | _ -> Srn.ave_cexrt s r tv)
+  | "srn_cexrinf", (sys :: extra) :: rf :: rest ->
+      let s = srn_of ctx sys (if extra = [] then rest else [ extra ] @ rest) in
+      Srn.cexrinf s (reward_of_func ctx s (reward_name ctx rf))
+  | "mtta", (sys :: more) :: rest -> (
+      match model_of ctx sys (if more = [] then rest else [ more ] @ rest) with
+      | _, ISrn s -> Srn.mtta s
+      | _, IMarkov mi -> Ctmc.mtta mi.mk_ctmc ~init:(markov_init mi)
+      | nm, _ -> err "mtta: unsupported model %s" nm)
+  (* ---- GSPN / queueing measures sharing names ---- *)
+  | ("util" | "tput" | "qlength" | "rtime" | "mutil" | "mtput" | "mqlength" | "mrtime"
+    | "etok" | "prempty"), (sys :: more) :: rest -> (
+      let target =
+        match more with [ x ] -> name_of ctx x | _ -> err "%s: expected a station/transition/place" f
+      in
+      match model_of ctx sys rest with
+      | _, ISrn s -> (
+          match f with
+          | "util" -> Srn.util s target
+          | "tput" -> Srn.tput s target
+          | "etok" -> Srn.etok s target
+          | "prempty" -> Srn.prempty s target
+          | _ -> err "%s: not a GSPN measure" f)
+      | _, IPfqn (net, customers) -> (
+          match f with
+          | "util" | "mutil" -> Pfqn.utilization net ~customers target
+          | "tput" | "mtput" -> Pfqn.throughput net ~customers target
+          | "qlength" | "mqlength" -> Pfqn.qlength net ~customers target
+          | "rtime" | "mrtime" -> Pfqn.rtime net ~customers target
+          | _ -> err "%s: not a queueing measure" f)
+      | _, IMpfqn (net, pops) -> (
+          match f with
+          | "util" | "mutil" -> Mpfqn.station_utilization net ~populations:pops target
+          | "qlength" | "mqlength" -> Mpfqn.station_qlength net ~populations:pops target
+          | "tput" | "mtput" ->
+              List.fold_left
+                (fun acc (ch, _) ->
+                  acc +. Mpfqn.chain_throughput net ~populations:pops ~chain:ch ~station:target)
+                0.0 pops
+          | _ -> err "%s: not a queueing measure" f)
+      | nm, _ -> err "%s: unsupported model %s" f nm)
+  | _ -> err "unknown function %s" f
+
+and reward_name ctx rf =
+  match rf with
+  | [ r ] -> name_of ctx r
+  | _ -> err "expected a reward function name"
+
+and importance ctx kind time sys ev_names rest =
+  match (model_of ctx sys rest, ev_names) with
+  | (_, IFtree ft), [ e ] -> (
+      let en = name_of ctx e in
+      match (kind, time) with
+      | `Birnbaum, Some t -> Ftree.birnbaum ft en t
+      | `Criticality, Some t -> Ftree.criticality ft en t
+      | `Structural, _ -> Ftree.structural ft en
+      | _ -> err "importance: missing time")
+  | (_, IRelgraph g), [ a; b ] -> (
+      let u = name_of ctx a and v = name_of ctx b in
+      match (kind, time) with
+      | `Birnbaum, Some t -> Relgraph.birnbaum g u v t
+      | `Criticality, Some t -> Relgraph.criticality g u v t
+      | `Structural, _ -> Relgraph.structural g u v
+      | _ -> err "importance: missing time")
+  | (nm, _), _ -> err "importance measures: unsupported model %s" nm
+
+(* --- statement-level printers ----------------------------------------- *)
+
+let pp_cuts ctx label cuts pp_item =
+  ctx.env.print (Printf.sprintf "%s:\n" label);
+  List.iteri
+    (fun i cut ->
+      ctx.env.print
+        (Printf.sprintf "  %d: { %s }\n" (i + 1) (String.concat ", " (List.map pp_item cut))))
+    cuts
+
+let print_analysis ctx text e =
+  match e with
+  | Call (("cdf" | "lcdf") as which, (sys :: more) :: rest) -> (
+      let _, inst = model_of ctx sys rest in
+      let print_expo f =
+        ctx.env.print (Printf.sprintf "%s:\n  %s\n" text (E.to_string f));
+        (try
+           ctx.env.print
+             (Printf.sprintf "  mean: %s\n" (fmt_num ctx.env (E.mean f)))
+         with Invalid_argument _ -> ())
+      in
+      match inst with
+      | IRbd b -> print_expo (Rbd.failure_cdf b)
+      | IFtree ft ->
+          let gate = match more with [ g ] -> Some (name_of ctx g) | _ -> None in
+          print_expo (Ftree.cdf ?gate ft)
+      | IRelgraph g -> print_expo (Relgraph.cdf g)
+      | ISpg (g, _) -> print_expo (Spg.completion_cdf g)
+      | IMstree ms -> (
+          match more with
+          | [ g ] ->
+              ctx.env.print
+                (Printf.sprintf "%s: %s\n" text
+                   (fmt_num ctx.env (Mstree.sysprob ms (name_of ctx g))))
+          | _ -> err "%s: multi-state trees need a top:state" which)
+      | IMarkov mi -> (
+          let init = markov_init mi in
+          let probs = Acyclic.state_probabilities mi.mk_ctmc ~init in
+          match more with
+          | [ s ] -> print_expo probs.(state_idx mi.mk_index (name_of ctx s) "markov")
+          | _ ->
+              (* overall absorption CDF *)
+              let total =
+                List.fold_left
+                  (fun acc s -> E.add acc probs.(s))
+                  E.zero
+                  (Ctmc.absorbing_states mi.mk_ctmc)
+              in
+              print_expo total)
+      | ISemimark si -> (
+          let init =
+            match si.sm_init with
+            | Some i -> i
+            | None ->
+                let i = Array.make (Array.length si.sm_names) 0.0 in
+                i.(0) <- 1.0; i
+          in
+          let fp = SM.first_passage si.sm ~init in
+          match more with
+          | [ s ] -> print_expo fp.(state_idx si.sm_index (name_of ctx s) "semi-markov")
+          | _ -> err "%s: semi-markov needs a state" which)
+      | _ -> err "%s: unsupported model type" which)
+  | Call ("pqcdf", (sys :: _) :: rest) ->
+      let _, inst = model_of ctx sys rest in
+      (match inst with
+      | IRelgraph g -> ctx.env.print (Printf.sprintf "%s:\n  %s\n" text (Relgraph.pqcdf g))
+      | _ -> err "pqcdf: only reliability graphs")
+  | Call ("mincuts", (sys :: _) :: rest) -> (
+      let _, inst = model_of ctx sys rest in
+      match inst with
+      | IFtree ft -> pp_cuts ctx text (Ftree.mincuts ft) Fun.id
+      | IRelgraph g ->
+          pp_cuts ctx text (Relgraph.mincuts g) (fun (u, v) -> u ^ "->" ^ v)
+      | _ -> err "mincuts: unsupported model type")
+  | Call ("minpaths", (sys :: _) :: rest) -> (
+      let _, inst = model_of ctx sys rest in
+      match inst with
+      | IRelgraph g ->
+          pp_cuts ctx text (Relgraph.minpaths g) (fun (u, v) -> u ^ "->" ^ v)
+      | _ -> err "minpaths: only reliability graphs")
+  | Call ("multpath", (sys :: _) :: rest) -> (
+      let _, inst = model_of ctx sys rest in
+      match inst with
+      | ISpg (g, _) ->
+          ctx.env.print (Printf.sprintf "%s:\n" text);
+          List.iteri
+            (fun i (p, cdf) ->
+              ctx.env.print
+                (Printf.sprintf "  path %d: prob %s, cdf %s\n" (i + 1)
+                   (fmt_num ctx.env p) (E.to_string cdf)))
+            (Spg.multipath g)
+      | _ -> err "multpath: only series-parallel graphs")
+  | _ -> err "unsupported analysis statement"
+
+let init_done =
+  dispatch_ref := dispatch;
+  print_analysis_ref := print_analysis;
+  true

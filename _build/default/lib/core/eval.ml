@@ -1,0 +1,352 @@
+(* The SHARPE interpreter: statement execution, expression evaluation,
+   model instantiation and the system-analysis builtins (thesis ch. 2-3).
+
+   The analysis builtins and the expression evaluator are mutually
+   recursive (hierarchical models evaluate analysis calls inside model
+   definitions), tied with forward references near the top. *)
+
+open Ast
+module E = Sharpe_expo.Exponomial
+module D = Sharpe_expo.Dist
+module Ctmc = Sharpe_markov.Ctmc
+module Acyclic = Sharpe_markov.Acyclic
+module Fast_mttf = Sharpe_markov.Fast_mttf
+module SM = Sharpe_semimark.Semi_markov
+module Mrgp = Sharpe_mrgp.Mrgp
+module Rbd = Sharpe_rbd.Rbd
+module Ftree = Sharpe_ftree.Ftree
+module Mstree = Sharpe_mstree.Mstree
+module Pms = Sharpe_pms.Pms
+module Relgraph = Sharpe_relgraph.Relgraph
+module Spg = Sharpe_spg.Spg
+module Pfqn = Sharpe_pfqn.Pfqn
+module Mpfqn = Sharpe_pfqn.Mpfqn
+module Net = Sharpe_petri.Net
+module Srn = Sharpe_petri.Srn
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* --- instances ------------------------------------------------------ *)
+
+type markov_inst = {
+  mk_ctmc : Ctmc.t;
+  mk_index : (string, int) Hashtbl.t;
+  mk_names : string array;
+  mk_init : float array option;
+  mk_reward : (int -> float) option;
+  mk_fast : Fast_mttf.spec option;
+  mk_steady : float array option ref; (* per-instance steady-state cache *)
+}
+
+type sm_inst = {
+  sm : SM.t;
+  sm_index : (string, int) Hashtbl.t;
+  sm_names : string array;
+  sm_init : float array option;
+  sm_reward : (int -> float) option;
+  sm_fast : (int list * int list) option; (* reada, readf *)
+}
+
+type mrgp_inst = {
+  mg : Mrgp.t;
+  mg_index : (string, int) Hashtbl.t;
+  mg_reward : (int -> float) option;
+}
+
+type instance =
+  | IRbd of Rbd.t
+  | IFtree of Ftree.t
+  | IMstree of Mstree.t
+  | IPms of Pms.t
+  | IRelgraph of Relgraph.t
+  | ISpg of Spg.t * bool
+  | IPfqn of Pfqn.t * int
+  | IMpfqn of Mpfqn.t * (string * int) list
+  | IMarkov of markov_inst
+  | ISemimark of sm_inst
+  | IMrgp of mrgp_inst
+  | ISrn of Srn.t
+
+(* --- environment ----------------------------------------------------- *)
+
+type binding =
+  | Val of float
+  | VarExpr of expr
+  | Func of string list * fbody
+  | Model of model
+
+type env = {
+  table : (string, binding) Hashtbl.t;
+  mutable version : int;
+  mutable digits : int;
+  mutable side : [ `Left | `Right ];
+  mutable epsilons : (string * float) list;
+  cache : (string * float list, int * instance) Hashtbl.t;
+  print : string -> unit;
+}
+
+type ctx = {
+  env : env;
+  locals : (string, float) Hashtbl.t list;
+  marking : (Net.t option ref * int array) option;
+  in_func : bool;
+}
+
+let make_env ?(print = print_string) () =
+  { table = Hashtbl.create 64;
+    version = 0;
+    digits = 6;
+    side = `Left;
+    epsilons = [];
+    cache = Hashtbl.create 32;
+    print }
+
+let base_ctx env = { env; locals = []; marking = None; in_func = false }
+let touch env = env.version <- env.version + 1
+
+let lookup_local ctx n = List.find_map (fun tbl -> Hashtbl.find_opt tbl n) ctx.locals
+
+let set_binding env n b =
+  Hashtbl.replace env.table n b;
+  touch env
+
+(* SHARPE-style number printing: fixed for integers under the default
+   format, three-digit-exponent scientific otherwise *)
+let fmt_num env x =
+  if Float.is_integer x && Float.abs x < 1e15 && env.digits <= 6 then
+    Printf.sprintf "%.6f" x
+  else begin
+    let s = Printf.sprintf "%.*e" env.digits x in
+    match String.index_opt s 'e' with
+    | None -> s
+    | Some i ->
+        let mant = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        let sign, ds =
+          if rest.[0] = '+' || rest.[0] = '-' then
+            (String.make 1 rest.[0], String.sub rest 1 (String.length rest - 1))
+          else ("+", rest)
+        in
+        let ds = if String.length ds >= 3 then ds else String.make (3 - String.length ds) '0' ^ ds in
+        mant ^ "e" ^ sign ^ ds
+  end
+
+(* forward references tying the analysis builtins into the evaluator *)
+let dispatch_ref : (ctx -> string -> expr list list -> float) ref =
+  ref (fun _ f _ -> err "no dispatcher for %s" f)
+
+let print_analysis_ref : (ctx -> string -> expr -> unit) ref =
+  ref (fun _ _ _ -> ())
+
+(* --- expression evaluation ------------------------------------------- *)
+
+let truthy x = x <> 0.0
+let bool_ b = if b then 1.0 else 0.0
+
+let rec eval_expr ctx e : float =
+  match e with
+  | Num x -> x
+  | Ident n -> eval_ident ctx n
+  | Neg e -> -.eval_expr ctx e
+  | Not e -> bool_ (not (truthy (eval_expr ctx e)))
+  | Binop (op, a, b) -> eval_binop ctx op a b
+  | TokCount p -> (
+      match ctx.marking with
+      | Some (net, m) -> (
+          match !net with
+          | Some n -> float_of_int m.(Net.place_index n p)
+          | None -> err "#(%s) used while the net is being built" p)
+      | None -> err "#(%s) outside a marking context" p)
+  | Enabled t -> (
+      match ctx.marking with
+      | Some (net, m) -> (
+          match !net with
+          | Some n -> bool_ (Net.enabled_named n m t)
+          | None -> err "?(%s) used while the net is being built" t)
+      | None -> err "?(%s) outside a marking context" t)
+  | Tmpl _ -> err "templated name used as a numeric value"
+  | Call (f, groups) -> eval_call ctx f groups
+
+and eval_ident ctx n =
+  match lookup_local ctx n with
+  | Some v -> v
+  | None -> (
+      match Hashtbl.find_opt ctx.env.table n with
+      | Some (Val v) -> v
+      | Some (VarExpr e) -> eval_expr { ctx with locals = [] } e
+      | Some (Func ([], _)) -> call_func ctx n [] []
+      | Some (Func _) -> err "function %s used without arguments" n
+      | Some (Model _) -> err "model %s used as a value" n
+      | None -> err "undefined name %s" n)
+
+and eval_binop ctx op a b =
+  match op with
+  | Add -> eval_expr ctx a +. eval_expr ctx b
+  | Sub -> eval_expr ctx a -. eval_expr ctx b
+  | Mul -> eval_expr ctx a *. eval_expr ctx b
+  | Div -> eval_expr ctx a /. eval_expr ctx b
+  | Pow -> Float.pow (eval_expr ctx a) (eval_expr ctx b)
+  | BAnd -> bool_ (truthy (eval_expr ctx a) && truthy (eval_expr ctx b))
+  | BOr -> bool_ (truthy (eval_expr ctx a) || truthy (eval_expr ctx b))
+  | BEq -> bool_ (eval_expr ctx a = eval_expr ctx b)
+  | BNeq -> bool_ (eval_expr ctx a <> eval_expr ctx b)
+  | BLt -> bool_ (eval_expr ctx a < eval_expr ctx b)
+  | BGt -> bool_ (eval_expr ctx a > eval_expr ctx b)
+  | BLe -> bool_ (eval_expr ctx a <= eval_expr ctx b)
+  | BGe -> bool_ (eval_expr ctx a >= eval_expr ctx b)
+
+and eval_call ctx f groups =
+  match (f, groups) with
+  | "acos", [ [ e ] ] -> acos (eval_expr ctx e)
+  | "asin", [ [ e ] ] -> asin (eval_expr ctx e)
+  | "atan", [ [ e ] ] -> atan (eval_expr ctx e)
+  | "ceil", [ [ e ] ] -> Float.ceil (eval_expr ctx e)
+  | "cos", [ [ e ] ] -> cos (eval_expr ctx e)
+  | "fabs", [ [ e ] ] -> Float.abs (eval_expr ctx e)
+  | "floor", [ [ e ] ] -> Float.floor (eval_expr ctx e)
+  | "ln", [ [ e ] ] -> log (eval_expr ctx e)
+  | "log", [ [ e ] ] -> log10 (eval_expr ctx e)
+  | "exp", [ [ e ] ] when not (Hashtbl.mem ctx.env.table "exp") ->
+      exp (eval_expr ctx e)
+  | "sin", [ [ e ] ] -> sin (eval_expr ctx e)
+  | "sqrt", [ [ e ] ] -> sqrt (eval_expr ctx e)
+  | "tan", [ [ e ] ] -> tan (eval_expr ctx e)
+  | "min", [ [ a; b ] ] -> Float.min (eval_expr ctx a) (eval_expr ctx b)
+  | "max", [ [ a; b ] ] -> Float.max (eval_expr ctx a) (eval_expr ctx b)
+  | "weibull", [ [ a; b; t ] ] ->
+      let a = eval_expr ctx a and b = eval_expr ctx b and t = eval_expr ctx t in
+      1.0 -. exp (-.a *. Float.pow t b)
+  | "sum", [ [ Ident v; lo; hi; body ] ] ->
+      let lo = eval_expr ctx lo and hi = eval_expr ctx hi in
+      let tbl = Hashtbl.create 1 in
+      let ctx' = { ctx with locals = tbl :: ctx.locals } in
+      let acc = ref 0.0 in
+      let i = ref lo in
+      while !i <= hi +. 1e-9 do
+        Hashtbl.replace tbl v !i;
+        acc := !acc +. eval_expr ctx' body;
+        i := !i +. 1.0
+      done;
+      !acc
+  | "Rate", [ [ Ident t ] ] -> (
+      match ctx.marking with
+      | Some (net, m) -> (
+          match !net with
+          | Some n -> Net.rate_in n m t
+          | None -> err "Rate(%s) used while the net is being built" t)
+      | None -> err "Rate(%s) outside a marking context" t)
+  | _ -> (
+      match Hashtbl.find_opt ctx.env.table f with
+      | Some (Func (params, _)) -> call_func ctx f params (List.concat groups)
+      | _ -> !dispatch_ref ctx f groups)
+
+and call_func ctx fname params arg_exprs =
+  let expected = List.length params and got = List.length arg_exprs in
+  if expected <> got then
+    err "function %s expects %d argument(s), got %d" fname expected got;
+  let tbl = Hashtbl.create 8 in
+  List.iter2 (fun p a -> Hashtbl.replace tbl p (eval_expr ctx a)) params arg_exprs;
+  let fctx = { ctx with locals = [ tbl ]; in_func = true } in
+  match Hashtbl.find_opt ctx.env.table fname with
+  | Some (Func (_, FExpr e)) -> eval_expr fctx e
+  | Some (Func (_, FStmts body)) -> (
+      match exec_stmts fctx body with
+      | Some v -> v
+      | None -> err "function %s returned no value" fname)
+  | _ -> err "%s is not a function" fname
+
+(* --- statements ------------------------------------------------------ *)
+
+and exec_stmts ctx stmts : float option =
+  List.fold_left
+    (fun last s -> match exec_stmt ctx s with Some v -> Some v | None -> last)
+    None stmts
+
+and exec_stmt ctx stmt : float option =
+  match stmt with
+  | SFormat e ->
+      ctx.env.digits <- int_of_float (eval_expr ctx e);
+      None
+  | SEcho text ->
+      if not ctx.in_func then ctx.env.print (text ^ "\n");
+      None
+  | SEpsilon (what, e) ->
+      ctx.env.epsilons <- (what, eval_expr ctx e) :: ctx.env.epsilons;
+      None
+  | SSwitch ("ltimep", _) -> ctx.env.side <- `Left; None
+  | SSwitch ("rtimep", _) -> ctx.env.side <- `Right; None
+  | SSwitch (_, _) -> None
+  | SBind (n, e, form) ->
+      let v = eval_expr ctx e in
+      (match ctx.locals with
+      | tbl :: _ when ctx.in_func -> Hashtbl.replace tbl n v
+      | _ ->
+          set_binding ctx.env n (Val v);
+          (* SHARPE echoes single-statement binds of computed expressions *)
+          (match (form, e) with
+          | `Single, Num _ -> ()
+          | `Single, _ when not ctx.in_func ->
+              ctx.env.print (Printf.sprintf "%s <- %s\n" n (fmt_num ctx.env v))
+          | _ -> ()));
+      None
+  | SVar (n, e) -> set_binding ctx.env n (VarExpr e); None
+  | SFunc (n, params, body) -> set_binding ctx.env n (Func (params, body)); None
+  | SModel m -> set_binding ctx.env (model_name m) (Model m); None
+  | SExpr items ->
+      let last = ref None in
+      List.iter
+        (fun (text, e) ->
+          if is_printer_call e && not ctx.in_func then !print_analysis_ref ctx text e
+          else begin
+            let v = eval_expr ctx e in
+            last := Some v;
+            if not ctx.in_func then
+              ctx.env.print (Printf.sprintf "%s: %s\n" text (fmt_num ctx.env v))
+          end)
+        items;
+      !last
+  | SIf (clauses, els) ->
+      let rec go = function
+        | [] -> exec_stmts ctx els
+        | (c, body) :: rest ->
+            if truthy (eval_expr ctx c) then exec_stmts ctx body else go rest
+      in
+      go clauses
+  | SWhile (cond, body) ->
+      let last = ref None in
+      let fuel = ref 1_000_000 in
+      while truthy (eval_expr ctx cond) && !fuel > 0 do
+        (match exec_stmts ctx body with Some v -> last := Some v | None -> ());
+        decr fuel
+      done;
+      if !fuel = 0 then err "while loop exceeded the iteration limit";
+      !last
+  | SLoop (v, lo, hi, step, body) ->
+      let lo = eval_expr ctx lo and hi = eval_expr ctx hi in
+      let step = match step with Some s -> eval_expr ctx s | None -> 1.0 in
+      if step = 0.0 then err "loop step is zero";
+      let last = ref None in
+      let set x =
+        match ctx.locals with
+        | tbl :: _ when ctx.in_func -> Hashtbl.replace tbl v x
+        | _ ->
+            Hashtbl.replace ctx.env.table v (Val x);
+            touch ctx.env
+      in
+      let continues x =
+        if step > 0.0 then x <= hi +. (Float.abs step /. 2.0)
+        else x >= hi -. (Float.abs step /. 2.0)
+      in
+      let x = ref lo in
+      while continues !x do
+        set !x;
+        (match exec_stmts ctx body with Some r -> last := Some r | None -> ());
+        x := !x +. step
+      done;
+      !last
+
+and is_printer_call = function
+  | Call (("cdf" | "lcdf" | "pqcdf" | "mincuts" | "minpaths" | "multpath"), _) -> true
+  | _ -> false

@@ -1,0 +1,20 @@
+(* forces the Builtins module to be linked so that its dispatcher is
+   registered with the evaluator *)
+let () = assert Builtins.init_done
+
+let run_string ?(print = print_string) src =
+  let stmts = Parser.parse_string ~warn:(fun w -> print (w ^ "\n")) src in
+  let env = Eval.make_env ~print () in
+  ignore (Eval.exec_stmts (Eval.base_ctx env) stmts)
+
+let run_file ?print path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  run_string ?print src
+
+let eval_output src =
+  let buf = Buffer.create 1024 in
+  run_string ~print:(Buffer.add_string buf) src;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Top-level entry points for running SHARPE programs. *)
+
+val run_string : ?print:(string -> unit) -> string -> unit
+(** Parse and execute a SHARPE input program.  Output (echo, expr results,
+    bind traces, analysis printers) goes through [print] (default stdout).
+    @raise Parser.Parse_error or Eval.Error on bad input. *)
+
+val run_file : ?print:(string -> unit) -> string -> unit
+
+val eval_output : string -> string
+(** Run a program and return everything it printed — convenient for tests. *)

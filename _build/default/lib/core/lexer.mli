@@ -1,0 +1,45 @@
+(** Lexer for the SHARPE language.
+
+    Line-oriented: [Newline] tokens are significant (statements and model
+    lines end at end of line); a backslash before the newline produces
+    [Cont] instead, which most contexts skip but the [gen] distribution
+    parser uses as a triple separator.  Comment lines start with [*].
+    Names are runs of letters, digits, [_], [:] and [.]; a run that parses
+    as a number is a number.  Names longer than 29 characters are truncated
+    with a warning, as in SHARPE. *)
+
+type token =
+  | Name of string
+  | Number of float
+  | LParen
+  | RParen
+  | Comma
+  | Semi
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Caret
+  | Eq        (* == *)
+  | Neq       (* <> or != *)
+  | Le
+  | Ge
+  | Lt
+  | Gt
+  | Hash      (* # *)
+  | Question  (* ? *)
+  | Dollar    (* $ *)
+  | At        (* @, MRGP regenerative edges *)
+  | Newline
+  | Cont      (* backslash-newline *)
+  | Eof
+
+type t = {
+  tok : token;
+  line : int;       (** 1-based source line *)
+  col : int;        (** 0-based starting column *)
+  endcol : int;     (** column just past the token *)
+}
+
+val tokenize : ?warn:(string -> unit) -> string -> t list
+(** @raise Failure on an illegal character. *)

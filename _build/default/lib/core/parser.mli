@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the SHARPE language.
+
+    The language is line-oriented: statements and model-body lines end at
+    end-of-line; [end] closes sections, model definitions and the control
+    constructs ([if], [while], [loop], block-form [func] and [bind]).
+    Markov-chain bodies may contain nested [loop]s with [$(expr)]-templated
+    state names.  See LANGUAGE.md for the full grammar as implemented and
+    thesis chapters 2–3 for the original specification. *)
+
+exception Parse_error of string
+(** Carries ["line N: message"]. *)
+
+val parse_string : ?warn:(string -> unit) -> string -> Ast.stmt list
+(** Parse a complete SHARPE program.  [warn] receives lexer warnings
+    (currently: names truncated to SHARPE's 29-character limit). *)
+
+val parse_expression : ?warn:(string -> unit) -> string -> Ast.expr
+(** Parse a single expression (used by tests and tooling). *)

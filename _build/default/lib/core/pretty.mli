@@ -1,0 +1,12 @@
+(** Pretty-printer for SHARPE expressions and statements.
+
+    Prints in concrete SHARPE syntax, so [Parser.parse_expression] of the
+    output re-parses to an equivalent AST — the round-trip property the test
+    suite checks.  Model bodies print in the thesis' input-file layout;
+    useful for debugging and for dumping the AST of an input file. *)
+
+val expr : Format.formatter -> Ast.expr -> unit
+val expr_to_string : Ast.expr -> string
+val stmt : Format.formatter -> Ast.stmt -> unit
+val program : Format.formatter -> Ast.stmt list -> unit
+val program_to_string : Ast.stmt list -> string

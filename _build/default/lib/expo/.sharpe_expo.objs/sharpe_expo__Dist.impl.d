@@ -1,0 +1,1 @@
+lib/expo/dist.ml: Exponomial Float List

@@ -1,0 +1,1 @@
+lib/expo/dist.mli: Exponomial

@@ -1,0 +1,1 @@
+lib/expo/exponomial.ml: Float Format List

@@ -1,0 +1,84 @@
+module E = Exponomial
+
+let zero_dist = E.one
+let inf_dist = E.zero
+let prob p = E.const p
+let oneshot p = prob p
+
+let exponential lambda =
+  if lambda < 0.0 then invalid_arg "Dist.exponential: negative rate";
+  E.of_terms [ { coeff = 1.0; power = 0; rate = 0.0 }; { coeff = -1.0; power = 0; rate = -.lambda } ]
+
+let erlang n lambda =
+  if n < 1 then invalid_arg "Dist.erlang: n < 1";
+  (* 1 - e^(-lt) sum_(i<n) (lt)^i / i! *)
+  let tail =
+    List.init n (fun i ->
+        { E.coeff = Float.pow lambda (float_of_int i) /. (let rec f k = if k <= 1 then 1.0 else float_of_int k *. f (k-1) in f i);
+          power = i;
+          rate = -.lambda })
+  in
+  E.sub E.one (E.of_terms tail)
+
+let hypoexp mu1 mu2 =
+  if mu1 = mu2 then erlang 2 mu1
+  else
+    E.of_terms
+      [ { coeff = 1.0; power = 0; rate = 0.0 };
+        { coeff = -.mu2 /. (mu2 -. mu1); power = 0; rate = -.mu1 };
+        { coeff = mu1 /. (mu2 -. mu1); power = 0; rate = -.mu2 } ]
+
+let hyperexp mu1 p1 mu2 p2 =
+  E.add (E.scale p1 (exponential mu1)) (E.scale p2 (exponential mu2))
+
+let mixture p1 p2 mu = E.add (E.const p1) (E.scale p2 (exponential mu))
+let defective p mu = E.scale p (exponential mu)
+
+let inst_unavail lambda mu =
+  E.scale (lambda /. (lambda +. mu)) (exponential (lambda +. mu))
+
+let ss_unavail lambda mu = E.const (lambda /. (lambda +. mu))
+
+let active_e mu = exponential mu
+let active_u mu1 mu2 = hypoexp mu1 mu2
+
+let rec conv_seq = function
+  | [] -> zero_dist
+  | [ f ] -> f
+  | f :: rest -> E.convolve f (conv_seq rest)
+
+let standby_e mu mu_sense = conv_seq [ exponential mu_sense; exponential mu ]
+let standby_u mu1 mu2 mu_sense =
+  conv_seq [ exponential mu_sense; exponential mu1; exponential mu2 ]
+
+let binom n j =
+  let rec go acc i =
+    if i > j then acc else go (acc *. float_of_int (n - i + 1) /. float_of_int i) (i + 1)
+  in
+  go 1.0 1
+
+let binomial lambda k n =
+  if k < 0 || k > n then invalid_arg "Dist.binomial: need 0 <= k <= n";
+  let f = exponential lambda in
+  let r = E.complement f in
+  (* sum_(i=k..n) C(n,i) F^i (1-F)^(n-i) *)
+  let rec pow x = function 0 -> E.one | m -> E.mul x (pow x (m - 1)) in
+  let acc = ref E.zero in
+  for i = k to n do
+    acc := E.add !acc (E.scale (binom n i) (E.mul (pow f i) (pow r (n - i))))
+  done;
+  !acc
+
+let kofn_ftree lambda k n = binomial lambda k n
+let kofn_block lambda k n = binomial lambda (n - k + 1) n
+
+let gen triples =
+  E.of_terms
+    (List.map
+       (fun (a, k, b) ->
+         let ki = int_of_float (Float.round k) in
+         if ki < 0 then invalid_arg "Dist.gen: negative power";
+         { E.coeff = a; power = ki; rate = b })
+       triples)
+
+let weibull_cdf l a b t = 1.0 -. exp (-.l *. Float.pow t a *. b)

@@ -1,0 +1,77 @@
+(** SHARPE's built-in distribution constructors (as CDF exponomials).
+
+    Each function returns the CDF of the named distribution as an
+    {!Exponomial.t}.  Names and argument orders follow the thesis (§3.3.1 and
+    Sahner–Trivedi App. B). *)
+
+val zero_dist : Exponomial.t
+(** Instantaneous: F(t) = 1. *)
+
+val inf_dist : Exponomial.t
+(** Never: F(t) = 0. *)
+
+val prob : float -> Exponomial.t
+(** Bernoulli mass: F(t) = p (atom p at 0; defective). *)
+
+val oneshot : float -> Exponomial.t
+(** Alias of {!prob}. *)
+
+val exponential : float -> Exponomial.t
+(** [exponential lambda]: F(t) = 1 - e^(-lambda t). *)
+
+val erlang : int -> float -> Exponomial.t
+(** [erlang n lambda]. *)
+
+val hypoexp : float -> float -> Exponomial.t
+(** [hypoexp mu1 mu2], two-stage hypoexponential, mu1 <> mu2. *)
+
+val hyperexp : float -> float -> float -> float -> Exponomial.t
+(** [hyperexp mu1 p1 mu2 p2]: p1 Exp(mu1) + p2 Exp(mu2). *)
+
+val mixture : float -> float -> float -> Exponomial.t
+(** [mixture p1 p2 mu]: atom p1 at zero plus branch p2 Exp(mu). *)
+
+val defective : float -> float -> Exponomial.t
+(** [defective p mu]: F(t) = p (1 - e^(-mu t)); mass 1-p escapes to inf. *)
+
+val inst_unavail : float -> float -> Exponomial.t
+(** [inst_unavail lambda mu]: instantaneous unavailability of a component
+    with failure rate lambda and repair rate mu, starting up:
+    U(t) = lambda/(lambda+mu) (1 - e^(-(lambda+mu) t)). *)
+
+val ss_unavail : float -> float -> Exponomial.t
+(** Steady-state unavailability lambda / (lambda + mu), as a constant. *)
+
+val active_e : float -> Exponomial.t
+(** [active_e mu]: active unit, exponential lifetime — Exp(mu). *)
+
+val active_u : float -> float -> Exponomial.t
+(** [active_u mu1 mu2]: active unit with two sequential exponential stages —
+    hypoexponential(mu1, mu2). *)
+
+val standby_e : float -> float -> Exponomial.t
+(** [standby_e mu mu_sense]: standby unit that must first be sensed/switched
+    in (rate mu_sense) then fails at rate mu — hypoexponential. *)
+
+val standby_u : float -> float -> float -> Exponomial.t
+(** [standby_u mu1 mu2 mu_sense]: three sequential exponential stages. *)
+
+val binomial : float -> int -> int -> Exponomial.t
+(** [binomial lambda k n]: time until k of n iid Exp(lambda) units have
+    "fired": F(t) = sum_(i=k..n) C(n,i) (1-e^(-lt))^i e^(-lt(n-i)). *)
+
+val kofn_ftree : float -> int -> int -> Exponomial.t
+(** k-of-n fault-tree gate over iid Exp(lambda) basic events: gate fires when
+    k inputs have failed — identical to {!binomial}. *)
+
+val kofn_block : float -> int -> int -> Exponomial.t
+(** k-of-n reliability block over iid Exp(lambda) components: the block
+    *fails* when n-k+1 components have failed, i.e. [binomial lambda (n-k+1) n]. *)
+
+val gen : (float * float * float) list -> Exponomial.t
+(** [gen [(a, k, b); ...]]: raw exponomial sum a t^k e^(bt); [k] is rounded
+    to the nearest integer as in SHARPE input files. *)
+
+val weibull_cdf : float -> float -> float -> float -> float
+(** [weibull_cdf l a b t] = 1 - e^(-l * t^a * b) — numeric only (not an
+    exponomial); exposed for the [weibull] math builtin. *)

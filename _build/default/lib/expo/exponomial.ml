@@ -1,0 +1,215 @@
+type term = { coeff : float; power : int; rate : float }
+type t = term list (* invariant: normalized *)
+
+let rate_eps = 1e-12
+
+let same_rate b1 b2 =
+  Float.abs (b1 -. b2) <= rate_eps *. Float.max 1.0 (Float.max (Float.abs b1) (Float.abs b2))
+
+let compare_term t1 t2 =
+  if not (same_rate t1.rate t2.rate) then compare t1.rate t2.rate
+  else compare t1.power t2.power
+
+(* Merge like terms; drop terms with negligible coefficients relative to the
+   largest magnitude present (guards against symbolic cancellation residue). *)
+let normalize ts =
+  let ts = List.filter (fun t -> t.coeff <> 0.0) ts in
+  let ts = List.sort compare_term ts in
+  let rec merge = function
+    | a :: b :: rest when same_rate a.rate b.rate && a.power = b.power ->
+        merge ({ a with coeff = a.coeff +. b.coeff } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  let ts = merge ts in
+  let maxc = List.fold_left (fun m t -> Float.max m (Float.abs t.coeff)) 0.0 ts in
+  let floor_ = 1e-14 *. maxc in
+  List.filter (fun t -> Float.abs t.coeff > floor_) ts
+
+let zero = []
+let term ~coeff ~power ~rate =
+  if power < 0 then invalid_arg "Exponomial.term: negative power";
+  normalize [ { coeff; power; rate } ]
+
+let const a = term ~coeff:a ~power:0 ~rate:0.0
+let one = const 1.0
+let of_terms ts = normalize ts
+let terms t = t
+let is_zero t = t = []
+
+let add a b = normalize (a @ b)
+let neg a = List.map (fun t -> { t with coeff = -.t.coeff }) a
+let sub a b = add a (neg b)
+let scale c a = normalize (List.map (fun t -> { t with coeff = c *. t.coeff }) a)
+
+let mul a b =
+  normalize
+    (List.concat_map
+       (fun ta ->
+         List.map
+           (fun tb ->
+             { coeff = ta.coeff *. tb.coeff;
+               power = ta.power + tb.power;
+               rate = ta.rate +. tb.rate })
+           b)
+       a)
+
+let complement a = sub one a
+let sum l = List.fold_left add zero l
+let prod l = List.fold_left mul one l
+
+let equal ?(eps = 1e-9) a b =
+  let d = sub a b in
+  List.for_all (fun t -> Float.abs t.coeff <= eps) d
+
+let eval f t =
+  List.fold_left
+    (fun acc tm ->
+      let p = if tm.power = 0 then 1.0 else Float.pow t (float_of_int tm.power) in
+      acc +. (tm.coeff *. p *. exp (tm.rate *. t)))
+    0.0 f
+
+let deriv f =
+  normalize
+    (List.concat_map
+       (fun tm ->
+         let by_rate =
+           if tm.rate = 0.0 then []
+           else [ { tm with coeff = tm.coeff *. tm.rate } ]
+         in
+         let by_power =
+           if tm.power = 0 then []
+           else
+             [ { coeff = tm.coeff *. float_of_int tm.power;
+                 power = tm.power - 1;
+                 rate = tm.rate } ]
+         in
+         by_rate @ by_power)
+       f)
+
+let factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc *. float_of_int k) (k - 1) in
+  go 1.0 n
+
+(* falling factorial k! / (k-i)! *)
+let falling k i =
+  let rec go acc j = if j >= i then acc else go (acc *. float_of_int (k - j)) (j + 1) in
+  go 1.0 0
+
+let binom n j =
+  let rec go acc i =
+    if i > j then acc else go (acc *. float_of_int (n - i + 1) /. float_of_int i) (i + 1)
+  in
+  go 1.0 1
+
+(* integral over (0, t] of x^k e^(b x) dx, as an exponomial in t *)
+let integrate_term { coeff = a; power = k; rate = b } =
+  if same_rate b 0.0 then
+    [ { coeff = a /. float_of_int (k + 1); power = k + 1; rate = 0.0 } ]
+  else begin
+    (* antiderivative e^(bx) * sum_i (-1)^i (k!/(k-i)!) x^(k-i) / b^(i+1);
+       subtract its value at 0, namely (-1)^k k! / b^(k+1). *)
+    let terms = ref [] in
+    for i = 0 to k do
+      let c = a *. (if i land 1 = 1 then -1.0 else 1.0) *. falling k i
+              /. Float.pow b (float_of_int (i + 1)) in
+      terms := { coeff = c; power = k - i; rate = b } :: !terms
+    done;
+    let at0 = a *. (if k land 1 = 1 then -1.0 else 1.0) *. factorial k
+              /. Float.pow b (float_of_int (k + 1)) in
+    { coeff = -.at0; power = 0; rate = 0.0 } :: !terms
+  end
+
+let integrate f = normalize (List.concat_map integrate_term f)
+
+let integral_to_inf f =
+  List.fold_left
+    (fun acc tm ->
+      if tm.rate < 0.0 && not (same_rate tm.rate 0.0) then
+        acc +. (tm.coeff *. factorial tm.power
+                /. Float.pow (-.tm.rate) (float_of_int (tm.power + 1)))
+      else invalid_arg "Exponomial.integral_to_inf: divergent term")
+    0.0 f
+
+let limit_at_inf f =
+  List.fold_left
+    (fun acc tm ->
+      if same_rate tm.rate 0.0 then
+        if tm.power = 0 then acc +. tm.coeff
+        else invalid_arg "Exponomial.limit_at_inf: divergent (polynomial) term"
+      else if tm.rate < 0.0 then acc
+      else invalid_arg "Exponomial.limit_at_inf: divergent (growing) term")
+    0.0 f
+
+let mass_at_zero f = eval f 0.0
+
+(* contribution of density term (a, m, alpha) against CDF term (c, n, beta):
+   a*c * integral over (0,t] of x^m e^(alpha x) (t-x)^n e^(beta (t-x)) dx *)
+let conv_pair (a, m, alpha) (c, n, beta) =
+  let w0 = a *. c in
+  if same_rate alpha beta then
+    (* e^(beta t) * m! n! / (m+n+1)! * t^(m+n+1) *)
+    [ { coeff = w0 *. factorial m *. factorial n /. factorial (m + n + 1);
+        power = m + n + 1;
+        rate = beta } ]
+  else begin
+    let gamma = alpha -. beta in
+    let acc = ref [] in
+    for j = 0 to n do
+      let wj = w0 *. binom n j *. (if j land 1 = 1 then -1.0 else 1.0) in
+      let p = m + j in
+      (* e^(gamma t) part -> combines with e^(beta t) to give e^(alpha t) *)
+      for i = 0 to p do
+        let c' = wj *. (if i land 1 = 1 then -1.0 else 1.0) *. falling p i
+                 /. Float.pow gamma (float_of_int (i + 1)) in
+        acc := { coeff = c'; power = n - j + p - i; rate = alpha } :: !acc
+      done;
+      (* constant part of I(p, gamma, t) -> stays with e^(beta t) *)
+      let c0 = -.wj *. (if p land 1 = 1 then -1.0 else 1.0) *. factorial p
+               /. Float.pow gamma (float_of_int (p + 1)) in
+      acc := { coeff = c0; power = n - j; rate = beta } :: !acc
+    done;
+    !acc
+  end
+
+let convolve f g =
+  let f0 = mass_at_zero f in
+  let density = deriv f in
+  let cont =
+    List.concat_map
+      (fun df ->
+        List.concat_map
+          (fun tg -> conv_pair (df.coeff, df.power, df.rate) (tg.coeff, tg.power, tg.rate))
+          g)
+      density
+  in
+  normalize (scale f0 g @ cont)
+
+let mean f = integral_to_inf (sub (const (limit_at_inf f)) f)
+
+let moment2 f =
+  let g = sub (const (limit_at_inf f)) f in
+  let tg = List.map (fun tm -> { tm with power = tm.power + 1 }) g in
+  2.0 *. integral_to_inf (normalize tg)
+
+let variance f =
+  let m = mean f in
+  moment2 f -. (m *. m)
+
+let pp ppf f =
+  match f with
+  | [] -> Format.fprintf ppf "0"
+  | _ ->
+      let pp_term first ppf tm =
+        let sign = if tm.coeff < 0.0 then "- " else if first then "" else "+ " in
+        Format.fprintf ppf "%s%g" sign (Float.abs tm.coeff);
+        if tm.power > 0 then Format.fprintf ppf " t^%d" tm.power;
+        if not (same_rate tm.rate 0.0) then Format.fprintf ppf " exp(%g t)" tm.rate
+      in
+      List.iteri
+        (fun i tm ->
+          if i > 0 then Format.fprintf ppf " ";
+          pp_term (i = 0) ppf tm)
+        f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,77 @@
+(** Exponential polynomials — SHARPE's symbolic distribution representation.
+
+    An exponomial is a finite sum of terms [a * t^k * e^(b*t)] with real
+    coefficient [a], non-negative integer power [k] and real rate [b].
+    CDFs of all of SHARPE's built-in distributions (exponential, Erlang,
+    hypo/hyper-exponential, mixtures, defective, instantaneous
+    (un)availability, k-of-n over exponentials, ...) are exponomials, and the
+    class is closed under sum, product, differentiation, integration and
+    convolution — which is what lets SHARPE combine models symbolically.
+
+    Terms whose rates differ by less than a relative epsilon are merged, so
+    user-level arithmetic that produces "the same" rate twice does not
+    trigger the singular branch of the convolution formulas. *)
+
+type term = { coeff : float; power : int; rate : float }
+
+type t
+(** Normalized exponomial: terms sorted, like terms merged, zeros dropped. *)
+
+val zero : t
+val one : t
+val const : float -> t
+val term : coeff:float -> power:int -> rate:float -> t
+val of_terms : term list -> t
+val terms : t -> term list
+
+val is_zero : t -> bool
+val equal : ?eps:float -> t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val mul : t -> t -> t
+val complement : t -> t
+(** [complement f] is [1 - f]. *)
+
+val sum : t list -> t
+val prod : t list -> t
+
+val eval : t -> float -> float
+(** [eval f t] evaluates at time [t >= 0]. *)
+
+val deriv : t -> t
+
+val integrate : t -> t
+(** [integrate f] is [fun t -> integral of f over (0, t]] — the exponomial
+    antiderivative vanishing at 0. *)
+
+val integral_to_inf : t -> float
+(** [integral_to_inf f] is the improper integral of [f] over (0, inf).
+    @raise Invalid_argument if any term diverges (rate > 0, or rate = 0 with
+    a nonzero coefficient). *)
+
+val limit_at_inf : t -> float
+(** Limit as t -> inf.  @raise Invalid_argument on divergence. *)
+
+val convolve : t -> t -> t
+(** [convolve f g] with [f], [g] CDFs of independent non-negative random
+    variables is the CDF of their sum.  Atoms at 0 ([f 0 > 0]) are handled;
+    defective distributions convolve to defective results. *)
+
+val mass_at_zero : t -> float
+(** [eval f 0]. *)
+
+val mean : t -> float
+(** [mean f] for a CDF [f]: E[X 1(X < inf)] = integral of (F(inf) - F(t)).
+    For a proper distribution this is the ordinary mean. *)
+
+val moment2 : t -> float
+(** Second moment E[X^2 1(X < inf)]. *)
+
+val variance : t -> float
+(** Variance (proper distributions only; uses {!mean} and {!moment2}). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/ftree/ftree.ml: Array Float Hashtbl List Option Printf Sharpe_bdd Sharpe_expo

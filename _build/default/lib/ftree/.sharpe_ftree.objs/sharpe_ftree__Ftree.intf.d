@@ -1,0 +1,1 @@
+lib/ftree/ftree.mli: Sharpe_bdd Sharpe_expo

@@ -1,0 +1,70 @@
+(** Fault trees (thesis §3.5), solved through BDDs.
+
+    Event semantics follow SHARPE:
+    - [basic] events: every appearance is a physically *distinct* copy;
+    - [repeat] events: every appearance is the *same* physical event;
+    - [transfer a b]: [a] is the same physical event as [b] (this promotes
+      [b] to shared even if it was declared [basic]);
+    - gates ([and]/[or]/[not]/[nand]/[nor]/[kofn]/[nkofn]) are named and can
+      be analyzed individually; a gate referenced inside another gate (or
+      replicated by an identical-inputs k-of-n) is instantiated with fresh
+      copies of its [basic] events and shared [repeat] events.
+
+    Analysis is exact: the structure function is compiled to a BDD and
+    probabilities are evaluated either numerically (at a time point) or
+    symbolically (exponomial CDFs). *)
+
+type t
+
+type gate_kind =
+  | And
+  | Or
+  | Not (* single input *)
+  | Nand
+  | Nor
+  | Kofn_identical of int * int (* k, n over one replicated input *)
+  | Kofn of int
+  | Nkofn_identical of int * int
+  | Nkofn of int
+
+val create : unit -> t
+val basic : t -> string -> Sharpe_expo.Exponomial.t -> unit
+val repeat : t -> string -> Sharpe_expo.Exponomial.t -> unit
+val transfer : t -> string -> string -> unit
+val gate : t -> string -> gate_kind -> string list -> unit
+(** @raise Invalid_argument on unknown inputs or redefinitions. *)
+
+val top : t -> string
+(** The default analysis target: the last gate defined. *)
+
+val cdf : ?gate:string -> t -> Sharpe_expo.Exponomial.t
+(** Symbolic CDF of the gate (default top) being true as a function of t. *)
+
+val prob_at : ?gate:string -> t -> float -> float
+(** Numeric probability at time [t] (equals [eval (cdf ft) t]). *)
+
+val sysprob : ?gate:string -> t -> float
+(** Probability when events carry constant ([prob]) distributions —
+    evaluation at t = 0; SHARPE's [sysprob] / [pzero]. *)
+
+val mean : ?gate:string -> t -> float
+(** Mean time to gate truth (MTTF for a failure tree). *)
+
+val mincuts : ?gate:string -> t -> string list list
+(** Minimal cut sets by event name (monotone trees). *)
+
+val birnbaum : ?gate:string -> t -> string -> float -> float
+(** [birnbaum ft e t]: Birnbaum importance dP/dq_e at time [t] for event
+    [e] (a shared event, or a basic event with a single occurrence). *)
+
+val criticality : ?gate:string -> t -> string -> float -> float
+(** Birnbaum * q_e(t) / sysprob(t). *)
+
+val structural : ?gate:string -> t -> string -> float
+(** Fraction of variable assignments in which the event is critical. *)
+
+val structure :
+  ?gate:string -> t -> string Sharpe_bdd.Formula.t * (string -> Sharpe_expo.Exponomial.t)
+(** The gate's structure formula over *event names* (every event treated as
+    shared) plus the event-distribution lookup — the view phased-mission
+    systems need. *)

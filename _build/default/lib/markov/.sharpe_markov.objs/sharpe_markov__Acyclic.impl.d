@@ -1,0 +1,1 @@
+lib/markov/acyclic.ml: Array Ctmc List Queue Sharpe_expo Sharpe_numerics Sparse

@@ -1,0 +1,1 @@
+lib/markov/acyclic.mli: Ctmc Sharpe_expo

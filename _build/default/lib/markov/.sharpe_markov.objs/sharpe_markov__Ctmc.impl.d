@@ -1,0 +1,1 @@
+lib/markov/ctmc.ml: Array Float Fun Linsolve List Matrix Poisson Sharpe_numerics Sparse

@@ -1,0 +1,1 @@
+lib/markov/fast_mttf.ml: Array Ctmc Fun Hashtbl List Sharpe_numerics Sparse

@@ -1,0 +1,1 @@
+lib/markov/fast_mttf.mli: Ctmc

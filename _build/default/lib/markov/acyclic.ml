@@ -1,0 +1,57 @@
+open Sharpe_numerics
+module E = Sharpe_expo.Exponomial
+
+let topo_order c =
+  let n = Ctmc.n_states c in
+  let q = Ctmc.generator c in
+  let indeg = Array.make n 0 in
+  Sparse.iter q (fun i j _ -> if i <> j then indeg.(j) <- indeg.(j) + 1);
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] and count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    incr count;
+    Sparse.iter_row q i (fun j _ ->
+        if j <> i then begin
+          indeg.(j) <- indeg.(j) - 1;
+          if indeg.(j) = 0 then Queue.add j queue
+        end)
+  done;
+  if !count <> n then None else Some (List.rev !order)
+
+let is_acyclic c = topo_order c <> None
+
+(* multiply every term's rate by e^(b t): shift rates by b *)
+let shift_rate b f =
+  E.of_terms (List.map (fun t -> { t with E.rate = t.E.rate +. b }) (E.terms f))
+
+let state_probabilities c ~init =
+  match topo_order c with
+  | None -> invalid_arg "Acyclic: chain has a cycle"
+  | Some order ->
+      let n = Ctmc.n_states c in
+      if Array.length init <> n then invalid_arg "Acyclic: init length";
+      let q = Ctmc.generator c in
+      let probs = Array.make n E.zero in
+      List.iter
+        (fun i ->
+          let d = Ctmc.exit_rate c i in
+          (* inflow_i(s) = sum over predecessors j of P_j(s) q_(j,i) *)
+          let inflow = ref E.zero in
+          List.iter
+            (fun j ->
+              if j <> i then
+                let r = Sparse.get q j i in
+                if r > 0.0 then inflow := E.add !inflow (E.scale r probs.(j)))
+            order;
+          let integrand = shift_rate d !inflow in
+          let integral = E.integrate integrand in
+          probs.(i) <- shift_rate (-.d) (E.add (E.const init.(i)) integral))
+        order;
+      probs
+
+let absorption_cdf c ~init s =
+  if not (Ctmc.is_absorbing c s) then invalid_arg "Acyclic.absorption_cdf: not absorbing";
+  (state_probabilities c ~init).(s)

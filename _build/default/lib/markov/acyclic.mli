@@ -1,0 +1,22 @@
+(** Symbolic (exponomial) transient solution of acyclic CTMCs.
+
+    For an acyclic chain every state probability P_i(t) is an exponential
+    polynomial; SHARPE computes them in closed form, which is what makes
+    hierarchical composition symbolic.  We solve in topological order:
+
+    P_i(t) = e^(-d_i t) [ P_i(0) + integral_0^t e^(d_i s) (sum_j P_j(s) q_ji) ds ]
+
+    where d_i is the exit rate of state i. *)
+
+val is_acyclic : Ctmc.t -> bool
+
+val state_probabilities :
+  Ctmc.t -> init:float array -> Sharpe_expo.Exponomial.t array
+(** [state_probabilities c ~init] returns P_i(t) for every state as an
+    exponomial.  @raise Invalid_argument if the chain has a cycle. *)
+
+val absorption_cdf :
+  Ctmc.t -> init:float array -> int -> Sharpe_expo.Exponomial.t
+(** [absorption_cdf c ~init s] is the (possibly defective) CDF of the time to
+    absorption into absorbing state [s] — just P_s(t).
+    @raise Invalid_argument if [s] is not absorbing or the chain is cyclic. *)

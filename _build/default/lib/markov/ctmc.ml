@@ -1,0 +1,169 @@
+open Sharpe_numerics
+
+type t = {
+  n : int;
+  q : Sparse.t; (* full generator, diagonal included *)
+  exit : float array; (* exit.(i) = sum of off-diagonal rates out of i *)
+}
+
+let make ~n rates =
+  let b = Sparse.builder ~rows:n ~cols:n in
+  let exit = Array.make n 0.0 in
+  List.iter
+    (fun (i, j, r) ->
+      if i = j then invalid_arg "Ctmc.make: self loop";
+      if r < 0.0 then invalid_arg "Ctmc.make: negative rate";
+      if r > 0.0 then begin
+        Sparse.add b i j r;
+        exit.(i) <- exit.(i) +. r
+      end)
+    rates;
+  Array.iteri (fun i e -> if e > 0.0 then Sparse.add b i i (-.e)) exit;
+  { n; q = Sparse.finalize b; exit }
+
+let n_states c = c.n
+let generator c = c.q
+let rate c i j = if i = j then 0.0 else Sparse.get c.q i j
+let exit_rate c i = c.exit.(i)
+let is_absorbing c i = c.exit.(i) = 0.0
+
+let absorbing_states c =
+  List.filter (is_absorbing c) (List.init c.n Fun.id)
+
+let steady_state ?tol c = Linsolve.ctmc_steady_state ?tol c.q
+
+let uniformized_dtmc c =
+  let qmax = Array.fold_left Float.max 1e-300 c.exit in
+  let lambda = 1.02 *. qmax in
+  let b = Sparse.builder ~rows:c.n ~cols:c.n in
+  Sparse.iter c.q (fun i j v -> Sparse.add b i j (v /. lambda));
+  for i = 0 to c.n - 1 do
+    Sparse.add b i i 1.0
+  done;
+  (lambda, Sparse.finalize b)
+
+let check_init c init =
+  if Array.length init <> c.n then invalid_arg "Ctmc: init length"
+
+let transient_many ?(eps = 1e-12) c ~init ts =
+  check_init c init;
+  let lambda, p = uniformized_dtmc c in
+  List.map
+    (fun t ->
+      if t <= 0.0 then (t, Array.copy init)
+      else begin
+        let w = Poisson.window ~eps (lambda *. t) in
+        let acc = Array.make c.n 0.0 in
+        let v = ref (Array.copy init) in
+        for k = 0 to w.Poisson.right do
+          if k >= w.Poisson.left then begin
+            let wk = w.Poisson.weights.(k - w.Poisson.left) in
+            Array.iteri (fun i vi -> acc.(i) <- acc.(i) +. (wk *. vi)) !v
+          end;
+          if k < w.Poisson.right then v := Sparse.vec_mat !v p
+        done;
+        (t, acc)
+      end)
+    ts
+
+let transient ?eps c ~init t =
+  match transient_many ?eps c ~init [ t ] with
+  | [ (_, v) ] -> v
+  | _ -> assert false
+
+let cumulative ?(eps = 1e-12) c ~init t =
+  check_init c init;
+  if t <= 0.0 then Array.make c.n 0.0
+  else begin
+    let lambda, p = uniformized_dtmc c in
+    let mean = lambda *. t in
+    let acc = Array.make c.n 0.0 in
+    let v = ref (Array.copy init) in
+    (* weight for power k is (1 - sum_(j<=k) poisson_j(mean)) / lambda; track
+       the survivor function directly (seeded with expm1) so the first
+       weights stay accurate even for nearly-absorbing chains whose
+       uniformization rate - and hence [mean] - is tiny *)
+    let survivor = ref (-.Float.expm1 (-.mean)) in
+    let k = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let wk = Float.max 0.0 (!survivor /. lambda) in
+      if wk > 0.0 then
+        Array.iteri (fun i vi -> acc.(i) <- acc.(i) +. (wk *. vi)) !v;
+      if (float_of_int !k > mean && !survivor < eps) || !k > 5_000_000 then
+        continue_ := false
+      else begin
+        v := Sparse.vec_mat !v p;
+        incr k;
+        survivor := Float.max 0.0 (!survivor -. Poisson.pmf mean !k)
+      end
+    done;
+    acc
+  end
+
+let expected_reward_ss c ~reward =
+  let pi = steady_state c in
+  let s = ref 0.0 in
+  Array.iteri (fun i p -> s := !s +. (p *. reward i)) pi;
+  !s
+
+let expected_reward_at ?eps c ~init ~reward t =
+  let pi = transient ?eps c ~init t in
+  let s = ref 0.0 in
+  Array.iteri (fun i p -> s := !s +. (p *. reward i)) pi;
+  !s
+
+let cumulative_reward ?eps c ~init ~reward t =
+  let l = cumulative ?eps c ~init t in
+  let s = ref 0.0 in
+  Array.iteri (fun i li -> s := !s +. (li *. reward i)) l;
+  !s
+
+(* --- absorption analysis ------------------------------------------- *)
+
+let transient_indices c =
+  let idx = Array.make c.n (-1) in
+  let count = ref 0 in
+  for i = 0 to c.n - 1 do
+    if not (is_absorbing c i) then begin
+      idx.(i) <- !count;
+      incr count
+    end
+  done;
+  (idx, !count)
+
+let time_in_transient c ~init =
+  check_init c init;
+  let idx, nt = transient_indices c in
+  if nt = c.n then invalid_arg "Ctmc: no absorbing state";
+  (* Solve u Q_TT = -init_T  (row-vector form), i.e. Q_TT^T u = -init_T. *)
+  let a = Matrix.create ~rows:nt ~cols:nt in
+  Sparse.iter c.q (fun i j v ->
+      if idx.(i) >= 0 && idx.(j) >= 0 then Matrix.add_to a idx.(j) idx.(i) v);
+  let b = Array.make nt 0.0 in
+  for i = 0 to c.n - 1 do
+    if idx.(i) >= 0 then b.(idx.(i)) <- -.init.(i)
+  done;
+  let u = Linsolve.gauss a b in
+  Array.init c.n (fun i -> if idx.(i) >= 0 then u.(idx.(i)) else 0.0)
+
+let mtta c ~init =
+  Array.fold_left ( +. ) 0.0 (time_in_transient c ~init)
+
+let reward_until_absorption c ~init ~reward =
+  let u = time_in_transient c ~init in
+  let s = ref 0.0 in
+  Array.iteri (fun i ui -> s := !s +. (ui *. reward i)) u;
+  !s
+
+let absorption_probs c ~init =
+  let u = time_in_transient c ~init in
+  let out = Array.make c.n 0.0 in
+  (* mass flowing into absorbing state a = init.(a) + sum_i u_i q_(i,a) *)
+  for a = 0 to c.n - 1 do
+    if is_absorbing c a then out.(a) <- init.(a)
+  done;
+  Sparse.iter c.q (fun i j v ->
+      if i <> j && is_absorbing c j && not (is_absorbing c i) then
+        out.(j) <- out.(j) +. (u.(i) *. v));
+  out

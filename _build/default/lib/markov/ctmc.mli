@@ -1,0 +1,65 @@
+(** Continuous-time Markov chains.
+
+    States are integers [0 .. n-1].  A chain is built from transition rates;
+    the generator diagonal is derived.  Solution methods follow the thesis:
+    SOR / Gauss–Seidel (steady state), uniformization a.k.a. randomization
+    (transient and cumulative transient), and direct linear solves for
+    absorption measures. *)
+
+type t
+
+val make : n:int -> (int * int * float) list -> t
+(** [make ~n rates] with [rates = [(i, j, rate); ...]], [i <> j], all rates
+    nonnegative.  Duplicate edges are summed. *)
+
+val n_states : t -> int
+val generator : t -> Sharpe_numerics.Sparse.t
+val rate : t -> int -> int -> float
+val exit_rate : t -> int -> float
+val is_absorbing : t -> int -> bool
+val absorbing_states : t -> int list
+
+val steady_state : ?tol:float -> t -> float array
+(** Steady-state probability vector of an irreducible chain. *)
+
+val transient : ?eps:float -> t -> init:float array -> float -> float array
+(** [transient c ~init t]: state probabilities at time [t] by uniformization
+    with left/right truncation. *)
+
+val transient_many :
+  ?eps:float -> t -> init:float array -> float list -> (float * float array) list
+(** Evaluate at several time points (shared setup). *)
+
+val cumulative : ?eps:float -> t -> init:float array -> float -> float array
+(** [cumulative c ~init t]: L(t) = integral over (0,t] of the state
+    probability vector — expected total time spent in each state by [t]. *)
+
+val expected_reward_ss : t -> reward:(int -> float) -> float
+(** Steady-state expected reward rate (irreducible chains). *)
+
+val expected_reward_at :
+  ?eps:float -> t -> init:float array -> reward:(int -> float) -> float -> float
+(** E[reward rate at t]. *)
+
+val cumulative_reward :
+  ?eps:float -> t -> init:float array -> reward:(int -> float) -> float -> float
+(** E[accumulated reward over (0,t]]. *)
+
+val time_in_transient : t -> init:float array -> float array
+(** For a chain with absorbing states: expected total time spent in each
+    non-absorbing state before absorption (0 for absorbing states).
+    @raise Invalid_argument if the chain has no absorbing state. *)
+
+val mtta : t -> init:float array -> float
+(** Mean time to absorption. *)
+
+val absorption_probs : t -> init:float array -> float array
+(** [absorption_probs c ~init]: probability of being absorbed in each
+    absorbing state (0 for transient states). *)
+
+val reward_until_absorption :
+  t -> init:float array -> reward:(int -> float) -> float
+(** Expected reward accumulated until absorption. *)
+
+val uniformized_dtmc : t -> float * Sharpe_numerics.Sparse.t
+(** [(q, p)] with [p = I + Q/q], the uniformized chain. *)

@@ -1,0 +1,1 @@
+lib/mrgp/mrgp.ml: Array Float Fun Linsolve List Matrix Sharpe_expo Sharpe_numerics Sparse

@@ -1,0 +1,1 @@
+lib/mrgp/mrgp.mli: Sharpe_expo

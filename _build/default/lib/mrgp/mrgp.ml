@@ -1,0 +1,103 @@
+open Sharpe_numerics
+module E = Sharpe_expo.Exponomial
+
+type t = {
+  n : int;
+  q : Matrix.t; (* subordinated CTMC generator (dense; these models are small) *)
+  dest : int array; (* regeneration destination per state (identity if no @ edge) *)
+  g : E.t; (* the general distribution (CDF) *)
+}
+
+let make ~n ~exp_edges ~gen_edges =
+  let q = Matrix.create ~rows:n ~cols:n in
+  List.iter
+    (fun (i, j, r) ->
+      if i = j then invalid_arg "Mrgp.make: self loop";
+      if r < 0.0 then invalid_arg "Mrgp.make: negative rate";
+      Matrix.add_to q i j r;
+      Matrix.add_to q i i (-.r))
+    exp_edges;
+  let dest = Array.init n Fun.id in
+  let g = ref None in
+  List.iter
+    (fun (i, j, dist) ->
+      if dest.(i) <> i then invalid_arg "Mrgp.make: two @ edges from one state";
+      dest.(i) <- j;
+      match !g with
+      | None -> g := Some dist
+      | Some g0 ->
+          if not (E.equal g0 dist) then
+            invalid_arg "Mrgp.make: all @ edges must share one distribution")
+    gen_edges;
+  let g = match !g with Some g -> g | None -> invalid_arg "Mrgp.make: no @ edge" in
+  if Float.abs (E.limit_at_inf g -. 1.0) > 1e-9 then
+    invalid_arg "Mrgp.make: general distribution must be proper";
+  if Float.abs (E.mass_at_zero g) > 1e-12 then
+    invalid_arg "Mrgp.make: atom at 0 unsupported";
+  { n; q; dest; g }
+
+let n_states m = m.n
+
+(* integral over (0, inf) of e^(Qu) f(u) du for exponomial f whose terms all
+   have negative rates: sum over terms a u^k e^(bu) of a k! (-(Q+bI))^-(k+1) *)
+let integral_against m f =
+  let acc = Matrix.create ~rows:m.n ~cols:m.n in
+  let acc = ref acc in
+  List.iter
+    (fun { E.coeff = a; power = k; rate = b } ->
+      if b >= 0.0 then invalid_arg "Mrgp: divergent integral";
+      (* M = (-(Q + b I))^-1 *)
+      let s = Matrix.create ~rows:m.n ~cols:m.n in
+      for i = 0 to m.n - 1 do
+        for j = 0 to m.n - 1 do
+          Matrix.set s i j (-.Matrix.get m.q i j)
+        done;
+        Matrix.add_to s i i (-.b)
+      done;
+      let minv = Linsolve.inverse s in
+      let rec pow acc p = if p = 0 then acc else pow (Matrix.mul acc minv) (p - 1) in
+      let mk = pow minv k in
+      let fact =
+        let rec go acc i = if i <= 1 then acc else go (acc *. float_of_int i) (i - 1) in
+        go 1.0 k
+      in
+      acc := Matrix.add !acc (Matrix.scale (a *. fact) mk))
+    (E.terms f);
+  !acc
+
+let kernels m =
+  let density = E.deriv m.g in
+  let omega = integral_against m density in
+  (* K = Omega . D with D the destination (row-stochastic 0/1) matrix *)
+  let k = Matrix.create ~rows:m.n ~cols:m.n in
+  for i = 0 to m.n - 1 do
+    for l = 0 to m.n - 1 do
+      let v = Matrix.get omega i l in
+      if v <> 0.0 then Matrix.add_to k i m.dest.(l) v
+    done
+  done;
+  let gbar = E.complement m.g in
+  let alpha = integral_against m gbar in
+  (k, alpha)
+
+let steady_state m =
+  let k, alpha = kernels m in
+  let b = Sparse.builder ~rows:m.n ~cols:m.n in
+  for i = 0 to m.n - 1 do
+    for j = 0 to m.n - 1 do
+      let v = Matrix.get k i j in
+      if Float.abs v > 1e-300 then Sparse.add b i j v
+    done
+  done;
+  let v = Linsolve.dtmc_steady_state (Sparse.finalize b) in
+  let pi = Matrix.vec_mat v alpha in
+  let z = Array.fold_left ( +. ) 0.0 pi in
+  Array.map (fun x -> x /. z) pi
+
+let prob m s = (steady_state m).(s)
+
+let expected_reward_ss m ~reward =
+  let pi = steady_state m in
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> acc := !acc +. (p *. reward i)) pi;
+  !acc

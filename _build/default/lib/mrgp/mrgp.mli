@@ -1,0 +1,40 @@
+(** Markov regenerative processes (thesis §3.3, Xie's engine).
+
+    The model has two edge kinds:
+    - non-regenerative exponential edges [i - j] with a rate: between
+      regeneration epochs the process evolves as the CTMC of these edges
+      (the general timer keeps running across them);
+    - regenerative edges [i @ j] carrying a general distribution: one general
+      timer, (re)started at every regeneration epoch, whose firing is the
+      next regeneration; if it fires while the subordinated CTMC is in state
+      [k], the process jumps to the destination of [k]'s [@] edge (or stays
+      in [k] if it has none — e.g. a lost arrival in a full queue).
+
+    All [@] edges must carry the same distribution (true of the thesis'
+    models; checked).  The steady-state solution follows Markov renewal
+    theory: with G the general distribution and Q the subordinated generator,
+
+    - global kernel  K = [integral e^(Qu) dG(u)] . D,
+    - expected sojourns  alpha_ij = [integral e^(Qu) (1 - G(u)) du]_ij,
+
+    both computed in closed form: for a density term a u^k e^(bu) the
+    integral of e^(Qu) u^k e^(bu) du over (0, inf) is a k! (-(Q + bI))^-(k+1).
+    The embedded chain [v K = v] and pi_j ∝ sum_i v_i alpha_ij give the
+    steady state. *)
+
+type t
+
+val make :
+  n:int ->
+  exp_edges:(int * int * float) list ->
+  gen_edges:(int * int * Sharpe_expo.Exponomial.t) list ->
+  t
+(** @raise Invalid_argument if the [@] distributions differ, a state has two
+    [@] edges, or the general distribution is improper/has an atom at 0. *)
+
+val n_states : t -> int
+val steady_state : t -> float array
+val prob : t -> int -> float
+(** Steady-state probability of one state. *)
+
+val expected_reward_ss : t -> reward:(int -> float) -> float

@@ -1,0 +1,1 @@
+lib/mstree/mstree.ml: Hashtbl List Printf Sharpe_bdd

@@ -1,0 +1,1 @@
+lib/mstree/mstree.mli:

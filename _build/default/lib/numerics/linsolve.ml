@@ -1,0 +1,160 @@
+exception Singular
+
+let gauss_in_place a b =
+  let n = Array.length b in
+  if Matrix.rows a <> n || Matrix.cols a <> n then invalid_arg "Linsolve.gauss: shape";
+  for k = 0 to n - 1 do
+    (* partial pivoting *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Matrix.get a i k) > Float.abs (Matrix.get a !piv k) then piv := i
+    done;
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let t = Matrix.get a k j in
+        Matrix.set a k j (Matrix.get a !piv j);
+        Matrix.set a !piv j t
+      done;
+      let t = b.(k) in
+      b.(k) <- b.(!piv);
+      b.(!piv) <- t
+    end;
+    let akk = Matrix.get a k k in
+    if Float.abs akk < 1e-300 then raise Singular;
+    for i = k + 1 to n - 1 do
+      let f = Matrix.get a i k /. akk in
+      if f <> 0.0 then begin
+        Matrix.set a i k 0.0;
+        for j = k + 1 to n - 1 do
+          Matrix.set a i j (Matrix.get a i j -. (f *. Matrix.get a k j))
+        done;
+        b.(i) <- b.(i) -. (f *. b.(k))
+      end
+    done
+  done;
+  (* back substitution *)
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Matrix.get a i j *. x.(j))
+    done;
+    x.(i) <- !s /. Matrix.get a i i
+  done;
+  x
+
+let gauss a b = gauss_in_place (Matrix.copy a) (Array.copy b)
+
+let gauss_matrix a bm =
+  let n = Matrix.rows a in
+  let cols = Matrix.cols bm in
+  let out = Matrix.create ~rows:n ~cols in
+  for j = 0 to cols - 1 do
+    let x = gauss a (Matrix.col bm j) in
+    Array.iteri (fun i v -> Matrix.set out i j v) x
+  done;
+  out
+
+let inverse a = gauss_matrix a (Matrix.identity (Matrix.rows a))
+
+type iter_stats = { iterations : int; residual : float }
+
+let sweep ~omega a b x =
+  let n = Array.length b in
+  let delta = ref 0.0 in
+  for i = 0 to n - 1 do
+    let diag = ref 0.0 and s = ref 0.0 in
+    Sparse.iter_row a i (fun j v -> if j = i then diag := v else s := !s +. (v *. x.(j)));
+    if !diag = 0.0 then raise Singular;
+    let xi' = (b.(i) -. !s) /. !diag in
+    let xi'' = x.(i) +. (omega *. (xi' -. x.(i))) in
+    let d = Float.abs (xi'' -. x.(i)) /. Float.max 1.0 (Float.abs xi'') in
+    if d > !delta then delta := d;
+    x.(i) <- xi''
+  done;
+  !delta
+
+let sor ?(max_iter = 100_000) ?(tol = 1e-12) ?(omega = 1.0) ?x0 a b =
+  let n = Array.length b in
+  let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
+  let rec go k =
+    let d = sweep ~omega a b x in
+    if d <= tol || k >= max_iter then (x, { iterations = k; residual = d })
+    else go (k + 1)
+  in
+  go 1
+
+let gauss_seidel ?max_iter ?tol ?x0 a b = sor ?max_iter ?tol ~omega:1.0 ?x0 a b
+
+let normalize_l1 x =
+  let s = Array.fold_left ( +. ) 0.0 x in
+  if s <> 0.0 then Array.iteri (fun i v -> x.(i) <- v /. s) x
+
+let dtmc_steady_state ?(max_iter = 1_000_000) ?(tol = 1e-13) p =
+  let n = Sparse.rows p in
+  if n = 0 then [||]
+  else begin
+    let x = ref (Array.make n (1.0 /. float_of_int n)) in
+    let k = ref 0 and delta = ref infinity in
+    while !delta > tol && !k < max_iter do
+      let x' = Sparse.vec_mat !x p in
+      normalize_l1 x';
+      let d = ref 0.0 in
+      Array.iteri (fun i v -> d := Float.max !d (Float.abs (v -. !x.(i)))) x';
+      delta := !d;
+      x := x';
+      incr k
+    done;
+    !x
+  end
+
+let steady_state_direct q =
+  (* replace last equation of Q^T pi = 0 with sum pi = 1 *)
+  let n = Sparse.rows q in
+  let a = Matrix.create ~rows:n ~cols:n in
+  Sparse.iter q (fun i j v -> Matrix.set a j i v);
+  for j = 0 to n - 1 do
+    Matrix.set a (n - 1) j 1.0
+  done;
+  let b = Array.make n 0.0 in
+  b.(n - 1) <- 1.0;
+  let x = gauss a b in
+  Array.map (fun v -> Float.max 0.0 v) x
+
+let ctmc_steady_state ?(max_iter = 200_000) ?(tol = 1e-13) q =
+  let n = Sparse.rows q in
+  if n = 0 then [||]
+  else if n = 1 then [| 1.0 |]
+  else if n <= 500 then begin
+    let x = steady_state_direct q in
+    normalize_l1 x;
+    x
+  end
+  else begin
+    (* Gauss-Seidel on Q^T x = 0 with per-sweep normalization: the thesis'
+       steady-state method; converges orders of magnitude faster than power
+       iteration on stiff chains *)
+    let qt = Sparse.transpose q in
+    let x = Array.make n (1.0 /. float_of_int n) in
+    let k = ref 0 and delta = ref infinity in
+    while !delta > tol && !k < max_iter do
+      let d = ref 0.0 in
+      for i = 0 to n - 1 do
+        let diag = ref 0.0 and s = ref 0.0 in
+        Sparse.iter_row qt i (fun j v ->
+            if j = i then diag := v else s := !s +. (v *. x.(j)));
+        if !diag <> 0.0 then begin
+          let xi' = -. !s /. !diag in
+          let change = Float.abs (xi' -. x.(i)) /. Float.max 1e-300 (Float.abs xi') in
+          if change > !d then d := change;
+          x.(i) <- xi'
+        end
+      done;
+      normalize_l1 x;
+      delta := !d;
+      incr k
+    done;
+    Array.iteri (fun i v -> if v < 0.0 then x.(i) <- 0.0) x;
+    normalize_l1 x;
+    x
+  end

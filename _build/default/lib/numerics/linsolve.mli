@@ -1,0 +1,44 @@
+(** Linear-system solvers used by the Markov engines.
+
+    SHARPE's steady-state analysis uses Gauss–Seidel and successive
+    over-relaxation (thesis §2.2); direct Gaussian elimination backs the
+    small dense systems (vanishing-marking elimination, embedded DTMCs,
+    fundamental-matrix MTTF). *)
+
+exception Singular
+(** Raised by the direct solvers when elimination hits a (near-)zero pivot. *)
+
+val gauss : Matrix.t -> float array -> float array
+(** [gauss a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting.  [a] is not modified.  @raise Singular on singular systems. *)
+
+val gauss_matrix : Matrix.t -> Matrix.t -> Matrix.t
+(** [gauss_matrix a b] solves [a X = B] column-by-column. *)
+
+val inverse : Matrix.t -> Matrix.t
+
+type iter_stats = { iterations : int; residual : float }
+
+val gauss_seidel :
+  ?max_iter:int -> ?tol:float -> ?x0:float array ->
+  Sparse.t -> float array -> float array * iter_stats
+(** [gauss_seidel a b] solves [a x = b] where [a] is accessed row-wise.
+    Diagonal entries must be nonzero.  Stops when the max-norm of successive
+    differences relative to the iterate falls below [tol] (default 1e-12). *)
+
+val sor :
+  ?max_iter:int -> ?tol:float -> ?omega:float -> ?x0:float array ->
+  Sparse.t -> float array -> float array * iter_stats
+(** Successive over-relaxation; [omega = 1] degenerates to Gauss–Seidel. *)
+
+val ctmc_steady_state :
+  ?max_iter:int -> ?tol:float -> Sparse.t -> float array
+(** [ctmc_steady_state q] solves [pi Q = 0], [sum pi = 1] for an irreducible
+    generator [q] (square, rows sum to 0) using power/Gauss–Seidel iteration
+    on the uniformized chain, falling back to a direct solve for small
+    systems.  Result entries are nonnegative and sum to 1. *)
+
+val dtmc_steady_state :
+  ?max_iter:int -> ?tol:float -> Sparse.t -> float array
+(** [dtmc_steady_state p] solves [pi P = pi], [sum pi = 1] for an irreducible
+    stochastic matrix [p] by power iteration with normalization. *)

@@ -1,0 +1,51 @@
+type window = { left : int; right : int; weights : float array }
+
+let log_factorial =
+  (* Stirling for large n, table for small n *)
+  let table = Array.make 256 0.0 in
+  for n = 2 to 255 do
+    table.(n) <- table.(n - 1) +. log (float_of_int n)
+  done;
+  fun n ->
+    if n < 256 then table.(n)
+    else
+      let x = float_of_int n in
+      (x *. log x) -. x +. (0.5 *. log (2.0 *. Float.pi *. x))
+      +. (1.0 /. (12.0 *. x)) -. (1.0 /. (360.0 *. x *. x *. x))
+
+let log_pmf m k =
+  if m = 0.0 then (if k = 0 then 0.0 else neg_infinity)
+  else (float_of_int k *. log m) -. m -. log_factorial k
+
+let pmf m k = exp (log_pmf m k)
+
+let window ?(eps = 1e-12) m =
+  if m < 0.0 then invalid_arg "Poisson.window: negative mean";
+  if m = 0.0 then { left = 0; right = 0; weights = [| 1.0 |] }
+  else begin
+    let mode = int_of_float (Float.floor m) in
+    (* expand left from the mode until tail < eps/2, likewise right *)
+    let p_mode = log_pmf m mode in
+    (* Walk down with the ratio recurrence p_{k-1} = p_k * k / m (in linear
+       space relative to the mode value to avoid under/overflow). *)
+    let half = eps /. 2.0 in
+    let rel_floor = half *. exp (-.p_mode) in
+    (* left boundary *)
+    let left = ref mode and rel = ref 1.0 in
+    while !left > 0 && !rel > rel_floor do
+      rel := !rel *. float_of_int !left /. m;
+      decr left
+    done;
+    (* right boundary *)
+    let right = ref mode in
+    rel := 1.0;
+    while !rel > rel_floor || !right < mode + 2 do
+      incr right;
+      rel := !rel *. m /. float_of_int !right
+    done;
+    let l = !left and r = !right in
+    let weights = Array.init (r - l + 1) (fun i -> exp (log_pmf m (l + i))) in
+    let s = Array.fold_left ( +. ) 0.0 weights in
+    if s > 0.0 then Array.iteri (fun i w -> weights.(i) <- w /. s) weights;
+    { left = l; right = r; weights }
+  end

@@ -1,0 +1,20 @@
+(** Poisson probability weights for uniformization (randomization).
+
+    Computes p_k = e^{-m} m^k / k! for k = l..r where the window [l, r] is
+    chosen so that the truncated mass exceeds [1 - eps] — the Fox–Glynn style
+    left/right truncation used by CTMC transient solvers.  Weights are
+    computed in a numerically stable way (log-space seed, ratio recurrence)
+    so that very large m (stiff chains, long horizons) do not underflow. *)
+
+type window = {
+  left : int;           (** first k with non-negligible mass *)
+  right : int;          (** last k with non-negligible mass *)
+  weights : float array; (** [weights.(k - left)] = Poisson(m)\{k\}, renormalized *)
+}
+
+val window : ?eps:float -> float -> window
+(** [window ~eps m] for mean [m >= 0].  [eps] defaults to 1e-12.
+    The returned weights sum to 1 (renormalized over the window). *)
+
+val pmf : float -> int -> float
+(** [pmf m k] is the exact Poisson point mass, computed in log space. *)

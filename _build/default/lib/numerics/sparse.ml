@@ -1,0 +1,145 @@
+type builder = {
+  b_rows : int;
+  b_cols : int;
+  mutable entries : (int * int * float) list;
+  mutable count : int;
+}
+
+type t = {
+  rows : int;
+  cols : int;
+  row_ptr : int array; (* length rows+1 *)
+  col_idx : int array; (* length nnz, sorted within each row *)
+  values : float array;
+}
+
+let builder ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Sparse.builder";
+  { b_rows = rows; b_cols = cols; entries = []; count = 0 }
+
+let add b i j x =
+  if i < 0 || i >= b.b_rows || j < 0 || j >= b.b_cols then
+    invalid_arg "Sparse.add: index out of range";
+  if x <> 0.0 then begin
+    b.entries <- (i, j, x) :: b.entries;
+    b.count <- b.count + 1
+  end
+
+let finalize b =
+  let triples = Array.of_list b.entries in
+  Array.sort
+    (fun (i1, j1, _) (i2, j2, _) -> if i1 <> i2 then compare i1 i2 else compare j1 j2)
+    triples;
+  (* sum duplicates *)
+  let n = Array.length triples in
+  let merged = ref [] and m = ref 0 in
+  let k = ref 0 in
+  while !k < n do
+    let i, j, _ = triples.(!k) in
+    let s = ref 0.0 in
+    while !k < n && (let i', j', _ = triples.(!k) in i' = i && j' = j) do
+      let _, _, v = triples.(!k) in
+      s := !s +. v;
+      incr k
+    done;
+    if !s <> 0.0 then begin
+      merged := (i, j, !s) :: !merged;
+      incr m
+    end
+  done;
+  let merged = Array.of_list (List.rev !merged) in
+  let nnz = Array.length merged in
+  let row_ptr = Array.make (b.b_rows + 1) 0 in
+  Array.iter (fun (i, _, _) -> row_ptr.(i + 1) <- row_ptr.(i + 1) + 1) merged;
+  for i = 1 to b.b_rows do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  let col_idx = Array.make nnz 0 and values = Array.make nnz 0.0 in
+  Array.iteri
+    (fun k (_, j, v) ->
+      col_idx.(k) <- j;
+      values.(k) <- v)
+    merged;
+  { rows = b.b_rows; cols = b.b_cols; row_ptr; col_idx; values }
+
+let of_triplets ~rows ~cols ts =
+  let b = builder ~rows ~cols in
+  List.iter (fun (i, j, x) -> add b i j x) ts;
+  finalize b
+
+let of_dense m =
+  let b = builder ~rows:(Matrix.rows m) ~cols:(Matrix.cols m) in
+  for i = 0 to Matrix.rows m - 1 do
+    for j = 0 to Matrix.cols m - 1 do
+      add b i j (Matrix.get m i j)
+    done
+  done;
+  finalize b
+
+let rows t = t.rows
+let cols t = t.cols
+let nnz t = Array.length t.values
+
+let iter_row t i f =
+  if i < 0 || i >= t.rows then invalid_arg "Sparse.iter_row";
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done
+
+let fold_row t i f init =
+  let acc = ref init in
+  iter_row t i (fun j v -> acc := f !acc j v);
+  !acc
+
+let iter t f =
+  for i = 0 to t.rows - 1 do
+    iter_row t i (fun j v -> f i j v)
+  done
+
+let get t i j =
+  (* binary search within row i *)
+  let lo = ref t.row_ptr.(i) and hi = ref (t.row_ptr.(i + 1) - 1) in
+  let res = ref 0.0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = compare t.col_idx.(mid) j in
+    if c = 0 then begin
+      res := t.values.(mid);
+      lo := !hi + 1
+    end
+    else if c < 0 then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !res
+
+let to_dense t =
+  let m = Matrix.create ~rows:t.rows ~cols:t.cols in
+  iter t (fun i j v -> Matrix.set m i j v);
+  m
+
+let mat_vec t v =
+  if Array.length v <> t.cols then invalid_arg "Sparse.mat_vec: shape";
+  Array.init t.rows (fun i -> fold_row t i (fun s j x -> s +. (x *. v.(j))) 0.0)
+
+let vec_mat v t =
+  if Array.length v <> t.rows then invalid_arg "Sparse.vec_mat: shape";
+  let out = Array.make t.cols 0.0 in
+  for i = 0 to t.rows - 1 do
+    if v.(i) <> 0.0 then iter_row t i (fun j x -> out.(j) <- out.(j) +. (v.(i) *. x))
+  done;
+  out
+
+let transpose t =
+  let b = builder ~rows:t.cols ~cols:t.rows in
+  iter t (fun i j v -> add b j i v);
+  finalize b
+
+let scale c t = { t with values = Array.map (fun x -> c *. x) t.values }
+
+let row_sums t = Array.init t.rows (fun i -> fold_row t i (fun s _ x -> s +. x) 0.0)
+let diag t = Array.init (min t.rows t.cols) (fun i -> get t i i)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>sparse %dx%d (%d nnz)@," t.rows t.cols (nnz t);
+  iter t (fun i j v -> Format.fprintf ppf "(%d,%d) = %g@," i j v);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,39 @@
+(** Sparse matrices in triplet-builder / CSR form.
+
+    CTMC generators coming out of reachability graphs are very sparse; all
+    iterative solvers ({!Linsolve.gauss_seidel}, {!Linsolve.sor}) and the
+    uniformization engine work on this representation. *)
+
+type builder
+(** Mutable triplet accumulator.  Duplicate [(i, j)] entries are summed. *)
+
+type t
+(** Immutable CSR matrix. *)
+
+val builder : rows:int -> cols:int -> builder
+val add : builder -> int -> int -> float -> unit
+val finalize : builder -> t
+(** Compresses to CSR, summing duplicates and dropping explicit zeros. *)
+
+val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
+val of_dense : Matrix.t -> t
+val to_dense : t -> Matrix.t
+
+val rows : t -> int
+val cols : t -> int
+val nnz : t -> int
+
+val get : t -> int -> int -> float
+(** O(log nnz-in-row). *)
+
+val iter_row : t -> int -> (int -> float -> unit) -> unit
+val fold_row : t -> int -> ('a -> int -> float -> 'a) -> 'a -> 'a
+val iter : t -> (int -> int -> float -> unit) -> unit
+
+val mat_vec : t -> float array -> float array
+val vec_mat : float array -> t -> float array
+val transpose : t -> t
+val scale : float -> t -> t
+val row_sums : t -> float array
+val diag : t -> float array
+val pp : Format.formatter -> t -> unit

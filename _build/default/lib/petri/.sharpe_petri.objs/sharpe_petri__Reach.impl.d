@@ -1,0 +1,1 @@
+lib/petri/reach.ml: Array Float Fun Hashtbl Linsolve List Matrix Net Option Queue Sharpe_markov Sharpe_numerics

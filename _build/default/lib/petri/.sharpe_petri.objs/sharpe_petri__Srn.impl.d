@@ -1,0 +1,1 @@
+lib/petri/srn.ml: Array Fun Hashtbl List Net Reach Sharpe_markov Sharpe_numerics

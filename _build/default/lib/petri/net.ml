@@ -1,0 +1,101 @@
+type marking = int array
+type kind = Timed | Immediate
+
+type transition = {
+  t_name : string;
+  kind : kind;
+  rate : marking -> float;
+  guard : marking -> bool;
+  priority : int;
+  inputs : (int * (marking -> int)) list;
+  outputs : (int * (marking -> int)) list;
+  inhibitors : (int * (marking -> int)) list;
+}
+
+type t = {
+  place_names : string array;
+  place_idx : (string, int) Hashtbl.t;
+  trans : transition array;
+  trans_idx : (string, int) Hashtbl.t;
+  initial : marking;
+}
+
+let build ~places ~transitions =
+  let place_names = Array.of_list (List.map fst places) in
+  let place_idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i n ->
+      if Hashtbl.mem place_idx n then invalid_arg (Printf.sprintf "Net: place %s redefined" n);
+      Hashtbl.add place_idx n i)
+    place_names;
+  let trans = Array.of_list transitions in
+  let trans_idx = Hashtbl.create 16 in
+  Array.iteri
+    (fun i tr ->
+      if Hashtbl.mem trans_idx tr.t_name then
+        invalid_arg (Printf.sprintf "Net: transition %s redefined" tr.t_name);
+      Hashtbl.add trans_idx tr.t_name i)
+    trans;
+  let initial = Array.of_list (List.map snd places) in
+  Array.iter (fun n -> if n < 0 then invalid_arg "Net: negative initial tokens") initial;
+  { place_names; place_idx; trans; trans_idx; initial }
+
+let n_places t = Array.length t.place_names
+
+let place_index t name =
+  match Hashtbl.find_opt t.place_idx name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Net: unknown place %s" name)
+
+let place_name t i = t.place_names.(i)
+let initial_marking t = Array.copy t.initial
+let transitions t = t.trans
+
+let transition_index t name =
+  match Hashtbl.find_opt t.trans_idx name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Net: unknown transition %s" name)
+
+let structurally_enabled _t tr m =
+  tr.guard m
+  && List.for_all (fun (p, mult) -> m.(p) >= mult m) tr.inputs
+  && List.for_all
+       (fun (p, mult) ->
+         let c = mult m in
+         (* cardinality-0 inhibitor arcs never inhibit (degenerate) *)
+         c = 0 || m.(p) < c)
+       tr.inhibitors
+  && (tr.kind = Immediate || tr.rate m > 0.0)
+
+let enabled t m =
+  let raw = ref [] in
+  Array.iteri (fun i tr -> if structurally_enabled t tr m then raw := i :: !raw) t.trans;
+  let raw = List.rev !raw in
+  if raw = [] then []
+  else begin
+    let eff i =
+      let tr = t.trans.(i) in
+      (if tr.kind = Immediate then 1_000_000 else 0) + tr.priority
+    in
+    let best = List.fold_left (fun b i -> max b (eff i)) min_int raw in
+    List.filter (fun i -> eff i = best) raw
+  end
+
+let is_vanishing t m =
+  List.exists (fun i -> t.trans.(i).kind = Immediate) (enabled t m)
+
+let fire t i m =
+  let tr = t.trans.(i) in
+  let m' = Array.copy m in
+  List.iter (fun (p, mult) -> m'.(p) <- m'.(p) - mult m) tr.inputs;
+  List.iter (fun (p, mult) -> m'.(p) <- m'.(p) + mult m) tr.outputs;
+  Array.iter (fun x -> if x < 0 then invalid_arg "Net.fire: negative tokens") m';
+  m'
+
+let rate_in t m name =
+  let i = transition_index t name in
+  if List.mem i (enabled t m) then t.trans.(i).rate m else 0.0
+
+let enabled_named t m name =
+  let i = transition_index t name in
+  List.mem i (enabled t m)

@@ -1,0 +1,58 @@
+(** Stochastic reward nets / generalized stochastic Petri nets — the net
+    structure (thesis ch. 2).
+
+    Beyond GSPNs, SRNs add guards, priorities, marking-dependent firing
+    rates and marking-dependent arc multiplicities; all of these are
+    represented as closures over the current marking, which is how the
+    SHARPE-language front end compiles its expressions.
+
+    Priorities: immediate transitions always outrank timed ones; within a
+    kind, only transitions of maximal priority among the structurally
+    enabled ones are enabled (thesis §2.1.2). *)
+
+type marking = int array
+
+type kind = Timed | Immediate
+
+type transition = {
+  t_name : string;
+  kind : kind;
+  rate : marking -> float;
+      (** firing rate (timed) or weight (immediate) in a marking *)
+  guard : marking -> bool;
+  priority : int;
+  inputs : (int * (marking -> int)) list; (** place index, multiplicity *)
+  outputs : (int * (marking -> int)) list;
+  inhibitors : (int * (marking -> int)) list;
+}
+
+type t
+
+val build :
+  places:(string * int) list -> transitions:transition list -> t
+(** [places] associates names with initial token counts. *)
+
+val n_places : t -> int
+val place_index : t -> string -> int
+val place_name : t -> int -> string
+val initial_marking : t -> marking
+val transitions : t -> transition array
+val transition_index : t -> string -> int
+
+val structurally_enabled : t -> transition -> marking -> bool
+(** Guard, input and inhibitor conditions, ignoring priorities. *)
+
+val enabled : t -> marking -> int list
+(** Indices of the fireable transitions after the priority rule. *)
+
+val is_vanishing : t -> marking -> bool
+(** Some immediate transition is fireable. *)
+
+val fire : t -> int -> marking -> marking
+
+val rate_in : t -> marking -> string -> float
+(** SHARPE's [Rate(trans)]: the transition's rate if it is fireable in the
+    marking (post-priority), 0 otherwise. *)
+
+val enabled_named : t -> marking -> string -> bool
+(** SHARPE's [?(trans)]. *)

@@ -1,0 +1,201 @@
+open Sharpe_numerics
+
+type t = {
+  net : Net.t;
+  tangibles : Net.marking array;
+  nv : int; (* number of vanishing markings eliminated *)
+  ctmc : Sharpe_markov.Ctmc.t;
+  init : float array;
+}
+
+let net g = g.net
+let n_tangible g = Array.length g.tangibles
+let tangible_marking g i = Array.copy g.tangibles.(i)
+let ctmc g = g.ctmc
+let initial_distribution g = Array.copy g.init
+
+module MarkingTbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal = ( = )
+  let hash m = Hashtbl.hash (Array.to_list m)
+end)
+
+type raw = {
+  markings : Net.marking array;
+  vanishing : bool array;
+  (* per marking: (target, rate-or-weight) list *)
+  succs : (int * float) array array;
+}
+
+let explore ?(max_markings = 200_000) n =
+  let ids = MarkingTbl.create 1024 in
+  let rev = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern m =
+    match MarkingTbl.find_opt ids m with
+    | Some i -> i
+    | None ->
+        if !count >= max_markings then
+          failwith "Reach: reachability set exceeds the marking limit";
+        let i = !count in
+        incr count;
+        MarkingTbl.add ids m i;
+        rev := m :: !rev;
+        Queue.add (i, m) queue;
+        i
+  in
+  let m0 = Net.initial_marking n in
+  ignore (intern m0);
+  let succs = ref [] and vans = ref [] in
+  while not (Queue.is_empty queue) do
+    let i, m = Queue.pop queue in
+    let en = Net.enabled n m in
+    let vanishing = Net.is_vanishing n m in
+    let out =
+      List.map
+        (fun ti ->
+          let tr = (Net.transitions n).(ti) in
+          let m' = Net.fire n ti m in
+          (intern m', tr.Net.rate m))
+        en
+    in
+    succs := (i, Array.of_list out) :: !succs;
+    vans := (i, vanishing) :: !vans
+  done;
+  let nmk = !count in
+  let markings = Array.make nmk [||] in
+  List.iteri (fun k m -> markings.(nmk - 1 - k) <- m) !rev;
+  let succ_arr = Array.make nmk [||] in
+  List.iter (fun (i, s) -> succ_arr.(i) <- s) !succs;
+  let van_arr = Array.make nmk false in
+  List.iter (fun (i, v) -> van_arr.(i) <- v) !vans;
+  { markings; vanishing = van_arr; succs = succ_arr }
+
+(* absorption distributions of vanishing markings over tangible markings *)
+let vanishing_absorption raw tangible_id =
+  let n = Array.length raw.markings in
+  let memo : (int * float) list option array = Array.make n None in
+  let on_stack = Array.make n false in
+  let cyclic = ref false in
+  (* First try the common case: the vanishing subgraph is acyclic. *)
+  let rec solve v =
+    match memo.(v) with
+    | Some d -> d
+    | None ->
+        if on_stack.(v) then begin
+          cyclic := true;
+          []
+        end
+        else begin
+          on_stack.(v) <- true;
+          let total = Array.fold_left (fun a (_, w) -> a +. w) 0.0 raw.succs.(v) in
+          if total <= 0.0 then
+            failwith "Reach: vanishing marking with no enabled weight";
+          let acc = Hashtbl.create 8 in
+          Array.iter
+            (fun (dst, w) ->
+              let p = w /. total in
+              if raw.vanishing.(dst) then
+                List.iter
+                  (fun (t, q) ->
+                    Hashtbl.replace acc t
+                      (p *. q +. Option.value ~default:0.0 (Hashtbl.find_opt acc t)))
+                  (solve dst)
+              else
+                Hashtbl.replace acc tangible_id.(dst)
+                  (p +. Option.value ~default:0.0 (Hashtbl.find_opt acc tangible_id.(dst))))
+            raw.succs.(v);
+          on_stack.(v) <- false;
+          let d = Hashtbl.fold (fun t p l -> (t, p) :: l) acc [] in
+          memo.(v) <- Some d;
+          d
+        end
+  in
+  let vanishing_ids =
+    List.filter (fun i -> raw.vanishing.(i)) (List.init n Fun.id)
+  in
+  List.iter (fun v -> ignore (solve v)) vanishing_ids;
+  if not !cyclic then fun v -> Option.get memo.(v)
+  else begin
+    (* general case: solve (I - P_VV) X = P_VT by dense elimination *)
+    let vs = Array.of_list vanishing_ids in
+    let nv = Array.length vs in
+    if nv > 1500 then failwith "Reach: vanishing loop too large for direct solve";
+    let vidx = Hashtbl.create 64 in
+    Array.iteri (fun k v -> Hashtbl.add vidx v k) vs;
+    let a = Matrix.identity nv in
+    let bt = Hashtbl.create 64 in
+    (* bt : (v-index, tangible) -> prob *)
+    Array.iteri
+      (fun k v ->
+        let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 raw.succs.(v) in
+        Array.iter
+          (fun (dst, w) ->
+            let p = w /. total in
+            if raw.vanishing.(dst) then
+              Matrix.add_to a k (Hashtbl.find vidx dst) (-.p)
+            else begin
+              let key = (k, tangible_id.(dst)) in
+              Hashtbl.replace bt key (p +. Option.value ~default:0.0 (Hashtbl.find_opt bt key))
+            end)
+          raw.succs.(v))
+      vs;
+    (* collect tangible columns present *)
+    let cols = Hashtbl.create 64 in
+    Hashtbl.iter (fun (_, t) _ -> Hashtbl.replace cols t ()) bt;
+    let sol = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun t () ->
+        let b = Array.make nv 0.0 in
+        Hashtbl.iter (fun (k, t') p -> if t' = t then b.(k) <- b.(k) +. p) bt;
+        let x = Linsolve.gauss a b in
+        Array.iteri (fun k p -> if Float.abs p > 1e-15 then Hashtbl.add sol (vs.(k), t) p) x)
+      cols;
+    fun v ->
+      Hashtbl.fold (fun (v', t) p acc -> if v' = v then (t, p) :: acc else acc) sol []
+  end
+
+let build ?max_markings n =
+  let raw = explore ?max_markings n in
+  let nmk = Array.length raw.markings in
+  let tangible_id = Array.make nmk (-1) in
+  let tangibles = ref [] and nt = ref 0 in
+  for i = 0 to nmk - 1 do
+    if not raw.vanishing.(i) then begin
+      tangible_id.(i) <- !nt;
+      incr nt;
+      tangibles := raw.markings.(i) :: !tangibles
+    end
+  done;
+  let tangibles = Array.of_list (List.rev !tangibles) in
+  let absorb = vanishing_absorption raw tangible_id in
+  let rates = ref [] in
+  for i = 0 to nmk - 1 do
+    if not raw.vanishing.(i) then begin
+      let src = tangible_id.(i) in
+      Array.iter
+        (fun (dst, r) ->
+          if raw.vanishing.(dst) then
+            List.iter
+              (fun (t, p) -> if t <> src then rates := (src, t, r *. p) :: !rates)
+              (absorb dst)
+          else begin
+            let d = tangible_id.(dst) in
+            if d <> src then rates := (src, d, r) :: !rates
+          end)
+        raw.succs.(i)
+    end
+  done;
+  let ctmc = Sharpe_markov.Ctmc.make ~n:!nt !rates in
+  let init = Array.make !nt 0.0 in
+  if raw.vanishing.(0) then
+    List.iter (fun (t, p) -> init.(t) <- init.(t) +. p) (absorb 0)
+  else init.(tangible_id.(0)) <- 1.0;
+  { net = n; tangibles; nv = nmk - !nt; ctmc; init }
+
+let n_vanishing g = g.nv
+
+let throughput_rate g name i =
+  Net.rate_in g.net g.tangibles.(i) name

@@ -1,0 +1,26 @@
+(** Reachability analysis and vanishing-marking elimination (thesis §2.2).
+
+    Generates the reachability set by breadth-first search, partitions it
+    into tangible and vanishing markings, folds the vanishing markings'
+    branching probabilities into the tangible-to-tangible rates (handling
+    chains and loops of immediate transitions), and extracts the CTMC. *)
+
+type t
+
+val build : ?max_markings:int -> Net.t -> t
+(** @raise Failure if the net is unbounded beyond [max_markings]
+    (default 200_000) or a vanishing loop never reaches a tangible
+    marking. *)
+
+val net : t -> Net.t
+val n_tangible : t -> int
+val n_vanishing : t -> int
+val tangible_marking : t -> int -> Net.marking
+val ctmc : t -> Sharpe_markov.Ctmc.t
+val initial_distribution : t -> float array
+(** Distribution over tangible markings at time 0 (the initial marking's
+    vanishing cascade already resolved). *)
+
+val throughput_rate : t -> string -> int -> float
+(** [throughput_rate g trans i]: the firing rate of the named *timed*
+    transition in tangible marking [i] (0 if not fireable there). *)

@@ -1,0 +1,100 @@
+module Ctmc = Sharpe_markov.Ctmc
+
+type t = {
+  g : Reach.t;
+  markings : Net.marking array;
+  mutable steady : float array option; (* cached *)
+  transients : (float, float array) Hashtbl.t; (* t -> pi(t) *)
+  cumulatives : (float, float array) Hashtbl.t; (* t -> L(t) *)
+}
+
+let solve ?max_markings n =
+  let g = Reach.build ?max_markings n in
+  let markings = Array.init (Reach.n_tangible g) (Reach.tangible_marking g) in
+  { g; markings; steady = None;
+    transients = Hashtbl.create 16; cumulatives = Hashtbl.create 16 }
+
+let graph s = s.g
+let net s = Reach.net s.g
+
+let steady s =
+  match s.steady with
+  | Some pi -> pi
+  | None ->
+      let c = Reach.ctmc s.g in
+      let pi =
+        (* absorbing chains have no steady state in the irreducible sense;
+           use the limiting distribution via absorption if needed *)
+        if List.exists (Ctmc.is_absorbing c) (List.init (Ctmc.n_states c) Fun.id)
+           && Ctmc.absorbing_states c <> List.init (Ctmc.n_states c) Fun.id
+        then begin
+          let init = Reach.initial_distribution s.g in
+          try Ctmc.absorption_probs c ~init
+          with _ -> Sharpe_numerics.Linsolve.ctmc_steady_state (Ctmc.generator c)
+        end
+        else Sharpe_numerics.Linsolve.ctmc_steady_state (Ctmc.generator c)
+      in
+      s.steady <- Some pi;
+      pi
+
+let weighted s pi f =
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> if p <> 0.0 then acc := !acc +. (p *. f s.markings.(i))) pi;
+  !acc
+
+let exrss s reward = weighted s (steady s) reward
+
+let transient_at s t =
+  match Hashtbl.find_opt s.transients t with
+  | Some pi -> pi
+  | None ->
+      let c = Reach.ctmc s.g in
+      let pi = Ctmc.transient c ~init:(Reach.initial_distribution s.g) t in
+      Hashtbl.replace s.transients t pi;
+      pi
+
+let cumulative_at s t =
+  match Hashtbl.find_opt s.cumulatives t with
+  | Some l -> l
+  | None ->
+      let c = Reach.ctmc s.g in
+      let l = Ctmc.cumulative c ~init:(Reach.initial_distribution s.g) t in
+      Hashtbl.replace s.cumulatives t l;
+      l
+
+let exrt s reward t = weighted s (transient_at s t) reward
+let cexrt s reward t = weighted s (cumulative_at s t) reward
+
+let ave_cexrt s reward t = if t = 0.0 then 0.0 else cexrt s reward t /. t
+
+let mtta s =
+  Ctmc.mtta (Reach.ctmc s.g) ~init:(Reach.initial_distribution s.g)
+
+let cexrinf s reward =
+  let c = Reach.ctmc s.g in
+  Ctmc.reward_until_absorption c ~init:(Reach.initial_distribution s.g)
+    ~reward:(fun i -> reward s.markings.(i))
+
+let tput s trans = exrss s (fun m -> Net.rate_in (net s) m trans)
+let tput_at s trans t = exrt s (fun m -> Net.rate_in (net s) m trans) t
+
+let util s trans =
+  exrss s (fun m -> if Net.enabled_named (net s) m trans then 1.0 else 0.0)
+
+let etok s place =
+  let i = Net.place_index (net s) place in
+  exrss s (fun m -> float_of_int m.(i))
+
+let etok_at s place t =
+  let i = Net.place_index (net s) place in
+  exrt s (fun m -> float_of_int m.(i)) t
+
+let prempty s place =
+  let i = Net.place_index (net s) place in
+  exrss s (fun m -> if m.(i) = 0 then 1.0 else 0.0)
+
+let prempty_at s place t =
+  let i = Net.place_index (net s) place in
+  exrt s (fun m -> if m.(i) = 0 then 1.0 else 0.0) t
+
+let prob_of s pred = exrss s (fun m -> if pred m then 1.0 else 0.0)

@@ -1,0 +1,50 @@
+(** SRN / GSPN output measures (thesis §2.3.2 and §3.12).
+
+    Wraps a solved reachability graph and exposes SHARPE's system-analysis
+    functions.  Reward functions receive the tangible marking (and can use
+    {!Net.rate_in} / {!Net.enabled_named} for [Rate()] and [?()]). *)
+
+type t
+
+val solve : ?max_markings:int -> Net.t -> t
+val graph : t -> Reach.t
+val net : t -> Net.t
+
+val exrss : t -> (Net.marking -> float) -> float
+(** [srn_exrss]: steady-state expected reward rate. *)
+
+val exrt : t -> (Net.marking -> float) -> float -> float
+(** [srn_exrt]: expected reward rate at time t. *)
+
+val cexrt : t -> (Net.marking -> float) -> float -> float
+(** [srn_cexrt]: cumulative expected reward over (0, t]. *)
+
+val ave_cexrt : t -> (Net.marking -> float) -> float -> float
+(** [srn_ave_cexrt] = cexrt / t. *)
+
+val mtta : t -> float
+(** Mean time to absorption (requires absorbing tangible markings). *)
+
+val cexrinf : t -> (Net.marking -> float) -> float
+(** [srn_cexrinf]: expected accumulated reward until absorption. *)
+
+val tput : t -> string -> float
+(** Steady-state throughput of a timed transition. *)
+
+val tput_at : t -> string -> float -> float
+
+val util : t -> string -> float
+(** Steady-state probability that the transition is fireable. *)
+
+val etok : t -> string -> float
+(** Steady-state mean number of tokens in a place. *)
+
+val etok_at : t -> string -> float -> float
+
+val prempty : t -> string -> float
+(** Steady-state probability that a place is empty. *)
+
+val prempty_at : t -> string -> float -> float
+
+val prob_of : t -> (Net.marking -> bool) -> float
+(** Steady-state probability of the markings satisfying a predicate. *)

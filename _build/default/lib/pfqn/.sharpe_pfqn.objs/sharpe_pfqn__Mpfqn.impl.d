@@ -1,0 +1,1 @@
+lib/pfqn/mpfqn.ml: Array Hashtbl Linsolve List Matrix Printf Sharpe_numerics

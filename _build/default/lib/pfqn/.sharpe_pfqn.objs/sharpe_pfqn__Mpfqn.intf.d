@@ -1,0 +1,1 @@
+lib/pfqn/mpfqn.mli:

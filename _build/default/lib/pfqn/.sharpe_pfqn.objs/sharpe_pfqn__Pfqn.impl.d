@@ -1,0 +1,1 @@
+lib/pfqn/pfqn.ml: Array Float Linsolve List Matrix Printf Sharpe_numerics

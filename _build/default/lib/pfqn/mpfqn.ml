@@ -1,0 +1,175 @@
+open Sharpe_numerics
+
+type kind = Is | Queueing
+
+type t = {
+  names : string array;
+  kinds : kind array;
+  chains : string array;
+  rates : float array array; (* station x chain *)
+  visits : float array array; (* station x chain *)
+}
+
+let index name arr what =
+  let rec go i =
+    if i >= Array.length arr then invalid_arg (Printf.sprintf "Mpfqn: unknown %s %s" what name)
+    else if arr.(i) = name then i
+    else go (i + 1)
+  in
+  go 0
+
+let make ~stations ~chains ~rates ~routing =
+  if stations = [] then invalid_arg "Mpfqn.make: no stations";
+  if chains = [] then invalid_arg "Mpfqn.make: no chains";
+  let names = Array.of_list (List.map fst stations) in
+  let kinds = Array.of_list (List.map snd stations) in
+  let chains = Array.of_list chains in
+  let k = Array.length names and c = Array.length chains in
+  let rate_tbl = Array.make_matrix k c 0.0 in
+  List.iter
+    (fun (st, ch, r) ->
+      rate_tbl.(index st names "station").(index ch chains "chain") <- r)
+    rates;
+  (* traffic equations per chain *)
+  let visits = Array.make_matrix k c 0.0 in
+  Array.iteri
+    (fun ci chain ->
+      let a = Matrix.identity k in
+      List.iter
+        (fun (ch, u, v, p) ->
+          if ch = chain then
+            Matrix.add_to a (index v names "station") (index u names "station") (-.p))
+        routing;
+      (* reference: the first station visited by this chain *)
+      let ref_station =
+        match List.find_opt (fun (ch, _, _, _) -> ch = chain) routing with
+        | Some (_, u, _, _) -> index u names "station"
+        | None -> 0
+      in
+      for j = 0 to k - 1 do
+        Matrix.set a ref_station j 0.0
+      done;
+      Matrix.set a ref_station ref_station 1.0;
+      let b = Array.make k 0.0 in
+      b.(ref_station) <- 1.0;
+      let v = Linsolve.gauss a b in
+      Array.iteri (fun i x -> visits.(i).(ci) <- x) v)
+    chains;
+  { names; kinds; chains; rates = rate_tbl; visits }
+
+type result = {
+  throughput : float;
+  utilization : float;
+  qlength : float;
+  rtime : float;
+}
+
+(* exact multiclass MVA with memoized station queue lengths per population
+   vector *)
+let solve_raw t pops =
+  let k = Array.length t.names and c = Array.length t.chains in
+  let memo : (int list, float array) Hashtbl.t = Hashtbl.create 1024 in
+  (* returns per-station total queue lengths at population vector n *)
+  let rec q_of (n : int array) : float array =
+    let key = Array.to_list n in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        let total = Array.fold_left ( + ) 0 n in
+        if total = 0 then begin
+          let z = Array.make k 0.0 in
+          Hashtbl.add memo key z;
+          z
+        end
+        else begin
+          let q = Array.make k 0.0 in
+          (* response times and throughputs per chain *)
+          for r = 0 to c - 1 do
+            if n.(r) > 0 then begin
+              let n' = Array.copy n in
+              n'.(r) <- n'.(r) - 1;
+              let qprev = q_of n' in
+              let rtimes = Array.make k 0.0 in
+              for i = 0 to k - 1 do
+                let mu = t.rates.(i).(r) in
+                if t.visits.(i).(r) > 0.0 then begin
+                  if mu <= 0.0 then
+                    invalid_arg
+                      (Printf.sprintf "Mpfqn: station %s has no rate for chain %s"
+                         t.names.(i) t.chains.(r));
+                  rtimes.(i) <-
+                    (match t.kinds.(i) with
+                    | Is -> 1.0 /. mu
+                    | Queueing -> (1.0 +. qprev.(i)) /. mu)
+                end
+              done;
+              let denom = ref 0.0 in
+              for i = 0 to k - 1 do
+                denom := !denom +. (t.visits.(i).(r) *. rtimes.(i))
+              done;
+              let x = float_of_int n.(r) /. !denom in
+              for i = 0 to k - 1 do
+                q.(i) <- q.(i) +. (x *. t.visits.(i).(r) *. rtimes.(i))
+              done
+            end
+          done;
+          Hashtbl.add memo key q;
+          q
+        end
+  in
+  let n = Array.make c 0 in
+  List.iter (fun (ch, p) -> n.(index ch t.chains "chain") <- p) pops;
+  let qfull = q_of n in
+  (* recompute per-chain final quantities *)
+  let out = ref [] in
+  for r = c - 1 downto 0 do
+    if n.(r) > 0 then begin
+      let n' = Array.copy n in
+      n'.(r) <- n'.(r) - 1;
+      let qprev = q_of n' in
+      let rtimes = Array.make k 0.0 in
+      for i = 0 to k - 1 do
+        if t.visits.(i).(r) > 0.0 then
+          rtimes.(i) <-
+            (match t.kinds.(i) with
+            | Is -> 1.0 /. t.rates.(i).(r)
+            | Queueing -> (1.0 +. qprev.(i)) /. t.rates.(i).(r))
+      done;
+      let denom = ref 0.0 in
+      for i = 0 to k - 1 do
+        denom := !denom +. (t.visits.(i).(r) *. rtimes.(i))
+      done;
+      let x = float_of_int n.(r) /. !denom in
+      for i = k - 1 downto 0 do
+        let tput = x *. t.visits.(i).(r) in
+        let util = if t.rates.(i).(r) > 0.0 then tput /. t.rates.(i).(r) else 0.0 in
+        out :=
+          ( t.names.(i),
+            t.chains.(r),
+            { throughput = tput;
+              utilization = util;
+              qlength = x *. t.visits.(i).(r) *. rtimes.(i);
+              rtime = rtimes.(i) } )
+          :: !out
+      done
+    end
+  done;
+  (!out, qfull)
+
+let solve t ~populations = fst (solve_raw t populations)
+
+let station_qlength t ~populations name =
+  let _, q = solve_raw t populations in
+  q.(index name t.names "station")
+
+let station_utilization t ~populations name =
+  let res = solve t ~populations in
+  List.fold_left
+    (fun acc (st, _, r) -> if st = name then acc +. r.utilization else acc)
+    0.0 res
+
+let chain_throughput t ~populations ~chain ~station =
+  let res = solve t ~populations in
+  match List.find_opt (fun (st, ch, _) -> st = station && ch = chain) res with
+  | Some (_, _, r) -> r.throughput
+  | None -> 0.0

@@ -1,0 +1,36 @@
+(** Multiple-chain closed product-form networks (thesis §3.9), solved by
+    exact multiclass MVA over the population-vector lattice.
+
+    Stations may serve the chains at different rates ([Is] and the
+    single-server product-form types).  Multi-server / load-dependent
+    stations are supported only in single-chain models (delegate to
+    {!Pfqn}); the thesis' multichain examples use [is]/[fcfs] stations. *)
+
+type kind = Is | Queueing
+(** [Queueing] covers fcfs / ps / lcfspr, which share the MVA recursion. *)
+
+type t
+
+val make :
+  stations:(string * kind) list ->
+  chains:string list ->
+  rates:(string * string * float) list ->
+  (* station, chain, service rate *)
+  routing:(string * string * string * float) list ->
+  (* chain, from-station, to-station, probability *)
+  t
+
+type result = {
+  throughput : float;
+  utilization : float;
+  qlength : float;
+  rtime : float;
+}
+
+val solve :
+  t -> populations:(string * int) list -> (string * string * result) list
+(** Per (station, chain) results. *)
+
+val station_qlength : t -> populations:(string * int) list -> string -> float
+val station_utilization : t -> populations:(string * int) list -> string -> float
+val chain_throughput : t -> populations:(string * int) list -> chain:string -> station:string -> float

@@ -1,0 +1,42 @@
+(** Single-chain closed product-form queueing networks (thesis §3.8),
+    solved by exact Mean Value Analysis with load-dependent extensions.
+
+    Station kinds (SHARPE keywords):
+    - [Is]: infinite server (delay);
+    - [Fcfs], [Ps], [Lcfspr]: single queueing server (these share the MVA
+      recursion — the product-form types);
+    - [Ms (m, rate)]: [m] parallel servers;
+    - [Lds rates]: one server whose rate depends on the local population
+      (the last listed rate repeats for larger populations).
+
+    Visit ratios come from the routing (traffic) equations with the first
+    declared station as the reference (visit ratio 1). *)
+
+type kind =
+  | Is of float
+  | Fcfs of float
+  | Ps of float
+  | Lcfspr of float
+  | Ms of int * float
+  | Lds of float list
+
+type t
+
+val make :
+  stations:(string * kind) list -> routing:(string * string * float) list -> t
+(** @raise Invalid_argument on unknown stations in routing or empty model. *)
+
+val visit_ratios : t -> (string * float) list
+
+type station_result = {
+  throughput : float;  (** X * v_k *)
+  utilization : float; (** server busy probability (per server for Ms) *)
+  qlength : float;     (** mean number at the station *)
+  rtime : float;       (** mean response time per visit *)
+}
+
+val solve : t -> customers:int -> (string * station_result) list
+val throughput : t -> customers:int -> string -> float
+val utilization : t -> customers:int -> string -> float
+val qlength : t -> customers:int -> string -> float
+val rtime : t -> customers:int -> string -> float

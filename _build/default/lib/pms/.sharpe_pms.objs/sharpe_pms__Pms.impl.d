@@ -1,0 +1,1 @@
+lib/pms/pms.ml: Array Float Hashtbl List Sharpe_bdd Sharpe_expo

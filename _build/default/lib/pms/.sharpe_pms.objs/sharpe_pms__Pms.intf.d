@@ -1,0 +1,1 @@
+lib/pms/pms.mli: Sharpe_bdd Sharpe_expo

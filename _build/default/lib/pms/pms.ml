@@ -1,0 +1,97 @@
+module E = Sharpe_expo.Exponomial
+module F = Sharpe_bdd.Formula
+module Bdd = Sharpe_bdd.Bdd
+
+type phase = {
+  name : string;
+  duration : float;
+  tree : string F.t;
+  dist : string -> E.t;
+}
+
+type t = { phase_list : phase list; components : string list }
+
+let make phase_list =
+  if phase_list = [] then invalid_arg "Pms.make: no phases";
+  List.iter
+    (fun p -> if p.duration < 0.0 then invalid_arg "Pms.make: negative duration")
+    phase_list;
+  let components =
+    List.concat_map (fun p -> F.vars p.tree) phase_list
+    |> List.sort_uniq compare
+  in
+  { phase_list; components }
+
+let phases t = t.phase_list
+let total_duration t = List.fold_left (fun a p -> a +. p.duration) 0.0 t.phase_list
+
+(* elapsed time within each of the first m phases given mission time [time];
+   [side] resolves exact boundaries *)
+let active_phases t side time =
+  let phases = Array.of_list t.phase_list in
+  let n = Array.length phases in
+  let time = Float.max 0.0 (Float.min time (total_duration t)) in
+  let rec locate i start =
+    if i >= n then (n, [])
+    else
+      let fin = start +. phases.(i).duration in
+      if time < fin -. 1e-12 then (i + 1, [ time -. start ])
+      else if Float.abs (time -. fin) <= 1e-12 then
+        (* exactly at the end of phase i *)
+        match side with
+        | `Left -> (i + 1, [ phases.(i).duration ])
+        | `Right ->
+            if i + 1 < n then (i + 2, [ phases.(i).duration; 0.0 ])
+            else (i + 1, [ phases.(i).duration ])
+      else
+        let m, rest = locate (i + 1) fin in
+        (m, phases.(i).duration :: rest)
+  in
+  let m, taus = locate 0 0.0 in
+  (Array.sub phases 0 m, Array.of_list taus)
+
+let unreliability ?(side = `Left) t time =
+  let phases, taus = active_phases t side time in
+  let m = Array.length phases in
+  let comps = Array.of_list t.components in
+  let ncomp = Array.length comps in
+  let comp_index = Hashtbl.create 16 in
+  Array.iteri (fun i c -> Hashtbl.add comp_index c i) comps;
+  (* variable (c, j): component c failed by end of (elapsed part of) phase j;
+     id = c_index * m + (j - 1), grouping a component's phases contiguously *)
+  let var_of c j = (Hashtbl.find comp_index c * m) + j - 1 in
+  let failure =
+    F.Or
+      (List.init m (fun j0 ->
+           let j = j0 + 1 in
+           F.map_vars (fun c -> var_of c j) phases.(j0).tree))
+  in
+  let mgr = Bdd.manager () in
+  let bdd = F.build mgr (Bdd.var mgr) failure in
+  (* groups: per component, states "fails during phase j" (j = 1..m) and
+     "survives the analyzed horizon" *)
+  let groups =
+    List.init ncomp (fun ci ->
+        let c = comps.(ci) in
+        let vars = List.init m (fun j0 -> var_of c (j0 + 1)) in
+        let survive_upto j =
+          (* probability of surviving phases 1..j *)
+          let acc = ref 1.0 in
+          for i = 0 to j - 1 do
+            acc := !acc *. (1.0 -. E.eval (phases.(i).dist c) taus.(i))
+          done;
+          !acc
+        in
+        let fail_states =
+          List.init m (fun j0 ->
+              let j = j0 + 1 in
+              let p = survive_upto (j - 1) *. E.eval (phases.(j0).dist c) taus.(j0) in
+              { Bdd.state_prob = p;
+                assigns = (fun v -> v >= var_of c j && v <= var_of c m) })
+        in
+        let survive =
+          { Bdd.state_prob = survive_upto m; assigns = (fun _ -> false) }
+        in
+        (vars, fail_states @ [ survive ]))
+  in
+  Bdd.prob_grouped mgr bdd ~groups

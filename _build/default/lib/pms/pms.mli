@@ -1,0 +1,40 @@
+(** Phased-mission systems (thesis §3.1, Zang's BDD algorithm).
+
+    A mission is an ordered list of phases; each phase has a duration and a
+    fault-tree configuration over a common pool of components.  A component
+    may have a different failure distribution in every phase (its clock
+    restarts at each phase boundary; the thesis models use exponential
+    phase distributions, for which this is the standard PMS semantics).
+
+    The mission has failed by time [t] (inside phase m) iff for some phase
+    [j <= m] the phase-[j] structure function is true of the component-failure
+    indicators at the end of phase [j] (at [t] for [j = m]).  Because a
+    component's per-phase failure indicators are monotone across phases, each
+    component is a multi-valued variable "failed during phase j / survived",
+    and the failure BDD is evaluated with the grouped semantics of
+    {!Sharpe_bdd.Bdd.prob_grouped} — latent faults (a component failing in a
+    phase whose configuration does not need it) are handled exactly.
+
+    At an exact phase boundary the unreliability is ambiguous; SHARPE's
+    [ltimep]/[rtimep] switches select the configuration of the ending phase
+    ([`Left]) or of the starting phase ([`Right], which exposes latent
+    faults). *)
+
+type phase = {
+  name : string;
+  duration : float;
+  tree : string Sharpe_bdd.Formula.t;
+      (** failure structure function over component names *)
+  dist : string -> Sharpe_expo.Exponomial.t;
+      (** per-component failure CDF *within this phase* *)
+}
+
+type t
+
+val make : phase list -> t
+val phases : t -> phase list
+val total_duration : t -> float
+
+val unreliability : ?side:[ `Left | `Right ] -> t -> float -> float
+(** [unreliability pms t] — SHARPE's [tvalue(t; pms)].  [side] (default
+    [`Left]) picks the configuration at exact phase boundaries. *)

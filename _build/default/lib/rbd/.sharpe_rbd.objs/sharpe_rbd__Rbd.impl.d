@@ -1,0 +1,1 @@
+lib/rbd/rbd.ml: Array List Sharpe_expo

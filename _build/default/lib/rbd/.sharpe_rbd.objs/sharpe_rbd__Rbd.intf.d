@@ -1,0 +1,1 @@
+lib/rbd/rbd.mli: Sharpe_expo

@@ -1,0 +1,52 @@
+module E = Sharpe_expo.Exponomial
+
+type t =
+  | Comp of E.t
+  | Series of t list
+  | Parallel of t list
+  | Kofn of int * int * t
+  | Kofn_list of int * t list
+
+(* CDF of "at least m of the given failure CDFs have occurred":
+   dynamic programming over the exact-count distribution. *)
+let at_least_m_failed m cdfs =
+  let n = List.length cdfs in
+  if m <= 0 then E.one
+  else if m > n then E.zero
+  else begin
+    let counts = Array.make (n + 1) E.zero in
+    counts.(0) <- E.one;
+    List.iteri
+      (fun i f ->
+        let fbar = E.complement f in
+        for j = min (i + 1) n downto 0 do
+          let stay = E.mul counts.(j) fbar in
+          let come = if j > 0 then E.mul counts.(j - 1) f else E.zero in
+          counts.(j) <- E.add stay come
+        done)
+      cdfs;
+    let acc = ref E.zero in
+    for j = m to n do
+      acc := E.add !acc counts.(j)
+    done;
+    !acc
+  end
+
+let rec failure_cdf = function
+  | Comp f -> f
+  | Series parts ->
+      (* fails when any part fails: 1 - prod (1 - F_i) *)
+      E.complement (E.prod (List.map (fun p -> E.complement (failure_cdf p)) parts))
+  | Parallel parts -> E.prod (List.map failure_cdf parts)
+  | Kofn (k, n, part) ->
+      if k < 1 || k > n then invalid_arg "Rbd.Kofn: need 1 <= k <= n";
+      let f = failure_cdf part in
+      at_least_m_failed (n - k + 1) (List.init n (fun _ -> f))
+  | Kofn_list (k, parts) ->
+      let n = List.length parts in
+      if k < 1 || k > n then invalid_arg "Rbd.Kofn_list: need 1 <= k <= n";
+      at_least_m_failed (n - k + 1) (List.map failure_cdf parts)
+
+let unreliability b t = E.eval (failure_cdf b) t
+let reliability b t = 1.0 -. unreliability b t
+let mean_time_to_failure b = E.mean (failure_cdf b)

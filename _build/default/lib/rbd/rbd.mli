@@ -1,0 +1,26 @@
+(** Reliability block diagrams (thesis §3.4).
+
+    Blocks are combined from independent components; SHARPE semantics: every
+    reference to a component *type* is a physically distinct copy, so a block
+    is a tree and the failure CDF combines symbolically:
+    series fails when any part fails, parallel when all do, and a k-of-n
+    block fails when n-k+1 of its n parts have failed. *)
+
+type t =
+  | Comp of Sharpe_expo.Exponomial.t  (** failure-time CDF of a component *)
+  | Series of t list
+  | Parallel of t list
+  | Kofn of int * int * t  (** [Kofn (k, n, b)]: n iid copies of [b], k must work *)
+  | Kofn_list of int * t list  (** k of the listed (distinct) parts must work *)
+
+val failure_cdf : t -> Sharpe_expo.Exponomial.t
+(** Symbolic CDF of the block's time to failure. *)
+
+val unreliability : t -> float -> float
+(** [unreliability b t] = failure CDF evaluated at [t]. *)
+
+val reliability : t -> float -> float
+
+val mean_time_to_failure : t -> float
+(** Mean of {!failure_cdf} (proper or defective, see
+    {!Sharpe_expo.Exponomial.mean}). *)

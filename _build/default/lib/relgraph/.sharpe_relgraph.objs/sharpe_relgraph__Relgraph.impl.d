@@ -1,0 +1,1 @@
+lib/relgraph/relgraph.ml: Float Hashtbl List Option Printf Sharpe_bdd Sharpe_expo String

@@ -1,0 +1,1 @@
+lib/relgraph/relgraph.mli: Sharpe_expo

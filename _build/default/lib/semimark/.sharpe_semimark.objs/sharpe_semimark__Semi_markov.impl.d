@@ -1,0 +1,1 @@
+lib/semimark/semi_markov.ml: Array Fun Linsolve List Matrix Queue Sharpe_expo Sharpe_numerics Sparse

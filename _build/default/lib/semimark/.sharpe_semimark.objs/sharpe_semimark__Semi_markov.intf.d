@@ -1,0 +1,1 @@
+lib/semimark/semi_markov.mli: Sharpe_expo

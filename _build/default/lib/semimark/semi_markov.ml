@@ -1,0 +1,166 @@
+open Sharpe_numerics
+module E = Sharpe_expo.Exponomial
+
+type mode = [ `Cond | `Uncond ]
+
+type t = {
+  n : int;
+  kernel : (int * int * E.t) list; (* unconditional kernels K_ij *)
+  p : Matrix.t; (* embedded DTMC branching probabilities *)
+  h : float array; (* mean holding times *)
+}
+
+let race_kernels edges_from =
+  (* competing independent timers: K_ij(t) = integral over (0,t] of
+     prod_(k<>j) (1 - F_ik(u)) dF_ij(u) *)
+  List.map
+    (fun (j, f) ->
+      let others =
+        List.filter_map (fun (k, g) -> if k = j then None else Some (E.complement g)) edges_from
+      in
+      let survivors = E.prod others in
+      let integrand = E.mul (E.deriv f) survivors in
+      (j, E.integrate integrand))
+    edges_from
+
+let make ?(mode = `Uncond) ~n edges =
+  List.iter (fun (i, j, _) ->
+      if i < 0 || i >= n || j < 0 || j >= n then invalid_arg "Semi_markov.make: state range";
+      if i = j then invalid_arg "Semi_markov.make: self loop")
+    edges;
+  let kernel =
+    match mode with
+    | `Uncond -> edges
+    | `Cond ->
+        List.concat_map
+          (fun i ->
+            let from_i = List.filter_map (fun (i', j, f) -> if i' = i then Some (j, f) else None) edges in
+            List.map (fun (j, k) -> (i, j, k)) (race_kernels from_i))
+          (List.init n Fun.id)
+  in
+  let p = Matrix.create ~rows:n ~cols:n in
+  List.iter (fun (i, j, k) -> Matrix.add_to p i j (E.limit_at_inf k)) kernel;
+  let h = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let hold = E.sum (List.filter_map (fun (i', _, k) -> if i' = i then Some k else None) kernel) in
+    if not (E.is_zero hold) then h.(i) <- E.mean hold
+  done;
+  { n; kernel; p; h }
+
+let n_states s = s.n
+let branch_prob s i j = Matrix.get s.p i j
+let mean_sojourn s i = s.h.(i)
+
+let is_absorbing s i =
+  let total = Array.fold_left ( +. ) 0.0 (Matrix.row s.p i) in
+  total < 1e-12
+
+let steady_state s =
+  let b = Sparse.builder ~rows:s.n ~cols:s.n in
+  for i = 0 to s.n - 1 do
+    for j = 0 to s.n - 1 do
+      let p = Matrix.get s.p i j in
+      if p > 0.0 then Sparse.add b i j p
+    done
+  done;
+  let nu = Linsolve.dtmc_steady_state (Sparse.finalize b) in
+  let w = Array.mapi (fun i v -> v *. s.h.(i)) nu in
+  let z = Array.fold_left ( +. ) 0.0 w in
+  if z <= 0.0 then invalid_arg "Semi_markov.steady_state: zero total holding";
+  Array.map (fun x -> x /. z) w
+
+let expected_reward_ss s ~reward =
+  let pi = steady_state s in
+  let acc = ref 0.0 in
+  Array.iteri (fun i p -> acc := !acc +. (p *. reward i)) pi;
+  !acc
+
+let expected_visits s ~init ~absorbing =
+  (* v = init (I - P_TT)^-1 over non-absorbing states *)
+  let trans = List.filter (fun i -> not absorbing.(i)) (List.init s.n Fun.id) in
+  let idx = Array.make s.n (-1) in
+  List.iteri (fun k i -> idx.(i) <- k) trans;
+  let nt = List.length trans in
+  let a = Matrix.identity nt in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          let p = Matrix.get s.p i j in
+          if p > 0.0 && idx.(j) >= 0 then
+            (* (I - P^T): column form since we solve v (I-P) = init *)
+            Matrix.add_to a idx.(j) idx.(i) (-.p))
+        (List.init s.n Fun.id))
+    trans;
+  let b = Array.make nt 0.0 in
+  List.iter (fun i -> b.(idx.(i)) <- init.(i)) trans;
+  let v = Linsolve.gauss a b in
+  (idx, v)
+
+let mean_time_to_absorption s ~init =
+  let absorbing = Array.init s.n (is_absorbing s) in
+  if not (Array.exists Fun.id absorbing) then
+    invalid_arg "Semi_markov: no absorbing state";
+  let idx, v = expected_visits s ~init ~absorbing in
+  let acc = ref 0.0 in
+  for i = 0 to s.n - 1 do
+    if idx.(i) >= 0 then acc := !acc +. (v.(idx.(i)) *. s.h.(i))
+  done;
+  !acc
+
+let mttf s ~init ~readf =
+  let keep = Array.make s.n true in
+  List.iter (fun f -> keep.(f) <- false) readf;
+  let kernel = List.filter (fun (i, _, _) -> keep.(i)) s.kernel in
+  let s' = make ~mode:`Uncond ~n:s.n kernel in
+  mean_time_to_absorption s' ~init
+
+let topo_order s =
+  let succ = Array.make s.n [] and indeg = Array.make s.n 0 in
+  List.iter
+    (fun (i, j, _) ->
+      succ.(i) <- j :: succ.(i);
+      indeg.(j) <- indeg.(j) + 1)
+    s.kernel;
+  let q = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i q) indeg;
+  let order = ref [] and cnt = ref 0 in
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    order := i :: !order;
+    incr cnt;
+    List.iter
+      (fun j ->
+        indeg.(j) <- indeg.(j) - 1;
+        if indeg.(j) = 0 then Queue.add j q)
+      succ.(i)
+  done;
+  if !cnt <> s.n then None else Some (List.rev !order)
+
+let first_passage s ~init =
+  match topo_order s with
+  | None -> invalid_arg "Semi_markov.first_passage: cyclic chain"
+  | Some order ->
+      let entry = Array.map (fun p -> E.const p) init in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun (i', j, k) ->
+              if i' = i && not (E.is_zero entry.(i)) then
+                entry.(j) <- E.add entry.(j) (E.convolve entry.(i) k))
+            s.kernel)
+        order;
+      entry
+
+let occupancy s ~init =
+  let entry = first_passage s ~init in
+  Array.mapi
+    (fun i a ->
+      let depart =
+        E.sum
+          (List.filter_map
+             (fun (i', _, k) -> if i' = i then Some (E.convolve a k) else None)
+             s.kernel)
+      in
+      E.sub a depart)
+    entry

@@ -1,0 +1,47 @@
+(** Semi-Markov chains (thesis §3.11).
+
+    A semi-Markov chain is specified by edges [i -> j] carrying a
+    distribution (an exponomial CDF).  By default ([`Uncond]) the edge
+    distribution is the *unconditional kernel* K_ij(t) = P(next state is j
+    and the sojourn is <= t | current state i); per state the kernels' limits
+    sum to at most 1.  With [`Cond] the distributions are conditional
+    sojourn-time distributions and the branching probabilities are taken from
+    the kernels' relative masses at infinity (limits are normalized). *)
+
+type mode = [ `Cond | `Uncond ]
+
+type t
+
+val make : ?mode:mode -> n:int -> (int * int * Sharpe_expo.Exponomial.t) list -> t
+
+val n_states : t -> int
+val branch_prob : t -> int -> int -> float
+(** Embedded-DTMC transition probability. *)
+
+val mean_sojourn : t -> int -> float
+(** Expected holding time in a state (0 for absorbing states). *)
+
+val is_absorbing : t -> int -> bool
+
+val steady_state : t -> float array
+(** pi_i = nu_i h_i / sum_j nu_j h_j with [nu] the embedded-DTMC steady
+    state and [h] the mean holding times. *)
+
+val expected_reward_ss : t -> reward:(int -> float) -> float
+
+val mean_time_to_absorption : t -> init:float array -> float
+(** Expected time until an absorbing state is reached. *)
+
+val mttf : t -> init:float array -> readf:int list -> float
+(** Mean time until first hitting any [readf] state (they are made
+    absorbing), for the fastmttf feature over semi-Markov chains. *)
+
+val first_passage : t -> init:float array -> Sharpe_expo.Exponomial.t array
+(** For *acyclic* chains: A_j(t) = P(chain has entered state j by t), the
+    symbolic interval-of-entry distribution per state.  For absorbing [j]
+    this is the (possibly defective) absorption-time CDF.
+    @raise Invalid_argument on cyclic chains. *)
+
+val occupancy : t -> init:float array -> Sharpe_expo.Exponomial.t array
+(** For *acyclic* chains: P(in state j at time t), symbolically —
+    entry distribution minus departure distribution. *)

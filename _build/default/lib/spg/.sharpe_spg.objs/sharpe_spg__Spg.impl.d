@@ -1,0 +1,1 @@
+lib/spg/spg.ml: Array Float Hashtbl List Option Printf Sharpe_expo

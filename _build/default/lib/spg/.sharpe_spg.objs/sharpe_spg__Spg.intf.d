@@ -1,0 +1,1 @@
+lib/spg/spg.mli: Sharpe_expo

@@ -1,0 +1,185 @@
+module E = Sharpe_expo.Exponomial
+
+type exit_type = Prob | Max | Min | Kofn of int * int
+
+type t = {
+  mutable edges : (string * string) list; (* reversed *)
+  dists : (string, E.t) Hashtbl.t;
+  exits : (string, exit_type) Hashtbl.t;
+  probs : (string * string, float) Hashtbl.t;
+}
+
+let dummy_entry = "E."
+
+let create () =
+  { edges = []; dists = Hashtbl.create 16; exits = Hashtbl.create 8; probs = Hashtbl.create 8 }
+
+let add_edge g u v = g.edges <- (u, v) :: g.edges
+let set_dist g n d = Hashtbl.replace g.dists n d
+let set_exit g n e = Hashtbl.replace g.exits n e
+let set_prob g u v p = Hashtbl.replace g.probs (u, v) p
+
+let nodes g =
+  List.sort_uniq compare
+    (List.concat_map (fun (u, v) -> [ u; v ]) g.edges
+    @ Hashtbl.fold (fun n _ acc -> n :: acc) g.dists [])
+
+let successors g n =
+  List.rev (List.filter_map (fun (u, v) -> if u = n then Some v else None) g.edges)
+
+let entrances g =
+  let has_pred n = List.exists (fun (_, v) -> v = n) g.edges in
+  List.filter (fun n -> not (has_pred n)) (nodes g)
+
+let entry g =
+  match entrances g with
+  | [ e ] -> e
+  | [] -> invalid_arg "Spg: no entrance node"
+  | _ ->
+      if Hashtbl.mem g.exits dummy_entry then dummy_entry
+      else invalid_arg "Spg: several entrances; configure the dummy E. node"
+
+let validate g =
+  (* out-tree check: indegree <= 1 *)
+  let indeg = Hashtbl.create 16 in
+  List.iter
+    (fun (_, v) ->
+      Hashtbl.replace indeg v (1 + Option.value ~default:0 (Hashtbl.find_opt indeg v)))
+    g.edges;
+  Hashtbl.iter
+    (fun n d ->
+      if d > 1 then
+        invalid_arg
+          (Printf.sprintf "Spg: node %s has several predecessors (not series-parallel here)" n))
+    indeg
+
+let dist_of g n =
+  if n = dummy_entry then E.one (* zero distribution: instantaneous *)
+  else
+    match Hashtbl.find_opt g.dists n with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Spg: no distribution for node %s" n)
+
+let succ_of g n = if n = dummy_entry then entrances g else successors g n
+
+let branch_probs g n succs =
+  let known =
+    List.map (fun s -> (s, Hashtbl.find_opt g.probs (n, s))) succs
+  in
+  let total = List.fold_left (fun a (_, p) -> a +. Option.value ~default:0.0 p) 0.0 known in
+  let missing = List.filter (fun (_, p) -> p = None) known in
+  match missing with
+  | [] ->
+      if Float.abs (total -. 1.0) > 1e-9 then
+        invalid_arg (Printf.sprintf "Spg: probabilities out of %s do not sum to 1" n);
+      List.map (fun (s, p) -> (s, Option.get p)) known
+  | [ (m, _) ] ->
+      if total > 1.0 +. 1e-9 then
+        invalid_arg (Printf.sprintf "Spg: probabilities out of %s exceed 1" n);
+      List.map (fun (s, p) -> (s, match p with Some p -> p | None -> ignore m; 1.0 -. total)) known
+  | _ -> invalid_arg (Printf.sprintf "Spg: more than one missing probability out of %s" n)
+
+(* CDF of "at least k of the given completion CDFs have happened" *)
+let at_least k cdfs =
+  let n = List.length cdfs in
+  if k <= 0 then E.one
+  else if k > n then E.zero
+  else begin
+    let counts = Array.make (n + 1) E.zero in
+    counts.(0) <- E.one;
+    List.iteri
+      (fun i f ->
+        let fbar = E.complement f in
+        for j = min (i + 1) n downto 0 do
+          let stay = E.mul counts.(j) fbar in
+          let come = if j > 0 then E.mul counts.(j - 1) f else E.zero in
+          counts.(j) <- E.add stay come
+        done)
+      cdfs;
+    let acc = ref E.zero in
+    for j = k to n do
+      acc := E.add !acc counts.(j)
+    done;
+    !acc
+  end
+
+let rec subgraph_cdf g n =
+  let d = dist_of g n in
+  match succ_of g n with
+  | [] -> d
+  | [ s ] -> (
+      (* single successor: series, unless a replicating kofn exit *)
+      match Hashtbl.find_opt g.exits n with
+      | Some (Kofn (k, nn)) ->
+          E.convolve d (at_least k (List.init nn (fun _ -> subgraph_cdf g s)))
+      | _ -> E.convolve d (subgraph_cdf g s))
+  | succs -> (
+      match Hashtbl.find_opt g.exits n with
+      | None -> invalid_arg (Printf.sprintf "Spg: node %s needs an exit type" n)
+      | Some Max -> E.convolve d (E.prod (List.map (subgraph_cdf g) succs))
+      | Some Min ->
+          E.convolve d
+            (E.complement
+               (E.prod (List.map (fun s -> E.complement (subgraph_cdf g s)) succs)))
+      | Some (Kofn (k, nn)) ->
+          if List.length succs <> nn then
+            invalid_arg (Printf.sprintf "Spg: kofn exit of %s needs %d successors" n nn);
+          E.convolve d (at_least k (List.map (subgraph_cdf g) succs))
+      | Some Prob ->
+          let bp = branch_probs g n succs in
+          E.convolve d
+            (E.sum (List.map (fun (s, p) -> E.scale p (subgraph_cdf g s)) bp)))
+
+let completion_cdf g =
+  validate g;
+  subgraph_cdf g (entry g)
+
+let mean g = E.mean (completion_cdf g)
+let variance g = E.variance (completion_cdf g)
+
+let cross combine lists =
+  List.fold_left
+    (fun acc l ->
+      List.concat_map (fun (pa, da) -> List.map (fun (pb, db) -> (pa *. pb, combine da db)) l) acc)
+    [ (1.0, []) ]
+    lists
+  |> List.map (fun (p, ds) -> (p, List.rev ds))
+
+let rec subgraph_paths g n : (float * E.t) list =
+  let d = dist_of g n in
+  let series rest = List.map (fun (p, c) -> (p, E.convolve d c)) rest in
+  match succ_of g n with
+  | [] -> [ (1.0, d) ]
+  | [ s ] -> (
+      match Hashtbl.find_opt g.exits n with
+      | Some (Kofn (k, nn)) ->
+          let branches = List.init nn (fun _ -> subgraph_paths g s) in
+          let combos = cross (fun acc x -> x :: acc) branches in
+          series (List.map (fun (p, cdfs) -> (p, at_least k cdfs)) combos)
+      | _ -> series (subgraph_paths g s))
+  | succs -> (
+      match Hashtbl.find_opt g.exits n with
+      | None -> invalid_arg (Printf.sprintf "Spg: node %s needs an exit type" n)
+      | Some Prob ->
+          let bp = branch_probs g n succs in
+          series
+            (List.concat_map
+               (fun (s, p) -> List.map (fun (p', c) -> (p *. p', c)) (subgraph_paths g s))
+               bp)
+      | Some Max ->
+          let combos = cross (fun acc x -> x :: acc) (List.map (subgraph_paths g) succs) in
+          series (List.map (fun (p, cdfs) -> (p, E.prod cdfs)) combos)
+      | Some Min ->
+          let combos = cross (fun acc x -> x :: acc) (List.map (subgraph_paths g) succs) in
+          series
+            (List.map
+               (fun (p, cdfs) ->
+                 (p, E.complement (E.prod (List.map E.complement cdfs))))
+               combos)
+      | Some (Kofn (k, _)) ->
+          let combos = cross (fun acc x -> x :: acc) (List.map (subgraph_paths g) succs) in
+          series (List.map (fun (p, cdfs) -> (p, at_least k cdfs)) combos))
+
+let multipath g =
+  validate g;
+  subgraph_paths g (entry g)

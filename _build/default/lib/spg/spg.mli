@@ -1,0 +1,41 @@
+(** Series-parallel acyclic directed (task-precedence) graphs (thesis §3.7).
+
+    Nodes are tasks with completion-time distributions; edges are precedence
+    constraints.  A node with several successors carries an exit type:
+    - [Prob]: exactly one successor subgraph runs, chosen with the edge
+      probabilities (a missing probability is inferred);
+    - [Max]: all successor subgraphs run in parallel and all must finish;
+    - [Min]: all run, the first to finish releases the rest;
+    - [Kofn (k, n)]: k of the n parallel subgraphs must finish (a single
+      successor is replicated into n iid copies).
+
+    The completion-time distribution combines symbolically: series =
+    convolution, [Max] = product of CDFs, [Min] = complement-product,
+    [Prob] = mixture.  The successor subgraphs of a fork must be disjoint
+    (true series-parallel structure; checked). *)
+
+type exit_type = Prob | Max | Min | Kofn of int * int
+
+type t
+
+val create : unit -> t
+val add_edge : t -> string -> string -> unit
+val set_dist : t -> string -> Sharpe_expo.Exponomial.t -> unit
+val set_exit : t -> string -> exit_type -> unit
+val set_prob : t -> string -> string -> float -> unit
+(** Probability of the edge out of a [Prob]-exit node. *)
+
+val entry : t -> string
+(** The entry node; if the graph has several entrance nodes a dummy [E.]
+    node must have been configured via {!set_exit} under the name ["E."] and
+    this returns it.  @raise Invalid_argument otherwise. *)
+
+val completion_cdf : t -> Sharpe_expo.Exponomial.t
+(** Distribution of the time to complete the whole graph. *)
+
+val mean : t -> float
+val variance : t -> float
+
+val multipath : t -> (float * Sharpe_expo.Exponomial.t) list
+(** SHARPE's [multpath]: for every resolution of the probabilistic branches,
+    the path probability and the conditional completion-time CDF. *)

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Bdd Float Format List QCheck QCheck_alcotest Sharpe_bdd Sharpe_expo

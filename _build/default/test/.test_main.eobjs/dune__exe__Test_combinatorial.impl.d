@@ -1,0 +1,1 @@
+test/test_combinatorial.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Sharpe_bdd Sharpe_expo Sharpe_ftree Sharpe_mstree Sharpe_pms Sharpe_rbd Sharpe_relgraph Sharpe_spg

@@ -1,0 +1,1 @@
+test/test_expo.ml: Alcotest Dist Exponomial Float List Printf QCheck QCheck_alcotest Sharpe_expo String

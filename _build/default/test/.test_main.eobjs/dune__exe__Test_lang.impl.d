@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Float List Printf Sharpe_lang Sharpe_markov String

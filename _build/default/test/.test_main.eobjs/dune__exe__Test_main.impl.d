@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bdd Test_combinatorial Test_expo Test_lang Test_markov Test_more Test_numerics Test_petri Test_pfqn Test_semimark

@@ -1,0 +1,1 @@
+test/test_markov.ml: Acyclic Alcotest Array Ctmc Fast_mttf Float List Printf QCheck QCheck_alcotest Sharpe_expo Sharpe_markov Sharpe_numerics

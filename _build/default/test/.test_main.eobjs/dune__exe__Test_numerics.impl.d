@@ -1,0 +1,1 @@
+test/test_numerics.ml: Alcotest Array Float Gen Linsolve List Matrix Poisson Printf QCheck QCheck_alcotest Sharpe_numerics Sparse

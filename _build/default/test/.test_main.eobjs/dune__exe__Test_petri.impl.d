@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Sharpe_petri

@@ -1,0 +1,1 @@
+test/test_pfqn.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Sharpe_markov Sharpe_pfqn

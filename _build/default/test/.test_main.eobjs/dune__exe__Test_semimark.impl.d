@@ -1,0 +1,1 @@
+test/test_semimark.ml: Alcotest Array Float Gen List Printf QCheck QCheck_alcotest Sharpe_expo Sharpe_markov Sharpe_mrgp Sharpe_semimark

@@ -1,0 +1,237 @@
+(* Tests for the BDD substrate. *)
+open Sharpe_bdd
+
+let checkf = Alcotest.(check (float 1e-12))
+
+let test_terminals () =
+  let m = Bdd.manager () in
+  Alcotest.(check bool) "zero" true (Bdd.is_zero (Bdd.zero m));
+  Alcotest.(check bool) "one" true (Bdd.is_one (Bdd.one m));
+  Alcotest.(check bool) "not one = zero" true (Bdd.is_zero (Bdd.not_ m (Bdd.one m)))
+
+let test_canonicity () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f1 = Bdd.or_ m (Bdd.and_ m a b) (Bdd.and_ m a (Bdd.not_ m b)) in
+  (* a*b + a*!b = a *)
+  Alcotest.(check bool) "simplifies to a" true (Bdd.equal f1 a);
+  let f2 = Bdd.and_ m a (Bdd.not_ m a) in
+  Alcotest.(check bool) "contradiction" true (Bdd.is_zero f2);
+  let f3 = Bdd.or_ m a (Bdd.not_ m a) in
+  Alcotest.(check bool) "tautology" true (Bdd.is_one f3)
+
+let test_commutativity_hash_consing () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  Alcotest.(check bool) "and commutes to same node" true
+    (Bdd.equal (Bdd.and_ m a b) (Bdd.and_ m b a));
+  Alcotest.(check bool) "or commutes to same node" true
+    (Bdd.equal (Bdd.or_ m a b) (Bdd.or_ m b a))
+
+let test_xor_imp () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let x = Bdd.xor m a b in
+  (* xor restricted: a=1 -> !b *)
+  Alcotest.(check bool) "xor|a=1 = !b" true (Bdd.equal (Bdd.restrict m x 0 true) (Bdd.not_ m b));
+  let i = Bdd.imp m a b in
+  Alcotest.(check bool) "imp|a=0 = 1" true (Bdd.is_one (Bdd.restrict m i 0 false))
+
+let test_kofn () =
+  let m = Bdd.manager () in
+  let vs = List.init 4 (Bdd.var m) in
+  let f = Bdd.kofn m 2 vs in
+  (* count assignments with >= 2 of 4 true: C(4,2)+C(4,3)+C(4,4) = 6+4+1 = 11 *)
+  checkf "sat count" 11.0 (Bdd.sat_count m f ~nvars:4);
+  Alcotest.(check bool) "kofn 0 = one" true (Bdd.is_one (Bdd.kofn m 0 vs));
+  Alcotest.(check bool) "kofn 5 of 4 = zero" true (Bdd.is_zero (Bdd.kofn m 5 vs));
+  let all = Bdd.kofn m 4 vs in
+  Alcotest.(check bool) "kofn n = and" true (Bdd.equal all (Bdd.and_list m vs))
+
+let test_support () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and c = Bdd.var m 2 in
+  let f = Bdd.or_ m a c in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Bdd.support m f)
+
+let test_prob_series_parallel () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let pr = function 0 -> 0.3 | 1 -> 0.4 | _ -> 0.0 in
+  checkf "and" (0.3 *. 0.4) (Bdd.prob m (Bdd.and_ m a b) pr);
+  checkf "or" (0.3 +. 0.4 -. (0.3 *. 0.4)) (Bdd.prob m (Bdd.or_ m a b) pr);
+  checkf "not" 0.7 (Bdd.prob m (Bdd.not_ m a) pr)
+
+let test_prob_kofn () =
+  let m = Bdd.manager () in
+  let vs = List.init 3 (Bdd.var m) in
+  let p = 0.2 in
+  let f = Bdd.kofn m 2 vs in
+  let expected = (3.0 *. p *. p *. (1.0 -. p)) +. (p *. p *. p) in
+  checkf "2-of-3" expected (Bdd.prob m f (fun _ -> p))
+
+let test_eval_symbolic () =
+  (* evaluate with exponomials: series system of two exp components *)
+  let module E = Sharpe_expo.Exponomial in
+  let module D = Sharpe_expo.Dist in
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.or_ m a b in
+  (* failure CDFs *)
+  let cdf = function 0 -> D.exponential 1.0 | _ -> D.exponential 2.0 in
+  let sys =
+    Bdd.eval m f ~p:cdf ~q:(fun v -> E.complement (cdf v)) ~add:E.add ~mul:E.mul
+      ~zero:E.zero ~one:E.one
+  in
+  let t = 0.8 in
+  let expected = 1.0 -. (exp (-.t) *. exp (-2.0 *. t)) in
+  Alcotest.(check (float 1e-9)) "symbolic or" expected (E.eval sys t)
+
+let test_mincuts_bridge () =
+  (* f = ab + cd + aed + ceb (classic bridge with repeated vars) *)
+  let m = Bdd.manager () in
+  let v i = Bdd.var m i in
+  let a = v 0 and b = v 1 and c = v 2 and d = v 3 and e = v 4 in
+  let f =
+    Bdd.or_list m
+      [ Bdd.and_list m [ a; b ];
+        Bdd.and_list m [ c; d ];
+        Bdd.and_list m [ a; e; d ];
+        Bdd.and_list m [ c; e; b ] ]
+  in
+  let cuts = Bdd.mincuts m f in
+  Alcotest.(check (list (list int))) "bridge cuts"
+    [ [ 0; 1 ]; [ 2; 3 ]; [ 0; 3; 4 ]; [ 1; 2; 4 ] ]
+    cuts
+
+let test_mincuts_subsumption () =
+  (* f = a + ab: cut {a} subsumes {a,b} *)
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.or_ m a (Bdd.and_ m a b) in
+  Alcotest.(check (list (list int))) "subsumed" [ [ 0 ] ] (Bdd.mincuts m f)
+
+let test_minterms () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.and_ m a b in
+  Alcotest.(check int) "one path" 1 (List.length (Bdd.minterms m f))
+
+let test_prob_grouped_exclusive () =
+  (* One component with 3 exclusive states s0,s1,s2 encoded as vars 0,1,2;
+     f = "state is 1 or 2". P = p1 + p2. *)
+  let m = Bdd.manager () in
+  let f = Bdd.or_ m (Bdd.var m 1) (Bdd.var m 2) in
+  let st k p = { Bdd.state_prob = p; assigns = (fun v -> v = k) } in
+  let groups = [ ([ 0; 1; 2 ], [ st 0 0.5; st 1 0.3; st 2 0.2 ]) ] in
+  checkf "exclusive states" 0.5 (Bdd.prob_grouped m f ~groups)
+
+let test_prob_grouped_two_components () =
+  (* two independent binary components, f = or: matches ordinary prob *)
+  let m = Bdd.manager () in
+  let f = Bdd.or_ m (Bdd.var m 0) (Bdd.var m 1) in
+  let comp v p =
+    ( [ v ],
+      [ { Bdd.state_prob = p; assigns = (fun _ -> true) };
+        { Bdd.state_prob = 1.0 -. p; assigns = (fun _ -> false) } ] )
+  in
+  checkf "matches independent"
+    (Bdd.prob m f (function 0 -> 0.3 | _ -> 0.4))
+    (Bdd.prob_grouped m f ~groups:[ comp 0 0.3; comp 1 0.4 ])
+
+(* Properties *)
+
+let gen_formula =
+  (* a small random monotone formula over 5 variables *)
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then map (fun v -> `Var v) (int_bound 4)
+    else
+      frequency
+        [ (2, map (fun v -> `Var v) (int_bound 4));
+          (1, map2 (fun a b -> `And (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map2 (fun a b -> `Or (a, b)) (go (depth - 1)) (go (depth - 1))) ]
+  in
+  go 4
+
+let rec build m = function
+  | `Var v -> Bdd.var m v
+  | `And (a, b) -> Bdd.and_ m (build m a) (build m b)
+  | `Or (a, b) -> Bdd.or_ m (build m a) (build m b)
+
+let rec eval_formula env = function
+  | `Var v -> env.(v)
+  | `And (a, b) -> eval_formula env a && eval_formula env b
+  | `Or (a, b) -> eval_formula env a || eval_formula env b
+
+let rec pp_formula ppf = function
+  | `Var v -> Format.fprintf ppf "x%d" v
+  | `And (a, b) -> Format.fprintf ppf "(%a & %a)" pp_formula a pp_formula b
+  | `Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp_formula a pp_formula b
+
+let arb_formula = QCheck.make ~print:(Format.asprintf "%a" pp_formula) gen_formula
+
+let prop_bdd_agrees_with_truth_table =
+  QCheck.Test.make ~name:"bdd agrees with formula on all assignments" ~count:100
+    arb_formula
+    (fun fm ->
+      let m = Bdd.manager () in
+      let f = build m fm in
+      let ok = ref true in
+      for mask = 0 to 31 do
+        let env = Array.init 5 (fun i -> mask land (1 lsl i) <> 0) in
+        let expected = eval_formula env fm in
+        let got =
+          let r = ref f in
+          for v = 0 to 4 do
+            r := Bdd.restrict m !r v env.(v)
+          done;
+          Bdd.is_one !r
+        in
+        if expected <> got then ok := false
+      done;
+      !ok)
+
+let prop_prob_is_weighted_satcount =
+  QCheck.Test.make ~name:"prob at p=1/2 equals satcount / 32" ~count:100 arb_formula
+    (fun fm ->
+      let m = Bdd.manager () in
+      let f = build m fm in
+      let p = Bdd.prob m f (fun _ -> 0.5) in
+      let sc = Bdd.sat_count m f ~nvars:5 in
+      Float.abs (p -. (sc /. 32.0)) < 1e-9)
+
+let prop_mincuts_are_cuts_and_minimal =
+  QCheck.Test.make ~name:"mincuts are satisfying and minimal" ~count:100 arb_formula
+    (fun fm ->
+      let m = Bdd.manager () in
+      let f = build m fm in
+      let cuts = Bdd.mincuts m f in
+      let is_cut set =
+        let env = Array.init 5 (fun i -> List.mem i set) in
+        eval_formula env fm
+      in
+      List.for_all
+        (fun c ->
+          is_cut c
+          && List.for_all (fun v -> not (is_cut (List.filter (( <> ) v) c))) c)
+        cuts)
+
+let suite =
+  [ ("terminals", `Quick, test_terminals);
+    ("canonicity", `Quick, test_canonicity);
+    ("hash consing", `Quick, test_commutativity_hash_consing);
+    ("xor / imp", `Quick, test_xor_imp);
+    ("kofn", `Quick, test_kofn);
+    ("support", `Quick, test_support);
+    ("prob series/parallel", `Quick, test_prob_series_parallel);
+    ("prob kofn", `Quick, test_prob_kofn);
+    ("symbolic exponomial eval", `Quick, test_eval_symbolic);
+    ("mincuts bridge", `Quick, test_mincuts_bridge);
+    ("mincuts subsumption", `Quick, test_mincuts_subsumption);
+    ("minterms", `Quick, test_minterms);
+    ("grouped prob exclusive states", `Quick, test_prob_grouped_exclusive);
+    ("grouped prob independence", `Quick, test_prob_grouped_two_components);
+    QCheck_alcotest.to_alcotest prop_bdd_agrees_with_truth_table;
+    QCheck_alcotest.to_alcotest prop_prob_is_weighted_satcount;
+    QCheck_alcotest.to_alcotest prop_mincuts_are_cuts_and_minimal ]

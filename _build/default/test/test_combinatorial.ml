@@ -1,0 +1,595 @@
+(* Tests for RBD, fault trees, multi-state trees, PMS, reliability graphs
+   and series-parallel graphs. *)
+module E = Sharpe_expo.Exponomial
+module D = Sharpe_expo.Dist
+module Rbd = Sharpe_rbd.Rbd
+module Ft = Sharpe_ftree.Ftree
+module Ms = Sharpe_mstree.Mstree
+module Pms = Sharpe_pms.Pms
+module Rg = Sharpe_relgraph.Relgraph
+module Spg = Sharpe_spg.Spg
+module F = Sharpe_bdd.Formula
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf6 = Alcotest.(check (float 1e-6))
+
+(* ------------------------------------------------------------------ *)
+(* RBD                                                                  *)
+
+let test_rbd_series () =
+  let b = Rbd.Series [ Rbd.Comp (D.exponential 1.0); Rbd.Comp (D.exponential 2.0) ] in
+  checkf "rel" (exp (-3.0)) (Rbd.reliability b 1.0);
+  checkf "mttf" (1.0 /. 3.0) (Rbd.mean_time_to_failure b)
+
+let test_rbd_parallel () =
+  let b = Rbd.Parallel [ Rbd.Comp (D.exponential 1.0); Rbd.Comp (D.exponential 1.0) ] in
+  let t = 0.7 in
+  let f = 1.0 -. exp (-.t) in
+  checkf "unrel" (f *. f) (Rbd.unreliability b t);
+  checkf "mttf" 1.5 (Rbd.mean_time_to_failure b)
+
+let test_rbd_kofn () =
+  (* 2-of-3 identical: MTTF = 1/(3l) + 1/(2l) *)
+  let l = 0.5 in
+  let b = Rbd.Kofn (2, 3, Rbd.Comp (D.exponential l)) in
+  checkf6 "mttf" ((1.0 /. (3.0 *. l)) +. (1.0 /. (2.0 *. l))) (Rbd.mean_time_to_failure b)
+
+let test_rbd_kofn_list_matches_identical () =
+  let l = 0.8 in
+  let b1 = Rbd.Kofn (2, 3, Rbd.Comp (D.exponential l)) in
+  let b2 =
+    Rbd.Kofn_list (2, List.init 3 (fun _ -> Rbd.Comp (D.exponential l)))
+  in
+  List.iter
+    (fun t ->
+      checkf (Printf.sprintf "t=%g" t) (Rbd.unreliability b1 t) (Rbd.unreliability b2 t))
+    [ 0.1; 1.0; 3.0 ]
+
+let test_rbd_2p3m_paper () =
+  (* thesis §3.4.2: lambdap = 1/720, lambdam = 1/1440, k = 1 or 2 *)
+  let lp = 1.0 /. 720.0 and lm = 1.0 /. 1440.0 in
+  let block k =
+    Rbd.Series
+      [ Rbd.Parallel [ Rbd.Comp (D.exponential lp); Rbd.Comp (D.exponential lp) ];
+        Rbd.Kofn (k, 3, Rbd.Comp (D.exponential lm)) ]
+  in
+  let m1 = Rbd.mean_time_to_failure (block 1) in
+  let m2 = Rbd.mean_time_to_failure (block 2) in
+  Alcotest.(check bool) "m1 > m2" true (m1 > m2);
+  (* against independent Monte-Carlo-free direct integration at points *)
+  let direct k t =
+    let fp = 1.0 -. exp (-.lp *. t) and fm = 1.0 -. exp (-.lm *. t) in
+    let mems_fail =
+      (* fewer than k of 3 memories working *)
+      let b j = float_of_int (if j = 0 then 1 else if j = 1 then 3 else if j = 2 then 3 else 1) in
+      let sum = ref 0.0 in
+      for j = 0 to 3 do
+        if 3 - j < k then
+          sum := !sum +. (b j *. Float.pow (1.0 -. fm) (float_of_int (3 - j)) *. Float.pow fm (float_of_int j))
+      done;
+      !sum
+    in
+    1.0 -. ((1.0 -. (fp *. fp)) *. (1.0 -. mems_fail))
+  in
+  List.iter
+    (fun t ->
+      checkf6 (Printf.sprintf "k=1 t=%g" t) (direct 1 t) (Rbd.unreliability (block 1) t);
+      checkf6 (Printf.sprintf "k=2 t=%g" t) (direct 2 t) (Rbd.unreliability (block 2) t))
+    [ 10.0; 30.0; 50.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault trees                                                          *)
+
+let ft_2p3m k =
+  let t = Ft.create () in
+  Ft.basic t "proc" (D.exponential (1.0 /. 720.0));
+  Ft.basic t "mem" (D.exponential (1.0 /. 1440.0));
+  Ft.gate t "procs" Ft.And [ "proc"; "proc" ];
+  Ft.gate t "mems" (Ft.Kofn_identical (4 - k, 3)) [ "mem" ];
+  Ft.gate t "top" Ft.Or [ "procs"; "mems" ];
+  t
+
+let test_ftree_matches_rbd () =
+  (* the thesis presents the same 2p3m system as block and tree; results must
+     coincide *)
+  let lp = 1.0 /. 720.0 and lm = 1.0 /. 1440.0 in
+  let block k =
+    Rbd.Series
+      [ Rbd.Parallel [ Rbd.Comp (D.exponential lp); Rbd.Comp (D.exponential lp) ];
+        Rbd.Kofn (k, 3, Rbd.Comp (D.exponential lm)) ]
+  in
+  List.iter
+    (fun k ->
+      checkf6
+        (Printf.sprintf "mean k=%d" k)
+        (Rbd.mean_time_to_failure (block k))
+        (Ft.mean (ft_2p3m k));
+      checkf6
+        (Printf.sprintf "unrel k=%d" k)
+        (Rbd.unreliability (block k) 30.0)
+        (Ft.prob_at (ft_2p3m k) 30.0))
+    [ 1; 2 ]
+
+let test_ftree_basic_copies_independent () =
+  (* "and g a a" with a basic: two independent copies, P = p^2 *)
+  let t = Ft.create () in
+  Ft.basic t "a" (D.prob 0.3);
+  Ft.gate t "g" Ft.And [ "a"; "a" ];
+  checkf "independent copies" 0.09 (Ft.sysprob t)
+
+let test_ftree_repeat_shared () =
+  let t = Ft.create () in
+  Ft.repeat t "a" (D.prob 0.3);
+  Ft.gate t "g" Ft.And [ "a"; "a" ];
+  checkf "shared event" 0.3 (Ft.sysprob t)
+
+let test_ftree_transfer_promotes () =
+  (* thesis dsp70: transfer d1 d shares the event *)
+  let t = Ft.create () in
+  Ft.basic t "a" (D.prob 0.25);
+  Ft.basic t "b" (D.prob 0.25);
+  Ft.basic t "c" (D.prob 0.25);
+  Ft.basic t "d" (D.prob 0.30);
+  Ft.gate t "t3" Ft.Or [ "a"; "b" ];
+  Ft.gate t "t1" Ft.And [ "t3"; "d" ];
+  Ft.transfer t "d1" "d";
+  Ft.gate t "t2" Ft.And [ "c"; "d1" ];
+  Ft.gate t "t0" Ft.Or [ "t1"; "t2" ];
+  (* P = P((a|b|c) & d) = (1 - 0.75^3) * 0.3 *)
+  checkf6 "shared through transfer" ((1.0 -. (0.75 ** 3.0)) *. 0.3) (Ft.sysprob t);
+  let cuts = Ft.mincuts t in
+  Alcotest.(check int) "3 mincuts" 3 (List.length cuts)
+
+let test_ftree_nand_nor_example12 () =
+  (* thesis C.1.1 expects sysunrel = 0.3 *)
+  let t = Ft.create () in
+  Ft.repeat t "a" (D.prob 0.3);
+  Ft.repeat t "b" (D.prob 0.4);
+  Ft.basic t "c" (D.prob 0.8);
+  Ft.gate t "d" Ft.And [ "a"; "b" ];
+  Ft.gate t "f" Ft.Nand [ "a"; "d" ];
+  Ft.gate t "e" Ft.Or [ "d"; "b" ];
+  Ft.gate t "g" Ft.Or [ "f"; "e" ];
+  Ft.gate t "h" Ft.And [ "a"; "g" ];
+  Ft.gate t "i" Ft.Nor [ "g"; "c" ];
+  Ft.gate t "z" Ft.Or [ "h"; "i" ];
+  checkf6 "paper value" 0.3 (Ft.sysprob t)
+
+let test_ftree_nkofn () =
+  (* C.1.2: kofn+not = nkofn *)
+  let mk use_not =
+    let t = Ft.create () in
+    Ft.repeat t "r" (D.exponential 3.2);
+    Ft.basic t "a" (D.exponential 7.0);
+    Ft.basic t "b" (D.exponential 4.0);
+    Ft.basic t "c" (D.exponential 5.0);
+    Ft.basic t "d" (D.exponential 11.0);
+    if use_not then begin
+      Ft.gate t "abcd" (Ft.Kofn 2) [ "a"; "b"; "c"; "d" ];
+      Ft.gate t "nabcd" Ft.Not [ "abcd" ];
+      Ft.gate t "top" Ft.And [ "nabcd"; "r" ]
+    end
+    else begin
+      Ft.gate t "abcd" (Ft.Nkofn 2) [ "a"; "b"; "c"; "d" ];
+      Ft.gate t "top" Ft.And [ "abcd"; "r" ]
+    end;
+    t
+  in
+  List.iter
+    (fun time ->
+      checkf6 (Printf.sprintf "t=%g" time) (Ft.prob_at (mk true) time) (Ft.prob_at (mk false) time))
+    [ 0.05; 0.2; 0.5 ]
+
+let test_ftree_importance () =
+  (* single-component "tree": Birnbaum = 1, criticality = 1 *)
+  let t = Ft.create () in
+  Ft.repeat t "a" (D.exponential 1.0);
+  Ft.repeat t "b" (D.exponential 1.0);
+  Ft.gate t "top" Ft.Or [ "a"; "b" ];
+  let tm = 1.0 in
+  let q = 1.0 -. exp (-1.0) in
+  (* B_a = 1 - q_b *)
+  checkf6 "birnbaum" (1.0 -. q) (Ft.birnbaum t "a" tm);
+  let sys = q +. q -. (q *. q) in
+  checkf6 "criticality" ((1.0 -. q) *. q /. sys) (Ft.criticality t "a" tm);
+  checkf6 "structural or-of-2" 0.5 (Ft.structural t "a")
+
+let test_ftree_gate_results () =
+  let t = ft_2p3m 1 in
+  (* cdf at intermediate gate "procs" = parallel of two procs *)
+  let lp = 1.0 /. 720.0 in
+  let f = Ft.cdf ~gate:"procs" t in
+  let time = 100.0 in
+  let q = 1.0 -. exp (-.lp *. time) in
+  checkf6 "gate cdf" (q *. q) (E.eval f time)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-state trees                                                    *)
+
+let boards_tree () =
+  (* thesis §3.2.3 two-boards example *)
+  let t = Ms.create () in
+  List.iter
+    (fun (c, s, p) -> Ms.basic t ~comp:c ~state:s p)
+    [ ("B1", "4", 0.95); ("B1", "3", 0.02); ("B1", "2", 0.02); ("B1", "1", 0.01);
+      ("B2", "4", 0.95); ("B2", "3", 0.02); ("B2", "2", 0.02); ("B2", "1", 0.01) ];
+  let ev c s = Ms.Event (c, s) in
+  Ms.gate_or t "gor321" [ ev "B2" "3"; ev "B2" "4" ];
+  Ms.gate_and t "gand311" [ ev "B1" "4"; Ms.Ref "gor321" ];
+  Ms.gate_and t "gand312" [ ev "B1" "3"; ev "B2" "4" ];
+  Ms.gate_or t "top:3" [ Ms.Ref "gand311"; Ms.Ref "gand312" ];
+  Ms.gate_or t "gor221" [ ev "B1" "1"; ev "B1" "2" ];
+  Ms.gate_or t "gor222" [ ev "B2" "1"; ev "B2" "2" ];
+  Ms.gate_and t "gand211" [ ev "B1" "4"; Ms.Ref "gor222" ];
+  Ms.gate_and t "gand212" [ ev "B1" "3"; ev "B2" "2" ];
+  Ms.gate_and t "gand213" [ ev "B1" "2"; ev "B2" "3" ];
+  Ms.gate_and t "gand214" [ Ms.Ref "gor221"; ev "B2" "4" ];
+  Ms.gate_or t "top:2" [ Ms.Ref "gand211"; Ms.Ref "gand212"; Ms.Ref "gand213"; Ms.Ref "gand214" ];
+  t
+
+let test_mstree_boards () =
+  let t = boards_tree () in
+  (* direct computation: states independent across boards *)
+  let p1 = [ ("4", 0.95); ("3", 0.02); ("2", 0.02); ("1", 0.01) ] in
+  let joint f =
+    List.fold_left
+      (fun acc (s1, q1) ->
+        acc
+        +. List.fold_left
+             (fun a (s2, q2) -> if f s1 s2 then a +. (q1 *. q2) else a)
+             0.0 p1)
+      0.0 p1
+  in
+  let top3 = joint (fun s1 s2 ->
+      (s1 = "4" && (s2 = "3" || s2 = "4")) || (s1 = "3" && s2 = "4")) in
+  checkf6 "top:3" top3 (Ms.sysprob t "top:3");
+  let top2 = joint (fun s1 s2 ->
+      (s1 = "4" && (s2 = "1" || s2 = "2"))
+      || (s1 = "3" && s2 = "2")
+      || (s1 = "2" && s2 = "3")
+      || ((s1 = "1" || s1 = "2") && s2 = "4")) in
+  checkf6 "top:2" top2 (Ms.sysprob t "top:2")
+
+let test_mstree_exclusivity () =
+  (* or over two states of the same component: probabilities add (never
+     multiply) *)
+  let t = Ms.create () in
+  Ms.basic t ~comp:"c" ~state:"a" 0.3;
+  Ms.basic t ~comp:"c" ~state:"b" 0.2;
+  Ms.gate_or t "top" [ Ms.Event ("c", "a"); Ms.Event ("c", "b") ];
+  checkf "exclusive or" 0.5 (Ms.sysprob t "top");
+  let t2 = Ms.create () in
+  Ms.basic t2 ~comp:"c" ~state:"a" 0.3;
+  Ms.basic t2 ~comp:"c" ~state:"b" 0.2;
+  Ms.gate_and t2 "top" [ Ms.Event ("c", "a"); Ms.Event ("c", "b") ];
+  checkf "exclusive and = 0" 0.0 (Ms.sysprob t2 "top")
+
+(* ------------------------------------------------------------------ *)
+(* PMS                                                                  *)
+
+let test_pms_single_phase_is_ftree () =
+  (* one phase = plain fault tree unreliability *)
+  let l = 0.01 in
+  let phase =
+    { Pms.name = "X";
+      duration = 10.0;
+      tree = F.Or [ F.Var "a"; F.Var "b" ];
+      dist = (fun _ -> D.exponential l) }
+  in
+  let p = Pms.make [ phase ] in
+  List.iter
+    (fun t ->
+      let q = 1.0 -. exp (-.l *. t) in
+      let expected = 1.0 -. ((1.0 -. q) *. (1.0 -. q)) in
+      checkf6 (Printf.sprintf "t=%g" t) expected (Pms.unreliability p t))
+    [ 0.0; 5.0; 10.0 ]
+
+let test_pms_two_phases_same_config () =
+  (* same config and same rates in both phases = single continuous phase *)
+  let l = 0.02 in
+  let mk name d =
+    { Pms.name; duration = d; tree = F.Var "a"; dist = (fun _ -> D.exponential l) }
+  in
+  let two = Pms.make [ mk "p1" 5.0; mk "p2" 5.0 ] in
+  let one = Pms.make [ mk "p" 10.0 ] in
+  List.iter
+    (fun t ->
+      checkf6 (Printf.sprintf "t=%g" t) (Pms.unreliability one t) (Pms.unreliability two t))
+    [ 2.0; 5.0; 7.0; 10.0 ]
+
+let test_pms_latent_fault () =
+  (* phase 1 needs only a; phase 2 needs b.  If b fails during phase 1
+     (latent), the mission fails at the phase boundary: rtimep at the
+     boundary sees it, ltimep does not. *)
+  let l = 0.1 in
+  let p1 = { Pms.name = "X"; duration = 10.0; tree = F.Var "a"; dist = (fun _ -> D.exponential l) } in
+  let p2 = { Pms.name = "Y"; duration = 10.0; tree = F.Var "b"; dist = (fun _ -> D.exponential l) } in
+  let p = Pms.make [ p1; p2 ] in
+  let qa = 1.0 -. exp (-.l *. 10.0) in
+  checkf6 "ltimep boundary" qa (Pms.unreliability ~side:`Left p 10.0);
+  (* right side: a failed in phase 1 OR b failed by (end of phase 1 +0) *)
+  let expected_r = 1.0 -. ((1.0 -. qa) *. (1.0 -. qa)) in
+  checkf6 "rtimep boundary" expected_r (Pms.unreliability ~side:`Right p 10.0)
+
+let test_pms_monotone_in_time () =
+  let l = 0.001 in
+  let tree_x = F.Or [ F.Var "a"; F.Var "b" ] in
+  let tree_y = F.And [ F.Var "a"; F.Var "b" ] in
+  let p =
+    Pms.make
+      [ { Pms.name = "X"; duration = 10.0; tree = tree_x; dist = (fun _ -> D.exponential l) };
+        { Pms.name = "Y"; duration = 10.0; tree = tree_y; dist = (fun _ -> D.exponential (2.0 *. l)) } ]
+  in
+  let ts = [ 0.0; 3.0; 9.0; 11.0; 15.0; 20.0 ] in
+  let vs = List.map (Pms.unreliability ~side:`Right p) ts in
+  let rec mono = function a :: b :: r -> a <= b +. 1e-12 && mono (b :: r) | _ -> true in
+  Alcotest.(check bool) "monotone" true (mono vs)
+
+(* ------------------------------------------------------------------ *)
+(* Reliability graphs                                                   *)
+
+let bridge_graph q =
+  (* 1-2, 1-3, 2-3, 3-2, 2-4, 3-4 with constant failure prob q *)
+  let g = Rg.create () in
+  ignore (Rg.edge g "1" "2" (D.prob q));
+  ignore (Rg.edge g "1" "3" (D.prob q));
+  ignore (Rg.edge g "2" "3" (D.prob q));
+  ignore (Rg.edge g "3" "2" (D.prob q));
+  ignore (Rg.edge g "2" "4" (D.prob q));
+  ignore (Rg.edge g "3" "4" (D.prob q));
+  g
+
+let test_relgraph_series () =
+  let g = Rg.create () in
+  ignore (Rg.edge g "s" "m" (D.exponential 1.0));
+  ignore (Rg.edge g "m" "t" (D.exponential 2.0));
+  checkf6 "series reliability" (exp (-3.0)) (Rg.reliability g 1.0);
+  checkf6 "mean" (E.mean (E.complement (E.mul (E.complement (D.exponential 1.0)) (E.complement (D.exponential 2.0)))))
+    (Rg.mean g)
+
+let test_relgraph_parallel () =
+  let g = Rg.create () in
+  ignore (Rg.edge g "s" "t" (D.prob 0.2));
+  ignore (Rg.edge g "s" "t" (D.prob 0.3));
+  checkf "parallel" (0.2 *. 0.3) (Rg.unreliability g 0.0)
+
+let test_relgraph_bridge_counts () =
+  let g = bridge_graph 0.1 in
+  Alcotest.(check int) "minpaths" 4 (List.length (Rg.minpaths g));
+  let cuts = Rg.mincuts g in
+  Alcotest.(check int) "mincuts" 4 (List.length cuts)
+
+let test_relgraph_repeated_edge () =
+  (* 2 processors sharing memory M3 (thesis §3.6.3): shared edge appears in
+     both branches; reliability must treat it as one component *)
+  let g = Rg.create () in
+  let ptime = 720.0 and mtime = 1440.0 in
+  ignore (Rg.edge g "src" "P1" (D.exponential (1.0 /. ptime)));
+  ignore (Rg.edge g "src" "P2" (D.exponential (1.0 /. ptime)));
+  ignore (Rg.edge g "P1" "sink" (D.exponential (1.0 /. mtime)));
+  ignore (Rg.edge g "P2" "sink" (D.exponential (1.0 /. mtime)));
+  let m3 = Rg.edge g "P1" "sink" (D.exponential (1.0 /. mtime)) in
+  Rg.repeat_edge g "P2" "sink" m3;
+  (* equivalent explicit-share model with an infinite edge *)
+  let g2 = Rg.create () in
+  ignore (Rg.edge g2 "src" "P1" (D.exponential (1.0 /. ptime)));
+  ignore (Rg.edge g2 "src" "P2" (D.exponential (1.0 /. ptime)));
+  ignore (Rg.edge g2 "P1" "sink" (D.exponential (1.0 /. mtime)));
+  ignore (Rg.edge g2 "P2" "sink" (D.exponential (1.0 /. mtime)));
+  ignore (Rg.edge g2 "P1" "share" D.inf_dist);
+  ignore (Rg.edge g2 "P2" "share" D.inf_dist);
+  Rg.set_sink g2 "sink";
+  ignore (Rg.edge g2 "share" "sink" (D.exponential (1.0 /. mtime)));
+  List.iter
+    (fun t ->
+      checkf6 (Printf.sprintf "t=%g" t) (Rg.unreliability g2 t) (Rg.unreliability g t))
+    [ 100.0; 720.0; 2000.0 ]
+
+let test_relgraph_bidirect () =
+  (* bridge with a bidirectional middle edge equals the two-directed-arcs
+     model ONLY when they are one physical component *)
+  let g = Rg.create () in
+  ignore (Rg.edge g "1" "2" (D.prob 0.01));
+  ignore (Rg.edge g "2" "4" (D.prob 0.015));
+  ignore (Rg.edge g "1" "3" (D.prob 0.01));
+  ignore (Rg.edge g "3" "4" (D.prob 0.015));
+  ignore (Rg.edge ~bidirect:true g "2" "3" (D.prob 0.02));
+  let p = Rg.unreliability g 0.0 in
+  Alcotest.(check bool) "in (0, 1)" true (p > 0.0 && p < 1.0);
+  (* with a perfect bridge edge the system is (1-q1 q1)(1-q2 q2) ... compare
+     against direct enumeration *)
+  let direct =
+    (* enumerate the 5 physical edges *)
+    let qs = [| 0.01; 0.015; 0.01; 0.015; 0.02 |] in
+    let total = ref 0.0 in
+    for mask = 0 to 31 do
+      let fails i = mask land (1 lsl i) <> 0 in
+      let p = ref 1.0 in
+      Array.iteri (fun i q -> p := !p *. if fails i then q else 1.0 -. q) qs;
+      (* connectivity 1->4: via 2: e0 works & e1 works; via 3: e2 & e3;
+         via 2-3: e0 & e4 & e3; via 3-2: e2 & e4 & e1 *)
+      let w i = not (fails i) in
+      let connected =
+        (w 0 && w 1) || (w 2 && w 3) || (w 0 && w 4 && w 3) || (w 2 && w 4 && w 1)
+      in
+      if not connected then total := !total +. !p
+    done;
+    !total
+  in
+  checkf6 "matches enumeration" direct p
+
+let test_relgraph_importance () =
+  let g = Rg.create () in
+  ignore (Rg.edge g "s" "m" (D.prob 0.1));
+  ignore (Rg.edge g "m" "t" (D.prob 0.2));
+  (* failure f = x1 + x2 - x1 x2; dP/dq1 = 1 - q2 *)
+  checkf6 "birnbaum" 0.8 (Rg.birnbaum g "s" "m" 0.0);
+  let sys = 0.1 +. 0.2 -. 0.02 in
+  checkf6 "criticality" (0.8 *. 0.1 /. sys) (Rg.criticality g "s" "m" 0.0);
+  checkf6 "structural" 0.5 (Rg.structural g "s" "m")
+
+let test_relgraph_pqcdf () =
+  let g = Rg.create () in
+  ignore (Rg.edge g "s" "t" (D.prob 0.25));
+  Alcotest.(check string) "single edge" "pst" (Rg.pqcdf g)
+
+(* ------------------------------------------------------------------ *)
+(* Series-parallel graphs                                               *)
+
+let test_spg_series () =
+  let g = Spg.create () in
+  Spg.add_edge g "a" "b";
+  Spg.set_dist g "a" (D.exponential 1.0);
+  Spg.set_dist g "b" (D.exponential 2.0);
+  checkf6 "mean" 1.5 (Spg.mean g)
+
+let test_spg_max_min () =
+  let mk exit =
+    let g = Spg.create () in
+    Spg.add_edge g "root" "x";
+    Spg.add_edge g "root" "y";
+    Spg.set_dist g "root" D.zero_dist;
+    Spg.set_dist g "x" (D.exponential 1.0);
+    Spg.set_dist g "y" (D.exponential 1.0);
+    Spg.set_exit g "root" exit;
+    g
+  in
+  checkf6 "max mean" 1.5 (Spg.mean (mk Spg.Max));
+  checkf6 "min mean" 0.5 (Spg.mean (mk Spg.Min))
+
+let test_spg_prob () =
+  let g = Spg.create () in
+  Spg.add_edge g "root" "x";
+  Spg.add_edge g "root" "y";
+  Spg.set_dist g "root" D.zero_dist;
+  Spg.set_dist g "x" (D.exponential 1.0);
+  Spg.set_dist g "y" (D.exponential 0.5);
+  Spg.set_exit g "root" Spg.Prob;
+  Spg.set_prob g "root" "x" 0.25;
+  (* missing probability inferred: y gets 0.75 *)
+  checkf6 "prob mixture mean" ((0.25 *. 1.0) +. (0.75 *. 2.0)) (Spg.mean g)
+
+let test_spg_overlap_paper () =
+  (* thesis §3.7.2: SERIAL vs OVERLAP models, p = 1 *)
+  let mu1 = 1.0 /. 0.0376 and mu2 = 1.0 /. 0.125 and lambda = 1.0 /. 0.14995 in
+  let serial p =
+    let g = Spg.create () in
+    Spg.add_edge g "cpu1" "cpu2";
+    Spg.add_edge g "cpu2" "io2";
+    Spg.add_edge g "cpu1" "io1";
+    Spg.set_exit g "cpu1" Spg.Prob;
+    Spg.set_prob g "cpu1" "cpu2" p;
+    Spg.set_dist g "cpu1" (D.exponential mu1);
+    Spg.set_dist g "io1" (D.exponential lambda);
+    Spg.set_dist g "cpu2" (D.exponential mu2);
+    Spg.set_dist g "io2" (D.exponential lambda);
+    g
+  in
+  let overlap p =
+    let g = Spg.create () in
+    Spg.add_edge g "cpu1" "zero1";
+    Spg.add_edge g "cpu1" "io1";
+    Spg.add_edge g "zero1" "cpu2";
+    Spg.add_edge g "zero1" "io2";
+    Spg.set_exit g "cpu1" Spg.Prob;
+    Spg.set_prob g "cpu1" "zero1" p;
+    Spg.set_exit g "zero1" Spg.Max;
+    Spg.set_dist g "cpu1" (D.exponential mu1);
+    Spg.set_dist g "zero1" D.zero_dist;
+    Spg.set_dist g "io1" (D.exponential lambda);
+    Spg.set_dist g "cpu2" (D.exponential mu2);
+    Spg.set_dist g "io2" (D.exponential lambda);
+    g
+  in
+  (* closed forms at p = 1 *)
+  let m_serial = 0.0376 +. 0.125 +. 0.14995 in
+  checkf6 "serial mean p=1" m_serial (Spg.mean (serial 1.0));
+  (* overlap p=1: cpu1 + max(io2, cpu2):
+     E[max] = 1/mu2 + 1/l - 1/(mu2+l) *)
+  let m_overlap =
+    0.0376 +. (0.125 +. 0.14995 -. (1.0 /. (mu2 +. lambda)))
+  in
+  checkf6 "overlap mean p=1" m_overlap (Spg.mean (overlap 1.0));
+  Alcotest.(check bool) "speedup > 1" true
+    (Spg.mean (serial 0.7) /. Spg.mean (overlap 0.7) > 1.0)
+
+let test_spg_multipath () =
+  let g = Spg.create () in
+  Spg.add_edge g "root" "x";
+  Spg.add_edge g "root" "y";
+  Spg.set_dist g "root" D.zero_dist;
+  Spg.set_dist g "x" (D.exponential 1.0);
+  Spg.set_dist g "y" (D.exponential 0.5);
+  Spg.set_exit g "root" Spg.Prob;
+  Spg.set_prob g "root" "x" 0.25;
+  let paths = Spg.multipath g in
+  Alcotest.(check int) "two paths" 2 (List.length paths);
+  let total = List.fold_left (fun a (p, _) -> a +. p) 0.0 paths in
+  checkf "paths sum to 1" 1.0 total
+
+let test_spg_reconvergence_rejected () =
+  let g = Spg.create () in
+  Spg.add_edge g "a" "b";
+  Spg.add_edge g "a" "c";
+  Spg.add_edge g "b" "d";
+  Spg.add_edge g "c" "d";
+  Spg.set_exit g "a" Spg.Max;
+  List.iter (fun n -> Spg.set_dist g n (D.exponential 1.0)) [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check bool) "raises" true
+    (try ignore (Spg.completion_cdf g); false with Invalid_argument _ -> true)
+
+(* properties *)
+
+let prop_rbd_kofn_monotone_in_k =
+  QCheck.Test.make ~name:"rbd kofn unreliability increases with k" ~count:50
+    QCheck.(pair (QCheck.make (Gen.float_range 0.2 2.0)) (QCheck.make (Gen.float_range 0.1 3.0)))
+    (fun (l, t) ->
+      let u k = Rbd.unreliability (Rbd.Kofn (k, 4, Rbd.Comp (D.exponential l))) t in
+      u 1 <= u 2 +. 1e-12 && u 2 <= u 3 +. 1e-12 && u 3 <= u 4 +. 1e-12)
+
+let prop_ftree_dual_of_rbd =
+  QCheck.Test.make ~name:"ftree or-gate = rbd series" ~count:50
+    QCheck.(pair (QCheck.make (Gen.float_range 0.2 2.0)) (QCheck.make (Gen.float_range 0.1 3.0)))
+    (fun (l, t) ->
+      let ft = Ft.create () in
+      Ft.basic ft "a" (D.exponential l);
+      Ft.basic ft "b" (D.exponential (2.0 *. l));
+      Ft.gate ft "top" Ft.Or [ "a"; "b" ];
+      let rb = Rbd.Series [ Rbd.Comp (D.exponential l); Rbd.Comp (D.exponential (2.0 *. l)) ] in
+      Float.abs (Ft.prob_at ft t -. Rbd.unreliability rb t) < 1e-9)
+
+let suite =
+  [ ("rbd series", `Quick, test_rbd_series);
+    ("rbd parallel", `Quick, test_rbd_parallel);
+    ("rbd kofn mttf", `Quick, test_rbd_kofn);
+    ("rbd kofn list = identical", `Quick, test_rbd_kofn_list_matches_identical);
+    ("rbd 2p3m (paper)", `Quick, test_rbd_2p3m_paper);
+    ("ftree = rbd on 2p3m", `Quick, test_ftree_matches_rbd);
+    ("ftree basic copies independent", `Quick, test_ftree_basic_copies_independent);
+    ("ftree repeat shared", `Quick, test_ftree_repeat_shared);
+    ("ftree transfer promotes sharing", `Quick, test_ftree_transfer_promotes);
+    ("ftree nand/nor example12 (paper)", `Quick, test_ftree_nand_nor_example12);
+    ("ftree nkofn = not kofn", `Quick, test_ftree_nkofn);
+    ("ftree importance measures", `Quick, test_ftree_importance);
+    ("ftree per-gate results", `Quick, test_ftree_gate_results);
+    ("mstree two boards (paper)", `Quick, test_mstree_boards);
+    ("mstree exclusivity", `Quick, test_mstree_exclusivity);
+    ("pms single phase = ftree", `Quick, test_pms_single_phase_is_ftree);
+    ("pms phase splitting invariant", `Quick, test_pms_two_phases_same_config);
+    ("pms latent fault / ltimep vs rtimep", `Quick, test_pms_latent_fault);
+    ("pms monotone", `Quick, test_pms_monotone_in_time);
+    ("relgraph series", `Quick, test_relgraph_series);
+    ("relgraph parallel edges", `Quick, test_relgraph_parallel);
+    ("relgraph bridge path/cut counts", `Quick, test_relgraph_bridge_counts);
+    ("relgraph repeated edges (paper)", `Quick, test_relgraph_repeated_edge);
+    ("relgraph bidirect = enumeration", `Quick, test_relgraph_bidirect);
+    ("relgraph importance", `Quick, test_relgraph_importance);
+    ("relgraph pqcdf", `Quick, test_relgraph_pqcdf);
+    ("spg series convolution", `Quick, test_spg_series);
+    ("spg max/min", `Quick, test_spg_max_min);
+    ("spg prob with inferred branch", `Quick, test_spg_prob);
+    ("spg cpu-io overlap (paper)", `Quick, test_spg_overlap_paper);
+    ("spg multipath", `Quick, test_spg_multipath);
+    ("spg reconvergence rejected", `Quick, test_spg_reconvergence_rejected);
+    QCheck_alcotest.to_alcotest prop_rbd_kofn_monotone_in_k;
+    QCheck_alcotest.to_alcotest prop_ftree_dual_of_rbd ]

@@ -1,0 +1,245 @@
+(* Tests for the exponomial algebra and distribution constructors. *)
+open Sharpe_expo
+module E = Exponomial
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf6 = Alcotest.(check (float 1e-6))
+
+let exp_cdf l t = 1.0 -. exp (-.l *. t)
+
+let test_eval_exp () =
+  let f = Dist.exponential 2.0 in
+  List.iter (fun t -> checkf (Printf.sprintf "t=%g" t) (exp_cdf 2.0 t) (E.eval f t))
+    [ 0.0; 0.1; 1.0; 3.0 ]
+
+let test_add_mul () =
+  let f = Dist.exponential 1.0 and g = Dist.exponential 2.0 in
+  let h = E.mul f g in
+  List.iter
+    (fun t -> checkf (Printf.sprintf "mul t=%g" t) (exp_cdf 1.0 t *. exp_cdf 2.0 t) (E.eval h t))
+    [ 0.0; 0.5; 2.0 ];
+  let s = E.add f g in
+  checkf "add" (exp_cdf 1.0 1.0 +. exp_cdf 2.0 1.0) (E.eval s 1.0)
+
+let test_complement () =
+  let f = Dist.exponential 3.0 in
+  checkf "compl" (exp (-3.0)) (E.eval (E.complement f) 1.0)
+
+let test_deriv_exp () =
+  let f = Dist.exponential 2.0 in
+  let d = E.deriv f in
+  checkf "density at 0.5" (2.0 *. exp (-1.0)) (E.eval d 0.5)
+
+let test_deriv_poly () =
+  (* d/dt (t^2 e^(-t)) = 2 t e^(-t) - t^2 e^(-t) *)
+  let f = E.term ~coeff:1.0 ~power:2 ~rate:(-1.0) in
+  let d = E.deriv f in
+  let t = 1.5 in
+  checkf "poly deriv" (((2.0 *. t) -. (t *. t)) *. exp (-.t)) (E.eval d t)
+
+let test_integrate_inverts_deriv () =
+  let f = E.of_terms [ { coeff = 0.3; power = 2; rate = -1.5 }; { coeff = -0.2; power = 0; rate = -0.5 } ] in
+  let g = E.integrate (E.deriv f) in
+  (* integrate (f') over (0,t] = f(t) - f(0) *)
+  List.iter
+    (fun t -> checkf (Printf.sprintf "t=%g" t) (E.eval f t -. E.eval f 0.0) (E.eval g t))
+    [ 0.0; 0.7; 2.0; 5.0 ]
+
+let test_integrate_const () =
+  let f = E.const 2.0 in
+  checkf "int const" 6.0 (E.eval (E.integrate f) 3.0)
+
+let test_integral_to_inf () =
+  (* integral of t e^(-2t) = 1/4 *)
+  let f = E.term ~coeff:1.0 ~power:1 ~rate:(-2.0) in
+  checkf "gamma integral" 0.25 (E.integral_to_inf f)
+
+let test_integral_divergent () =
+  Alcotest.check_raises "divergent"
+    (Invalid_argument "Exponomial.integral_to_inf: divergent term") (fun () ->
+      ignore (E.integral_to_inf E.one))
+
+let test_limit () =
+  let f = Dist.exponential 1.0 in
+  checkf "limit exp" 1.0 (E.limit_at_inf f);
+  checkf "limit defective" 0.7 (E.limit_at_inf (Dist.defective 0.7 2.0))
+
+let test_mean_exp () =
+  checkf "mean exp(2)" 0.5 (E.mean (Dist.exponential 2.0));
+  checkf "mean erlang(3,2)" 1.5 (E.mean (Dist.erlang 3 2.0))
+
+let test_variance () =
+  checkf "var exp(2)" 0.25 (E.variance (Dist.exponential 2.0));
+  checkf "var erlang(3,2)" 0.75 (E.variance (Dist.erlang 3 2.0))
+
+let test_convolve_exp_exp_same () =
+  (* Exp(l) + Exp(l) = Erlang(2,l) *)
+  let f = Dist.exponential 3.0 in
+  let h = E.convolve f f in
+  let er = Dist.erlang 2 3.0 in
+  List.iter (fun t -> checkf (Printf.sprintf "t=%g" t) (E.eval er t) (E.eval h t))
+    [ 0.0; 0.2; 1.0; 4.0 ]
+
+let test_convolve_exp_exp_diff () =
+  (* Exp(a) + Exp(b) = hypoexp(a,b) *)
+  let h = E.convolve (Dist.exponential 1.0) (Dist.exponential 4.0) in
+  let hy = Dist.hypoexp 1.0 4.0 in
+  List.iter (fun t -> checkf (Printf.sprintf "t=%g" t) (E.eval hy t) (E.eval h t))
+    [ 0.0; 0.5; 2.0 ]
+
+let test_convolve_with_atom () =
+  (* zero distribution is the convolution identity *)
+  let f = Dist.erlang 2 1.5 in
+  let h = E.convolve Dist.zero_dist f in
+  Alcotest.(check bool) "zero * f = f" true (E.equal h f);
+  let h2 = E.convolve f Dist.zero_dist in
+  Alcotest.(check bool) "f * zero = f" true (E.equal h2 f)
+
+let test_convolve_mixture () =
+  (* (p + (1-p) Exp(l)) conv Exp(l):
+     with prob p it is Exp(l), else Erlang(2,l) *)
+  let p = 0.3 and l = 2.0 in
+  let f = Dist.mixture p (1.0 -. p) l in
+  let h = E.convolve f (Dist.exponential l) in
+  let expected t = (p *. exp_cdf l t) +. ((1.0 -. p) *. E.eval (Dist.erlang 2 l) t) in
+  List.iter (fun t -> checkf (Printf.sprintf "t=%g" t) (expected t) (E.eval h t))
+    [ 0.0; 0.4; 1.0; 3.0 ]
+
+let test_convolution_mean_additivity () =
+  let f = Dist.erlang 2 1.0 and g = Dist.exponential 0.5 in
+  checkf6 "mean additive" (E.mean f +. E.mean g) (E.mean (E.convolve f g))
+
+let test_hypoexp_mean () =
+  checkf "hypoexp mean" (1.0 /. 2.0 +. 1.0 /. 5.0) (E.mean (Dist.hypoexp 2.0 5.0))
+
+let test_hyperexp () =
+  let f = Dist.hyperexp 1.0 0.4 3.0 0.6 in
+  checkf "hyperexp cdf" ((0.4 *. exp_cdf 1.0 1.0) +. (0.6 *. exp_cdf 3.0 1.0)) (E.eval f 1.0);
+  checkf "hyperexp mean" ((0.4 /. 1.0) +. (0.6 /. 3.0)) (E.mean f)
+
+let test_inst_unavail () =
+  let l = 0.1 and m = 2.0 in
+  let f = Dist.inst_unavail l m in
+  checkf "limit = ss" (l /. (l +. m)) (E.limit_at_inf f);
+  checkf "at zero" 0.0 (E.eval f 0.0);
+  let ss = Dist.ss_unavail l m in
+  checkf "ss const" (l /. (l +. m)) (E.eval ss 123.0)
+
+let test_binomial_kofn () =
+  (* 2-of-3 over Exp(l): P(at least 2 failed) *)
+  let l = 1.0 in
+  let f = Dist.binomial l 2 3 in
+  let direct t =
+    let p = exp_cdf l t in
+    (3.0 *. p *. p *. (1.0 -. p)) +. (p *. p *. p)
+  in
+  List.iter (fun t -> checkf (Printf.sprintf "t=%g" t) (direct t) (E.eval f t)) [ 0.0; 0.3; 1.0; 2.5 ]
+
+let test_kofn_block_vs_ftree () =
+  (* block fails when n-k+1 components failed *)
+  let fb = Dist.kofn_block 1.0 2 3 in
+  let ff = Dist.kofn_ftree 1.0 2 3 in
+  checkf "block(2,3) = ftree(2,3)" (E.eval ff 1.0) (E.eval fb 1.0)
+
+let test_standby () =
+  let f = Dist.standby_e 2.0 5.0 in
+  checkf6 "standby mean" (1.0 /. 2.0 +. 1.0 /. 5.0) (E.mean f)
+
+let test_gen () =
+  (* the thesis' semi-Markov example: 1 - e^(-lt) - l t e^(-lt) = Erlang 2 *)
+  let l = 0.02 in
+  let f = Dist.gen [ (1.0, 0.0, 0.0); (-1.0, 0.0, -.l); (-.l, 1.0, -.l) ] in
+  let er = Dist.erlang 2 l in
+  List.iter
+    (fun t -> checkf (Printf.sprintf "t=%g" t) (E.eval er t) (E.eval f t))
+    [ 0.0; 10.0; 100.0 ]
+
+let test_weibull () =
+  checkf "weibull" (1.0 -. exp (-2.0)) (Dist.weibull_cdf 1.0 1.0 2.0 1.0)
+
+let test_pp () =
+  let f = Dist.exponential 1.0 in
+  let s = E.to_string f in
+  Alcotest.(check bool) "mentions exp" true
+    (String.length s > 0 && String.contains s 'e')
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let rate_gen = QCheck.Gen.float_range 0.1 5.0
+let arb_rate = QCheck.make ~print:string_of_float rate_gen
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"erlang cdf monotone nondecreasing" ~count:200
+    QCheck.(pair (int_range 1 5) arb_rate)
+    (fun (n, l) ->
+      let f = Dist.erlang n l in
+      let ts = List.init 20 (fun i -> 0.3 *. float_of_int i) in
+      let vs = List.map (E.eval f) ts in
+      let rec mono = function a :: b :: r -> a <= b +. 1e-12 && mono (b :: r) | _ -> true in
+      mono vs && List.for_all (fun v -> v >= -1e-12 && v <= 1.0 +. 1e-12) vs)
+
+let prop_conv_mean_additive =
+  QCheck.Test.make ~name:"convolution adds means" ~count:100
+    QCheck.(pair arb_rate arb_rate)
+    (fun (a, b) ->
+      let f = Dist.exponential a and g = Dist.erlang 2 b in
+      let m = E.mean (E.convolve f g) in
+      Float.abs (m -. (E.mean f +. E.mean g)) < 1e-6 *. (1.0 +. m))
+
+let prop_conv_commutative =
+  QCheck.Test.make ~name:"convolution commutes" ~count:100
+    QCheck.(pair arb_rate arb_rate)
+    (fun (a, b) ->
+      let f = Dist.exponential a and g = Dist.hypoexp b (b +. 1.0) in
+      let h1 = E.convolve f g and h2 = E.convolve g f in
+      List.for_all (fun t -> Float.abs (E.eval h1 t -. E.eval h2 t) < 1e-8)
+        [ 0.1; 0.5; 1.0; 2.0; 5.0 ])
+
+let prop_mul_is_pointwise =
+  QCheck.Test.make ~name:"mul is pointwise product" ~count:100
+    QCheck.(triple arb_rate arb_rate (float_range 0.0 4.0))
+    (fun (a, b, t) ->
+      let f = Dist.erlang 2 a and g = Dist.exponential b in
+      Float.abs (E.eval (E.mul f g) t -. (E.eval f t *. E.eval g t)) < 1e-9)
+
+let prop_integrate_deriv_roundtrip =
+  QCheck.Test.make ~name:"integrate o deriv = id - f(0)" ~count:100
+    QCheck.(pair arb_rate (float_range 0.0 3.0))
+    (fun (l, t) ->
+      let f = Dist.erlang 3 l in
+      let g = E.integrate (E.deriv f) in
+      Float.abs (E.eval g t -. (E.eval f t -. E.eval f 0.0)) < 1e-9)
+
+let suite =
+  [ ("eval exponential", `Quick, test_eval_exp);
+    ("add / mul", `Quick, test_add_mul);
+    ("complement", `Quick, test_complement);
+    ("deriv exponential", `Quick, test_deriv_exp);
+    ("deriv polynomial term", `Quick, test_deriv_poly);
+    ("integrate inverts deriv", `Quick, test_integrate_inverts_deriv);
+    ("integrate constant", `Quick, test_integrate_const);
+    ("integral to infinity", `Quick, test_integral_to_inf);
+    ("integral divergence detected", `Quick, test_integral_divergent);
+    ("limit at infinity", `Quick, test_limit);
+    ("means", `Quick, test_mean_exp);
+    ("variances", `Quick, test_variance);
+    ("conv exp+exp same rate", `Quick, test_convolve_exp_exp_same);
+    ("conv exp+exp diff rates", `Quick, test_convolve_exp_exp_diff);
+    ("conv with atom at zero", `Quick, test_convolve_with_atom);
+    ("conv mixture", `Quick, test_convolve_mixture);
+    ("conv mean additivity", `Quick, test_convolution_mean_additivity);
+    ("hypoexp mean", `Quick, test_hypoexp_mean);
+    ("hyperexp", `Quick, test_hyperexp);
+    ("inst/ss unavailability", `Quick, test_inst_unavail);
+    ("binomial k-of-n", `Quick, test_binomial_kofn);
+    ("kofn block vs ftree", `Quick, test_kofn_block_vs_ftree);
+    ("standby", `Quick, test_standby);
+    ("gen distribution", `Quick, test_gen);
+    ("weibull numeric", `Quick, test_weibull);
+    ("pretty printing", `Quick, test_pp);
+    QCheck_alcotest.to_alcotest prop_cdf_monotone;
+    QCheck_alcotest.to_alcotest prop_conv_mean_additive;
+    QCheck_alcotest.to_alcotest prop_conv_commutative;
+    QCheck_alcotest.to_alcotest prop_mul_is_pointwise;
+    QCheck_alcotest.to_alcotest prop_integrate_deriv_roundtrip ]

@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "osharpe"
+    [ ("numerics", Test_numerics.suite);
+      ("expo", Test_expo.suite);
+      ("bdd", Test_bdd.suite);
+      ("markov", Test_markov.suite);
+      ("semimark+mrgp", Test_semimark.suite);
+      ("combinatorial", Test_combinatorial.suite);
+      ("pfqn", Test_pfqn.suite);
+      ("petri", Test_petri.suite);
+      ("lang", Test_lang.suite);
+      ("more", Test_more.suite) ]

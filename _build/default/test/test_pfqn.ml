@@ -1,0 +1,181 @@
+(* Tests for product-form queueing networks (single and multiple chain). *)
+module P = Sharpe_pfqn.Pfqn
+module MP = Sharpe_pfqn.Mpfqn
+
+let checkf6 = Alcotest.(check (float 1e-6))
+let checkf4 = Alcotest.(check (float 1e-4))
+
+(* machine-repairman / terminal system with closed-form check via
+   birth-death CTMC *)
+let test_mva_matches_birth_death () =
+  (* N customers, think Is(z), single fcfs server mu: product form equals the
+     M/M/1//N queue *)
+  let n = 5 and z = 1.0 and mu = 2.0 in
+  let net =
+    P.make
+      ~stations:[ ("cpu", P.Fcfs mu); ("term", P.Is z) ]
+      ~routing:[ ("cpu", "term", 1.0); ("term", "cpu", 1.0) ]
+  in
+  (* birth-death over k = jobs at cpu: arrival rate (n-k) z, service mu *)
+  let c =
+    Sharpe_markov.Ctmc.make ~n:(n + 1)
+      (List.concat
+         (List.init n (fun k ->
+              [ (k, k + 1, float_of_int (n - k) *. z); (k + 1, k, mu) ])))
+  in
+  let pi = Sharpe_markov.Ctmc.steady_state c in
+  let q_expected = Array.to_list pi |> List.mapi (fun k p -> float_of_int k *. p) |> List.fold_left ( +. ) 0.0 in
+  let u_expected = 1.0 -. pi.(0) in
+  checkf6 "queue length" q_expected (P.qlength net ~customers:n "cpu");
+  checkf6 "utilization" u_expected (P.utilization net ~customers:n "cpu");
+  checkf6 "throughput" (mu *. u_expected) (P.throughput net ~customers:n "cpu")
+
+let test_mva_ms_matches_ld_birth_death () =
+  let n = 6 and z = 1.0 and mu = 1.5 and m = 2 in
+  let net =
+    P.make
+      ~stations:[ ("srv", P.Ms (m, mu)); ("term", P.Is z) ]
+      ~routing:[ ("srv", "term", 1.0); ("term", "srv", 1.0) ]
+  in
+  let c =
+    Sharpe_markov.Ctmc.make ~n:(n + 1)
+      (List.concat
+         (List.init n (fun k ->
+              [ (k, k + 1, float_of_int (n - k) *. z);
+                (k + 1, k, float_of_int (min (k + 1) m) *. mu) ])))
+  in
+  let pi = Sharpe_markov.Ctmc.steady_state c in
+  let q_expected = Array.to_list pi |> List.mapi (fun k p -> float_of_int k *. p) |> List.fold_left ( +. ) 0.0 in
+  checkf6 "ms queue length" q_expected (P.qlength net ~customers:n "srv")
+
+let test_lds_equals_ms () =
+  (* lds with rates [mu; 2mu; 2mu] behaves as a 2-server station *)
+  let mu = 1.5 in
+  let mk kind =
+    P.make
+      ~stations:[ ("srv", kind); ("term", P.Is 1.0) ]
+      ~routing:[ ("srv", "term", 1.0); ("term", "srv", 1.0) ]
+  in
+  let a = mk (P.Ms (2, mu)) in
+  let b = mk (P.Lds [ mu; 2.0 *. mu ]) in
+  checkf6 "qlength equal" (P.qlength a ~customers:5 "srv") (P.qlength b ~customers:5 "srv");
+  checkf6 "tput equal" (P.throughput a ~customers:5 "srv") (P.throughput b ~customers:5 "srv")
+
+let ex916 () =
+  (* thesis §3.8.2 *)
+  P.make
+    ~stations:
+      [ ("cpu", P.Fcfs 89.3); ("term", P.Is (1.0 /. 15.0));
+        ("io1", P.Fcfs 44.6); ("io2", P.Fcfs 26.8); ("io3", P.Fcfs 13.4) ]
+    ~routing:
+      [ ("cpu", "term", 0.05); ("cpu", "io1", 0.5); ("cpu", "io2", 0.3);
+        ("cpu", "io3", 0.15); ("io1", "cpu", 1.0); ("io2", "cpu", 1.0);
+        ("io3", "cpu", 1.0); ("term", "cpu", 1.0) ]
+
+let test_ex916_visit_ratios () =
+  let net = ex916 () in
+  let v = P.visit_ratios net in
+  checkf6 "cpu" 1.0 (List.assoc "cpu" v);
+  checkf6 "term" 0.05 (List.assoc "term" v);
+  checkf6 "io1" 0.5 (List.assoc "io1" v)
+
+let er_of_single m =
+  let net = ex916 () in
+  let et = 89.3 *. P.utilization net ~customers:m "cpu" *. 0.05 in
+  (float_of_int m /. et) -. 15.0
+
+let test_ex916_response_times () =
+  (* E[R] must increase with population and be ~0 for tiny populations *)
+  let r10 = er_of_single 10 and r30 = er_of_single 30 and r60 = er_of_single 60 in
+  Alcotest.(check bool) "monotone" true (r10 < r30 && r30 < r60);
+  (* the book's table 9.12 magnitudes: about 1 second at 10 terminals,
+     growing to a few seconds at 60 (demands are balanced across the four
+     queueing stations, so there is no single saturating bottleneck) *)
+  Alcotest.(check bool) "r10 ~ 1s" true (r10 > 0.5 && r10 < 2.0);
+  Alcotest.(check bool) "r60 a few seconds" true (r60 > 2.0 && r60 < 6.0)
+
+let test_mpfqn_matches_pfqn () =
+  (* thesis §3.9.2: the multichain version of ex 9.16 must reproduce the
+     single-chain results *)
+  let stations =
+    [ ("cpu", MP.Queueing); ("term", MP.Is); ("io1", MP.Queueing);
+      ("io2", MP.Queueing); ("io3", MP.Queueing) ]
+  in
+  let rates =
+    [ ("cpu", "cust", 89.3); ("term", "cust", 1.0 /. 15.0); ("io1", "cust", 44.6);
+      ("io2", "cust", 26.8); ("io3", "cust", 13.4) ]
+  in
+  let routing =
+    [ ("cust", "cpu", "term", 0.05); ("cust", "cpu", "io1", 0.5);
+      ("cust", "cpu", "io2", 0.3); ("cust", "cpu", "io3", 0.15);
+      ("cust", "io1", "cpu", 1.0); ("cust", "io2", "cpu", 1.0);
+      ("cust", "io3", "cpu", 1.0); ("cust", "term", "cpu", 1.0) ]
+  in
+  let mnet = MP.make ~stations ~chains:[ "cust" ] ~rates ~routing in
+  let snet = ex916 () in
+  List.iter
+    (fun n ->
+      checkf4
+        (Printf.sprintf "util n=%d" n)
+        (P.utilization snet ~customers:n "cpu")
+        (MP.station_utilization mnet ~populations:[ ("cust", n) ] "cpu"))
+    [ 10; 20; 40 ]
+
+let test_mpfqn_two_chains () =
+  (* two independent chains sharing a server; sanity: totals bounded,
+     symmetric setup gives symmetric results *)
+  let stations = [ ("srv", MP.Queueing); ("del", MP.Is) ] in
+  let rates =
+    [ ("srv", "a", 2.0); ("srv", "b", 2.0); ("del", "a", 1.0); ("del", "b", 1.0) ]
+  in
+  let routing =
+    [ ("a", "srv", "del", 1.0); ("a", "del", "srv", 1.0);
+      ("b", "srv", "del", 1.0); ("b", "del", "srv", 1.0) ]
+  in
+  let net = MP.make ~stations ~chains:[ "a"; "b" ] ~rates ~routing in
+  let xa = MP.chain_throughput net ~populations:[ ("a", 3); ("b", 3) ] ~chain:"a" ~station:"srv" in
+  let xb = MP.chain_throughput net ~populations:[ ("a", 3); ("b", 3) ] ~chain:"b" ~station:"srv" in
+  checkf6 "symmetric" xa xb;
+  let u = MP.station_utilization net ~populations:[ ("a", 3); ("b", 3) ] "srv" in
+  Alcotest.(check bool) "util < 1" true (u < 1.0 && u > 0.0)
+
+let prop_little_law =
+  QCheck.Test.make ~name:"MVA satisfies Little's law at every station" ~count:50
+    QCheck.(pair (int_range 1 12) (QCheck.make (Gen.float_range 0.5 4.0)))
+    (fun (n, mu) ->
+      let net =
+        P.make
+          ~stations:[ ("cpu", P.Fcfs mu); ("term", P.Is 1.0) ]
+          ~routing:[ ("cpu", "term", 1.0); ("term", "cpu", 1.0) ]
+      in
+      List.for_all
+        (fun (_, r) ->
+          Float.abs (r.P.qlength -. (r.P.throughput *. r.P.rtime)) < 1e-9)
+        (P.solve net ~customers:n))
+
+let prop_population_conserved =
+  QCheck.Test.make ~name:"MVA conserves the population" ~count:50
+    QCheck.(pair (int_range 1 15) (QCheck.make (Gen.float_range 0.5 4.0)))
+    (fun (n, mu) ->
+      let net =
+        P.make
+          ~stations:[ ("s1", P.Fcfs mu); ("s2", P.Ps (2.0 *. mu)); ("term", P.Is 1.0) ]
+          ~routing:
+            [ ("s1", "s2", 0.5); ("s1", "term", 0.5); ("s2", "s1", 1.0);
+              ("term", "s1", 1.0) ]
+      in
+      let total =
+        List.fold_left (fun a (_, r) -> a +. r.P.qlength) 0.0 (P.solve net ~customers:n)
+      in
+      Float.abs (total -. float_of_int n) < 1e-8)
+
+let suite =
+  [ ("mva = birth-death", `Quick, test_mva_matches_birth_death);
+    ("mva ms = load-dep birth-death", `Quick, test_mva_ms_matches_ld_birth_death);
+    ("lds = ms", `Quick, test_lds_equals_ms);
+    ("ex9.16 visit ratios", `Quick, test_ex916_visit_ratios);
+    ("ex9.16 response times (paper)", `Quick, test_ex916_response_times);
+    ("mpfqn = pfqn on ex9.16 (paper)", `Quick, test_mpfqn_matches_pfqn);
+    ("mpfqn two chains", `Quick, test_mpfqn_two_chains);
+    QCheck_alcotest.to_alcotest prop_little_law;
+    QCheck_alcotest.to_alcotest prop_population_conserved ]

@@ -1,0 +1,173 @@
+(* Tests for semi-Markov chains and Markov regenerative processes. *)
+module E = Sharpe_expo.Exponomial
+module D = Sharpe_expo.Dist
+module SM = Sharpe_semimark.Semi_markov
+module M = Sharpe_mrgp.Mrgp
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf6 = Alcotest.(check (float 1e-6))
+
+(* A semi-Markov chain that is secretly a CTMC must match the CTMC answers. *)
+let test_sm_matches_ctmc_steady () =
+  let l = 0.5 and m = 2.0 in
+  let s =
+    SM.make ~n:2 [ (0, 1, D.exponential l); (1, 0, D.exponential m) ]
+  in
+  let pi = SM.steady_state s in
+  checkf "up" (m /. (l +. m)) pi.(0);
+  checkf "down" (l /. (l +. m)) pi.(1)
+
+let test_sm_general_sojourn () =
+  (* alternating renewal: up Erlang(2,1) (mean 2), down Exp(1) (mean 1);
+     availability = 2/3 *)
+  let s = SM.make ~n:2 [ (0, 1, D.erlang 2 1.0); (1, 0, D.exponential 1.0) ] in
+  let pi = SM.steady_state s in
+  checkf6 "availability" (2.0 /. 3.0) pi.(0)
+
+let test_sm_branching_uncond () =
+  (* from 0: to 1 with kernel 0.3 Exp(1), to 2 with kernel 0.7 Exp(2) *)
+  let s =
+    SM.make ~n:3
+      [ (0, 1, E.scale 0.3 (D.exponential 1.0));
+        (0, 2, E.scale 0.7 (D.exponential 2.0)) ]
+  in
+  checkf "p01" 0.3 (SM.branch_prob s 0 1);
+  checkf "p02" 0.7 (SM.branch_prob s 0 2);
+  Alcotest.(check bool) "1 absorbing" true (SM.is_absorbing s 1)
+
+let test_sm_cond_race () =
+  (* two competing Exp timers: race probabilities l1/(l1+l2) *)
+  let l1 = 1.0 and l2 = 3.0 in
+  let s =
+    SM.make ~mode:`Cond ~n:3
+      [ (0, 1, D.exponential l1); (0, 2, D.exponential l2) ]
+  in
+  checkf6 "race p01" (l1 /. (l1 +. l2)) (SM.branch_prob s 0 1);
+  checkf6 "race p02" (l2 /. (l1 +. l2)) (SM.branch_prob s 0 2);
+  (* sojourn = min of the two = Exp(l1+l2) *)
+  checkf6 "race sojourn" (1.0 /. (l1 +. l2)) (SM.mean_sojourn s 0)
+
+let test_sm_mtta () =
+  (* 0 ->(Erlang 2, rate 1) 1 ->(Exp 2) 2: mtta = 2 + 0.5 *)
+  let s = SM.make ~n:3 [ (0, 1, D.erlang 2 1.0); (1, 2, D.exponential 2.0) ] in
+  checkf6 "mtta" 2.5 (SM.mean_time_to_absorption s ~init:[| 1.0; 0.0; 0.0 |])
+
+let test_sm_mttf_makes_absorbing () =
+  (* cycle 0 <-> 1, failure from 1 to 2; mttf treats 2 as absorbing *)
+  let s =
+    SM.make ~n:3
+      [ (0, 1, D.exponential 1.0);
+        (1, 0, E.scale 0.9 (D.exponential 2.0));
+        (1, 2, E.scale 0.1 (D.exponential 2.0)) ]
+  in
+  (* embedded: visits to 1 geometric mean 10; mttf = 10*(1+0.5) *)
+  checkf6 "mttf" 15.0 (SM.mttf s ~init:[| 1.0; 0.0; 0.0 |] ~readf:[ 2 ])
+
+let test_sm_first_passage () =
+  (* the thesis' semimark/1 example shape: 2 -> 1 (gen Erlang-2-ish), 2 -> 0 *)
+  let l = 0.02 in
+  let gen = D.gen [ (1.0, 0.0, 0.0); (-1.0, 0.0, -.l); (-.l, 1.0, -.l) ] in
+  (* state ids: 2 -> index 0, 1 -> index 1, 0 -> index 2 *)
+  let s =
+    SM.make ~n:3
+      [ (0, 1, E.scale 0.5 gen); (0, 2, E.scale 0.5 (D.exponential 0.01)) ]
+  in
+  let fp = SM.first_passage s ~init:[| 1.0; 0.0; 0.0 |] in
+  checkf "limit into 1" 0.5 (E.limit_at_inf fp.(1));
+  checkf "limit into 2" 0.5 (E.limit_at_inf fp.(2));
+  checkf "entry at start" 1.0 (E.eval fp.(0) 0.0)
+
+let test_sm_occupancy_sums_to_one () =
+  let s = SM.make ~n:3 [ (0, 1, D.erlang 2 1.0); (1, 2, D.exponential 0.5) ] in
+  let occ = SM.occupancy s ~init:[| 1.0; 0.0; 0.0 |] in
+  List.iter
+    (fun t ->
+      let total = Array.fold_left (fun a f -> a +. E.eval f t) 0.0 occ in
+      checkf6 (Printf.sprintf "t=%g" t) 1.0 total)
+    [ 0.0; 0.5; 2.0; 10.0 ]
+
+let test_sm_cyclic_first_passage_raises () =
+  let s = SM.make ~n:2 [ (0, 1, D.exponential 1.0); (1, 0, D.exponential 1.0) ] in
+  Alcotest.check_raises "cycle" (Invalid_argument "Semi_markov.first_passage: cyclic chain")
+    (fun () -> ignore (SM.first_passage s ~init:[| 1.0; 0.0 |]))
+
+(* --- MRGP ----------------------------------------------------------- *)
+
+(* M/M/1/1 disguised as an MRGP: arrivals Exp(l) as the general dist,
+   service Exp(m) as the subordinated CTMC.  Steady state must match the
+   CTMC solution of the same queue. *)
+let test_mrgp_mm11_matches_ctmc () =
+  let l = 1.0 and mu = 2.0 in
+  let m =
+    M.make ~n:2
+      ~exp_edges:[ (1, 0, mu) ]
+      ~gen_edges:[ (0, 1, D.exponential l); (1, 1, D.exponential l) ]
+  in
+  let pi = M.steady_state m in
+  (* M/M/1/1: pi1 = rho/(1+rho) *)
+  let rho = l /. mu in
+  checkf6 "pi0" (1.0 /. (1.0 +. rho)) pi.(0);
+  checkf6 "pi1" (rho /. (1.0 +. rho)) pi.(1)
+
+let test_mrgp_md1_like () =
+  (* Erlang arrivals to a 2-place buffer with exp service: sanity checks
+     only — probabilities, monotone utilization *)
+  let m =
+    M.make ~n:3
+      ~exp_edges:[ (1, 0, 1.0); (2, 1, 1.0) ]
+      ~gen_edges:
+        [ (0, 1, D.erlang 3 6.0); (1, 2, D.erlang 3 6.0); (2, 2, D.erlang 3 6.0) ]
+  in
+  let pi = M.steady_state m in
+  let s = Array.fold_left ( +. ) 0.0 pi in
+  checkf6 "normalized" 1.0 s;
+  Alcotest.(check bool) "all nonneg" true (Array.for_all (fun p -> p >= 0.0) pi)
+
+let test_mrgp_reward () =
+  let l = 1.0 and mu = 2.0 in
+  let m =
+    M.make ~n:2
+      ~exp_edges:[ (1, 0, mu) ]
+      ~gen_edges:[ (0, 1, D.exponential l); (1, 1, D.exponential l) ]
+  in
+  let r = M.expected_reward_ss m ~reward:(function 1 -> 1.0 | _ -> 0.0) in
+  checkf6 "reward = pi1" (M.prob m 1) r
+
+let test_mrgp_validation () =
+  Alcotest.check_raises "different dists"
+    (Invalid_argument "Mrgp.make: all @ edges must share one distribution")
+    (fun () ->
+      ignore
+        (M.make ~n:2 ~exp_edges:[]
+           ~gen_edges:[ (0, 1, D.erlang 2 1.0); (1, 0, D.erlang 3 1.0) ]))
+
+let prop_mrgp_erlang1_is_ctmc =
+  (* with G = Exp (Erlang 1) the MRGP is an ordinary CTMC; compare *)
+  QCheck.Test.make ~name:"MRGP with exponential general dist = CTMC" ~count:30
+    QCheck.(pair (QCheck.make (Gen.float_range 0.5 3.0)) (QCheck.make (Gen.float_range 0.5 3.0)))
+    (fun (l, mu) ->
+      let m =
+        M.make ~n:2
+          ~exp_edges:[ (1, 0, mu) ]
+          ~gen_edges:[ (0, 1, D.exponential l); (1, 1, D.exponential l) ]
+      in
+      let pi = M.steady_state m in
+      let c = Sharpe_markov.Ctmc.make ~n:2 [ (0, 1, l); (1, 0, mu) ] in
+      let pi' = Sharpe_markov.Ctmc.steady_state c in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) pi pi')
+
+let suite =
+  [ ("sm matches ctmc steady state", `Quick, test_sm_matches_ctmc_steady);
+    ("sm general sojourn", `Quick, test_sm_general_sojourn);
+    ("sm unconditional branching", `Quick, test_sm_branching_uncond);
+    ("sm race (cond) semantics", `Quick, test_sm_cond_race);
+    ("sm mean time to absorption", `Quick, test_sm_mtta);
+    ("sm mttf", `Quick, test_sm_mttf_makes_absorbing);
+    ("sm symbolic first passage", `Quick, test_sm_first_passage);
+    ("sm occupancy sums to 1", `Quick, test_sm_occupancy_sums_to_one);
+    ("sm cyclic first passage raises", `Quick, test_sm_cyclic_first_passage_raises);
+    ("mrgp M/M/1/1 = ctmc", `Quick, test_mrgp_mm11_matches_ctmc);
+    ("mrgp erlang arrivals sane", `Quick, test_mrgp_md1_like);
+    ("mrgp reward", `Quick, test_mrgp_reward);
+    ("mrgp validation", `Quick, test_mrgp_validation);
+    QCheck_alcotest.to_alcotest prop_mrgp_erlang1_is_ctmc ]
