@@ -1,26 +1,72 @@
-(* The SHARPE command-line tool: execute SHARPE-language input files. *)
+(* The SHARPE command-line tool: execute SHARPE-language input files.
 
-let run_one path =
-  try
-    Sharpe_lang.Interp.run_file path;
-    `Ok ()
-  with
-  | Sharpe_lang.Parser.Parse_error msg ->
-      `Error (false, Printf.sprintf "%s: parse error: %s" path msg)
-  | Sharpe_lang.Eval.Error msg ->
-      `Error (false, Printf.sprintf "%s: error: %s" path msg)
-  | Failure msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
-  | Sys_error msg -> `Error (false, msg)
-  | Invalid_argument msg -> `Error (false, Printf.sprintf "%s: %s" path msg)
+   Guard rails: every file runs under a diagnostic sink with per-statement
+   error recovery — a failing model definition is reported and the rest of
+   the file keeps executing.  Diagnostics go to stderr (human form) or
+   stdout (--diagnostics json); the exit code tells automation what
+   happened: 0 clean, 1 any error, 2 any warning-or-worse under --strict. *)
 
-let run files =
-  List.fold_left
-    (fun acc f -> match acc with `Ok () -> run_one f | e -> e)
-    (`Ok ()) files
+module Diag = Sharpe_numerics.Diag
+module Interp = Sharpe_lang.Interp
+
+let run strict diag_fmt files =
+  let all = ref [] and failed = ref 0 in
+  List.iter
+    (fun path ->
+      let outcome =
+        Diag.with_context path (fun () -> Interp.run_program_file path)
+      in
+      all := !all @ outcome.Interp.diagnostics;
+      failed := !failed + outcome.Interp.failed_statements)
+    files;
+  let records = !all in
+  let count sev =
+    List.length (List.filter (fun r -> r.Diag.severity = sev) records)
+  in
+  let worst_rank =
+    List.fold_left
+      (fun m r -> max m (Diag.severity_rank r.Diag.severity))
+      (-1) records
+  in
+  (match diag_fmt with
+  | `Json -> print_string (Diag.records_to_json records ^ "\n")
+  | `Human ->
+      List.iter
+        (fun r ->
+          if Diag.severity_rank r.Diag.severity >= Diag.severity_rank Diag.Warning
+          then prerr_endline ("sharpe: " ^ Diag.record_to_string r))
+        records;
+      if records <> [] then
+        Printf.eprintf
+          "sharpe: diagnostics: %d info, %d warning, %d fallback, %d non-convergence, %d error\n"
+          (count Diag.Info) (count Diag.Warning) (count Diag.Fallback)
+          (count Diag.Non_convergence) (count Diag.Error));
+  if !failed > 0 || count Diag.Error > 0 then 1
+  else if strict && worst_rank >= Diag.severity_rank Diag.Warning then 2
+  else 0
 
 open Cmdliner
 
 let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"SHARPE input files")
+
+let strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Treat any diagnostic of severity warning or worse as fatal: exit \
+           with status 2 even when every statement produced a result.")
+
+let diag_fmt =
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "diagnostics" ] ~docv:"FORMAT"
+        ~doc:
+          "How to report solver diagnostics: $(b,human) prints \
+           warning-and-worse records plus a summary to stderr; $(b,json) \
+           prints every record (including info-level provenance) as a JSON \
+           array on stdout.")
 
 let cmd =
   let doc = "Symbolic Hierarchical Automated Reliability and Performance Evaluator" in
@@ -30,9 +76,13 @@ let cmd =
           diagrams, fault trees (incl. multi-state), phased-mission systems, \
           reliability graphs, series-parallel task graphs, product-form \
           queueing networks, Markov and semi-Markov chains, Markov \
-          regenerative processes, GSPNs and stochastic reward nets." ]
+          regenerative processes, GSPNs and stochastic reward nets.";
+      `S Manpage.s_exit_status;
+      `P "0 on success; 1 if any statement failed or any error diagnostic \
+          was recorded; 2 if $(b,--strict) is set and any warning, \
+          fallback or non-convergence diagnostic was recorded." ]
   in
   Cmd.v (Cmd.info "sharpe" ~version:"2002-ocaml" ~doc ~man)
-    Term.(ret (const run $ files))
+    Term.(const run $ strict $ diag_fmt $ files)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,35 @@
+#!/bin/sh
+# Tier-1 verification: build everything, run the full test suite, and run
+# the guard-rails demo through the CLI in both diagnostic modes.
+# Formatting is checked only when ocamlformat is actually installed.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== fmt skipped (ocamlformat not installed) =="
+fi
+
+echo "== guard-rails demo =="
+demo=examples/sharpe/fallback_demo.sharpe
+out=$(dune exec bin/sharpe.exe -- --diagnostics json "$demo")
+echo "$out" | grep -q '"severity":"fallback"'
+echo "$out" | grep -q '"severity":"warning"'
+# the warning must flip the exit code to 2 under --strict
+if dune exec bin/sharpe.exe -- --strict "$demo" >/dev/null 2>&1; then
+  echo "ci: expected --strict to fail on $demo" >&2
+  exit 1
+else
+  status=$?
+  [ "$status" -eq 2 ] || { echo "ci: expected exit 2, got $status" >&2; exit 1; }
+fi
+
+echo "ci: OK"

@@ -94,7 +94,10 @@ let rec instantiate ctx mname (arg_vals : float list) : instance =
       List.iter2 (fun p v -> Hashtbl.replace tbl p v) params arg_vals;
       let mctx = { ctx with locals = [ tbl ] } in
       let version = ctx.env.version in
-      let inst = build_model mctx m in
+      let inst =
+        Sharpe_numerics.Diag.with_context ("model " ^ mname) (fun () ->
+            build_model mctx m)
+      in
       (* only cache when instantiation did not itself change the world *)
       if ctx.env.version = version then Hashtbl.replace ctx.env.cache key (version, inst);
       inst
@@ -419,6 +422,8 @@ and build_markov mctx edges rewards init fastmttf =
     List.map (fun (a, b, r) -> (Hashtbl.find idx a, Hashtbl.find idx b, r)) es
   in
   let ctmc = Ctmc.make ~n rates in
+  let init = build_init mctx idx n init in
+  Ctmc.validate ?init ~names:(fun i -> names.(i)) ctmc;
   let fast =
     match build_fast mctx idx fastmttf with
     | Some (reada, readf) -> Some { Fast_mttf.reada; readf }
@@ -427,7 +432,7 @@ and build_markov mctx edges rewards init fastmttf =
   { mk_ctmc = ctmc;
     mk_index = idx;
     mk_names = names;
-    mk_init = build_init mctx idx n init;
+    mk_init = init;
     mk_reward = build_rewards mctx idx n rewards;
     mk_fast = fast;
     mk_steady = ref None }

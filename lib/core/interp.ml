@@ -1,3 +1,5 @@
+module Diag = Sharpe_numerics.Diag
+
 (* forces the Builtins module to be linked so that its dispatcher is
    registered with the evaluator *)
 let () = assert Builtins.init_done
@@ -7,14 +9,77 @@ let run_string ?(print = print_string) src =
   let env = Eval.make_env ~print () in
   ignore (Eval.exec_stmts (Eval.base_ctx env) stmts)
 
-let run_file ?print path =
+let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  run_string ?print src
+  src
+
+let run_file ?print path = run_string ?print (read_file path)
 
 let eval_output src =
   let buf = Buffer.create 1024 in
   run_string ~print:(Buffer.add_string buf) src;
   Buffer.contents buf
+
+(* --- diagnostic-collecting runner ------------------------------------- *)
+
+type outcome = {
+  diagnostics : Diag.record list;
+  failed_statements : int;
+}
+
+let run_program ?(print = print_string) src =
+  let sink = Diag.create_sink () in
+  let failed = ref 0 in
+  Diag.with_sink sink (fun () ->
+      let stmts =
+        try
+          Some
+            (Parser.parse_string
+               ~warn:(fun w ->
+                 print (w ^ "\n");
+                 Diag.emit Diag.Warning ~solver:"lexer" w)
+               src)
+        with Parser.Parse_error msg ->
+          incr failed;
+          Diag.emit Diag.Error ~solver:"parser" msg;
+          None
+      in
+      match stmts with
+      | None -> ()
+      | Some stmts ->
+          let env = Eval.make_env ~print () in
+          let ctx = Eval.base_ctx env in
+          (* one failing statement aborts neither the file nor the
+             remaining statements: its error becomes a diagnostic *)
+          List.iteri
+            (fun i s ->
+              Diag.with_context
+                (Printf.sprintf "statement %d" (i + 1))
+                (fun () ->
+                  try ignore (Eval.exec_stmt ctx s) with
+                  | Eval.Error msg | Failure msg | Invalid_argument msg ->
+                      incr failed;
+                      Diag.emit Diag.Error ~solver:"eval" msg
+                  | Sharpe_numerics.Linsolve.Singular ->
+                      incr failed;
+                      Diag.emit Diag.Error ~solver:"eval"
+                        "singular linear system (model has no unique solution)"))
+            stmts);
+  { diagnostics = Diag.records sink; failed_statements = !failed }
+
+let run_program_file ?print path =
+  match read_file path with
+  | src -> run_program ?print src
+  | exception Sys_error msg ->
+      { diagnostics =
+          [ { Diag.severity = Diag.Error;
+              solver = "cli";
+              context = Diag.current_context ();
+              message = msg;
+              iterations = None;
+              residual = None;
+              tolerance = None } ];
+        failed_statements = 1 }

@@ -9,3 +9,26 @@ val run_file : ?print:(string -> unit) -> string -> unit
 
 val eval_output : string -> string
 (** Run a program and return everything it printed — convenient for tests. *)
+
+(** {1 Diagnostic-collecting runner}
+
+    The CLI entry points: statements are executed under a diagnostic sink
+    and with per-statement error recovery, so one failing model definition
+    no longer aborts the rest of the input file — the failure is recorded
+    as an {!Sharpe_numerics.Diag.Error} diagnostic instead. *)
+
+type outcome = {
+  diagnostics : Sharpe_numerics.Diag.record list;
+      (** everything the solvers and the evaluator reported, in order *)
+  failed_statements : int;
+      (** statements (or whole-file parses) aborted by an error *)
+}
+
+val run_program : ?print:(string -> unit) -> string -> outcome
+(** Like {!run_string} but never raises on program errors: parse errors and
+    per-statement evaluation errors become diagnostics, and execution
+    continues with the next statement. *)
+
+val run_program_file : ?print:(string -> unit) -> string -> outcome
+(** {!run_program} on a file; an unreadable file yields a single error
+    diagnostic rather than an exception. *)

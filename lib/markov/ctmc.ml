@@ -6,13 +6,18 @@ type t = {
   exit : float array; (* exit.(i) = sum of off-diagonal rates out of i *)
 }
 
+let make_error msg =
+  Diag.emit Diag.Error ~solver:"ctmc" msg;
+  invalid_arg ("Ctmc.make: " ^ msg)
+
 let make ~n rates =
   let b = Sparse.builder ~rows:n ~cols:n in
   let exit = Array.make n 0.0 in
   List.iter
     (fun (i, j, r) ->
-      if i = j then invalid_arg "Ctmc.make: self loop";
-      if r < 0.0 then invalid_arg "Ctmc.make: negative rate";
+      if i = j then make_error "self loop";
+      if not (Float.is_finite r) then make_error "non-finite rate";
+      if r < 0.0 then make_error "negative rate";
       if r > 0.0 then begin
         Sparse.add b i j r;
         exit.(i) <- exit.(i) +. r
@@ -20,6 +25,51 @@ let make ~n rates =
     rates;
   Array.iteri (fun i e -> if e > 0.0 then Sparse.add b i i (-.e)) exit;
   { n; q = Sparse.finalize b; exit }
+
+(* Well-formedness checks that produce diagnostics instead of aborting:
+   the model may still be analyzable (absorption measures on a reducible
+   chain are fine), but the analyst should know. *)
+let validate ?init ?names c =
+  let name i =
+    match names with Some f -> f i | None -> Printf.sprintf "state %d" i
+  in
+  if c.n > 0 && Array.for_all (fun e -> e = 0.0) c.exit then
+    Diag.emit Diag.Warning ~solver:"ctmc"
+      "all states are absorbing: the chain never leaves its initial state";
+  let rmax = ref 0.0 in
+  Sparse.iter c.q (fun i j v -> if i <> j && v > !rmax then rmax := v);
+  if !rmax > 1e12 then
+    Diag.emitf Diag.Warning ~solver:"ctmc" ~residual:!rmax
+      "largest transition rate %.3g risks overflow in uniformization" !rmax;
+  (* reachability from the support of the initial distribution (default:
+     the first-declared state, SHARPE's implicit initial state) *)
+  let seed =
+    match init with
+    | Some v -> List.filter (fun i -> v.(i) > 0.0) (List.init c.n Fun.id)
+    | None -> if c.n > 0 then [ 0 ] else []
+  in
+  let seen = Array.make c.n false in
+  let stack = ref seed in
+  List.iter (fun i -> seen.(i) <- true) seed;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+        stack := rest;
+        Sparse.iter_row c.q i (fun j v ->
+            if j <> i && v > 0.0 && not seen.(j) then begin
+              seen.(j) <- true;
+              stack := j :: !stack
+            end)
+  done;
+  let unreachable =
+    List.filter (fun i -> not seen.(i)) (List.init c.n Fun.id)
+  in
+  if unreachable <> [] then
+    Diag.emitf Diag.Warning ~solver:"ctmc"
+      "%d state(s) unreachable from the initial distribution (e.g. %s)"
+      (List.length unreachable)
+      (name (List.hd unreachable))
 
 let n_states c = c.n
 let generator c = c.q
@@ -48,6 +98,15 @@ let check_init c init =
 let transient_many ?(eps = 1e-12) c ~init ts =
   check_init c init;
   let lambda, p = uniformized_dtmc c in
+  (* record the truncated-uniformization provenance once per solve *)
+  (match List.filter (fun t -> t > 0.0) ts with
+  | [] -> ()
+  | pos ->
+      let tmax = List.fold_left Float.max 0.0 pos in
+      let w = Poisson.window ~eps (lambda *. tmax) in
+      Diag.emitf Diag.Info ~solver:"ctmc_transient" ~tolerance:eps
+        "uniformization with lambda=%.6g; largest Poisson window [%d, %d] (lambda t = %.6g)"
+        lambda w.Poisson.left w.Poisson.right (lambda *. tmax));
   List.map
     (fun t ->
       if t <= 0.0 then (t, Array.copy init)
@@ -85,19 +144,35 @@ let cumulative ?(eps = 1e-12) c ~init t =
        uniformization rate - and hence [mean] - is tiny *)
     let survivor = ref (-.Float.expm1 (-.mean)) in
     let k = ref 0 in
+    let wsum = ref 0.0 in
     let continue_ = ref true in
+    let truncated = ref false in
     while !continue_ do
       let wk = Float.max 0.0 (!survivor /. lambda) in
-      if wk > 0.0 then
-        Array.iteri (fun i vi -> acc.(i) <- acc.(i) +. (wk *. vi)) !v;
-      if (float_of_int !k > mean && !survivor < eps) || !k > 5_000_000 then
+      if wk > 0.0 then begin
+        wsum := !wsum +. wk;
+        Array.iteri (fun i vi -> acc.(i) <- acc.(i) +. (wk *. vi)) !v
+      end;
+      if float_of_int !k > mean && !survivor < eps then continue_ := false
+      else if !k > 5_000_000 then begin
+        truncated := true;
         continue_ := false
+      end
       else begin
         v := Sparse.vec_mat !v p;
         incr k;
         survivor := Float.max 0.0 (!survivor -. Poisson.pmf mean !k)
       end
     done;
+    if !truncated then
+      (* sum over all k of the weights is exactly t, so the shortfall is
+         the integrated probability mass the cutoff discarded *)
+      Diag.emitf Diag.Warning ~solver:"ctmc_cumulative" ~iterations:!k
+        ~residual:(Float.max 0.0 (t -. !wsum)) ~tolerance:eps
+        "uniformization series truncated at the %d-step cap: %.3g of %g time units unaccounted"
+        !k
+        (Float.max 0.0 (t -. !wsum))
+        t;
     acc
   end
 

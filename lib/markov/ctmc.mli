@@ -10,7 +10,17 @@ type t
 
 val make : n:int -> (int * int * float) list -> t
 (** [make ~n rates] with [rates = [(i, j, rate); ...]], [i <> j], all rates
-    nonnegative.  Duplicate edges are summed. *)
+    nonnegative and finite.  Duplicate edges are summed.  Invalid input
+    emits a {!Sharpe_numerics.Diag.Error} diagnostic before raising
+    [Invalid_argument]. *)
+
+val validate : ?init:float array -> ?names:(int -> string) -> t -> unit
+(** Well-formedness checks that emit {!Sharpe_numerics.Diag.Warning}
+    diagnostics instead of aborting: states unreachable from the support of
+    [init] (default: state 0, SHARPE's implicit initial state), chains
+    where every state is absorbing, and transition rates large enough to
+    risk overflow in uniformization.  [names] renders state indices in
+    messages. *)
 
 val n_states : t -> int
 val generator : t -> Sharpe_numerics.Sparse.t

@@ -8,12 +8,17 @@ type t = {
   g : E.t; (* the general distribution (CDF) *)
 }
 
+let make_error msg =
+  Diag.emit Diag.Error ~solver:"mrgp" msg;
+  invalid_arg ("Mrgp.make: " ^ msg)
+
 let make ~n ~exp_edges ~gen_edges =
   let q = Matrix.create ~rows:n ~cols:n in
   List.iter
     (fun (i, j, r) ->
-      if i = j then invalid_arg "Mrgp.make: self loop";
-      if r < 0.0 then invalid_arg "Mrgp.make: negative rate";
+      if i = j then make_error "self loop";
+      if not (Float.is_finite r) then make_error "non-finite rate";
+      if r < 0.0 then make_error "negative rate";
       Matrix.add_to q i j r;
       Matrix.add_to q i i (-.r))
     exp_edges;
@@ -21,19 +26,19 @@ let make ~n ~exp_edges ~gen_edges =
   let g = ref None in
   List.iter
     (fun (i, j, dist) ->
-      if dest.(i) <> i then invalid_arg "Mrgp.make: two @ edges from one state";
+      if dest.(i) <> i then make_error "two @ edges from one state";
       dest.(i) <- j;
       match !g with
       | None -> g := Some dist
       | Some g0 ->
           if not (E.equal g0 dist) then
-            invalid_arg "Mrgp.make: all @ edges must share one distribution")
+            make_error "all @ edges must share one distribution")
     gen_edges;
-  let g = match !g with Some g -> g | None -> invalid_arg "Mrgp.make: no @ edge" in
+  let g = match !g with Some g -> g | None -> make_error "no @ edge" in
   if Float.abs (E.limit_at_inf g -. 1.0) > 1e-9 then
-    invalid_arg "Mrgp.make: general distribution must be proper";
+    make_error "general distribution must be proper";
   if Float.abs (E.mass_at_zero g) > 1e-12 then
-    invalid_arg "Mrgp.make: atom at 0 unsupported";
+    make_error "atom at 0 unsupported";
   { n; q; dest; g }
 
 let n_states m = m.n

@@ -1,0 +1,164 @@
+type severity = Info | Warning | Fallback | Non_convergence | Error
+
+let severity_rank = function
+  | Info -> 0
+  | Warning -> 1
+  | Fallback -> 2
+  | Non_convergence -> 3
+  | Error -> 4
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Fallback -> "fallback"
+  | Non_convergence -> "non-convergence"
+  | Error -> "error"
+
+type record = {
+  severity : severity;
+  solver : string;
+  context : string list;
+  message : string;
+  iterations : int option;
+  residual : float option;
+  tolerance : float option;
+}
+
+let record_to_string r =
+  let b = Buffer.create 96 in
+  Buffer.add_string b (severity_to_string r.severity);
+  Buffer.add_string b ": ";
+  Buffer.add_string b r.solver;
+  Buffer.add_string b ": ";
+  Buffer.add_string b r.message;
+  let extras =
+    List.filter_map Fun.id
+      [ Option.map (Printf.sprintf "iter=%d") r.iterations;
+        Option.map (Printf.sprintf "residual=%.3g") r.residual;
+        Option.map (Printf.sprintf "tol=%.3g") r.tolerance ]
+  in
+  if extras <> [] then begin
+    Buffer.add_string b " (";
+    Buffer.add_string b (String.concat ", " extras);
+    Buffer.add_string b ")"
+  end;
+  if r.context <> [] then begin
+    Buffer.add_string b " [";
+    Buffer.add_string b (String.concat " / " r.context);
+    Buffer.add_string b "]"
+  end;
+  Buffer.contents b
+
+(* --- JSON rendering (no external deps) ------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_nan x then {|"nan"|}
+  else if x = Float.infinity then {|"inf"|}
+  else if x = Float.neg_infinity then {|"-inf"|}
+  else Printf.sprintf "%.17g" x
+
+let record_to_json r =
+  Printf.sprintf
+    {|{"severity":"%s","solver":"%s","context":[%s],"message":"%s","iterations":%s,"residual":%s,"tolerance":%s}|}
+    (severity_to_string r.severity)
+    (json_escape r.solver)
+    (String.concat ","
+       (List.map (fun c -> "\"" ^ json_escape c ^ "\"") r.context))
+    (json_escape r.message)
+    (match r.iterations with Some i -> string_of_int i | None -> "null")
+    (match r.residual with Some x -> json_float x | None -> "null")
+    (match r.tolerance with Some x -> json_float x | None -> "null")
+
+let records_to_json rs =
+  match rs with
+  | [] -> "[]"
+  | rs ->
+      "[\n" ^ String.concat ",\n" (List.map (fun r -> "  " ^ record_to_json r) rs) ^ "\n]"
+
+(* --- sinks ------------------------------------------------------------ *)
+
+type sink = { mutable items : record list (* newest first *) }
+
+let create_sink () = { items = [] }
+let records s = List.rev s.items
+let clear s = s.items <- []
+
+let count s sev = List.length (List.filter (fun r -> r.severity = sev) s.items)
+
+let count_at_least s sev =
+  let k = severity_rank sev in
+  List.length (List.filter (fun r -> severity_rank r.severity >= k) s.items)
+
+let max_severity s =
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | None -> Some r.severity
+      | Some m ->
+          if severity_rank r.severity > severity_rank m then Some r.severity
+          else acc)
+    None s.items
+
+(* installed sinks (innermost first) and the context stack *)
+let sinks : sink list ref = ref []
+let context_stack : string list ref = ref [] (* innermost first *)
+
+let default_limit = 1024
+let default_sink = create_sink ()
+
+let default_records () = records default_sink
+let reset_default () = clear default_sink
+
+let push_record r =
+  match !sinks with
+  | [] ->
+      default_sink.items <- r :: default_sink.items;
+      (* bounded: drop the oldest half when the cap is exceeded *)
+      if List.length default_sink.items > default_limit then
+        default_sink.items <-
+          List.filteri (fun i _ -> i < default_limit / 2) default_sink.items
+  | ss -> List.iter (fun s -> s.items <- r :: s.items) ss
+
+let current_context () = List.rev !context_stack
+
+let emit ?iterations ?residual ?tolerance severity ~solver message =
+  push_record
+    { severity;
+      solver;
+      context = current_context ();
+      message;
+      iterations;
+      residual;
+      tolerance }
+
+let emitf ?iterations ?residual ?tolerance severity ~solver fmt =
+  Printf.ksprintf (emit ?iterations ?residual ?tolerance severity ~solver) fmt
+
+let with_context label f =
+  context_stack := label :: !context_stack;
+  Fun.protect ~finally:(fun () -> context_stack := List.tl !context_stack) f
+
+let with_sink sink f =
+  sinks := sink :: !sinks;
+  Fun.protect ~finally:(fun () -> sinks := List.tl !sinks) f
+
+let capture f =
+  let s = create_sink () in
+  let v = with_sink s f in
+  (v, records s)

@@ -57,7 +57,29 @@ let gauss_matrix a bm =
 
 let inverse a = gauss_matrix a (Matrix.identity (Matrix.rows a))
 
-type iter_stats = { iterations : int; residual : float }
+type iter_stats = { iterations : int; residual : float; converged : bool }
+
+(* Largest dense system the fallback chains will build; beyond this a
+   failed iterative solve is reported as an error instead of silently
+   blowing up memory/time on an O(n^3) elimination. *)
+let direct_cap = 4096
+
+(* Negative steady-state entries below this magnitude are ordinary
+   floating-point noise; above it the clamp is reported. *)
+let clamp_warn = 1e-9
+
+let verify_tol_of tol = Float.max (tol *. 1e4) 1e-9
+
+let inf_norm x = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0.0 x
+
+let residual_inf a x b =
+  let n = Array.length b in
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let s = Sparse.fold_row a i (fun acc j v -> acc +. (v *. x.(j))) 0.0 in
+    worst := Float.max !worst (Float.abs (s -. b.(i)))
+  done;
+  !worst
 
 let sweep ~omega a b x =
   let n = Array.length b in
@@ -69,44 +91,238 @@ let sweep ~omega a b x =
     let xi' = (b.(i) -. !s) /. !diag in
     let xi'' = x.(i) +. (omega *. (xi' -. x.(i))) in
     let d = Float.abs (xi'' -. x.(i)) /. Float.max 1.0 (Float.abs xi'') in
-    if d > !delta then delta := d;
+    (* NaN must propagate so divergence is detected, not mistaken for a stall *)
+    if Float.is_nan d || d > !delta then delta := d;
     x.(i) <- xi''
   done;
   !delta
 
-let sor ?(max_iter = 100_000) ?(tol = 1e-12) ?(omega = 1.0) ?x0 a b =
+(* Over-relaxation factor from an observed contraction ratio [rho] of the
+   Gauss-Seidel sweeps (Young's optimal omega with rho_GS = rho_Jacobi^2);
+   oscillating or divergent sweeps fall back to under-relaxation. *)
+let adaptive_omega rho =
+  if Float.is_finite rho && rho > 0.0 && rho < 1.0 then
+    Float.min 1.95 (2.0 /. (1.0 +. sqrt (1.0 -. rho)))
+  else 0.5
+
+(* Core SOR loop; additionally estimates the per-sweep contraction ratio
+   (used to pick the over-relaxation factor when escalating) and aborts
+   early on numeric blow-up instead of sweeping a divergent iterate
+   [max_iter] times. *)
+let sor_rate ?(max_iter = 100_000) ?(tol = 1e-12) ?(omega = 1.0) ?x0 a b =
   let n = Array.length b in
   let x = match x0 with Some v -> Array.copy v | None -> Array.make n 0.0 in
-  let rec go k =
+  let k = ref 0 and delta = ref infinity in
+  let prev = ref nan and rho = ref nan in
+  let diverged = ref false and continue_ = ref true in
+  while !continue_ do
+    incr k;
     let d = sweep ~omega a b x in
-    if d <= tol || k >= max_iter then (x, { iterations = k; residual = d })
-    else go (k + 1)
-  in
-  go 1
+    delta := d;
+    if Float.is_nan d || d > 1e100 then begin
+      diverged := true;
+      continue_ := false
+    end
+    else begin
+      if !prev > 0.0 then begin
+        let r = d /. !prev in
+        rho := if Float.is_nan !rho then r else 0.5 *. (!rho +. r)
+      end;
+      prev := d;
+      if d <= tol || !k >= max_iter then continue_ := false
+    end
+  done;
+  let converged = (not !diverged) && !delta <= tol in
+  (x, { iterations = !k; residual = !delta; converged }, !rho)
+
+let solver_name omega = if omega = 1.0 then "gauss_seidel" else "sor"
+
+let sor ?max_iter ?tol ?(omega = 1.0) ?x0 a b =
+  let x, stats, _ = sor_rate ?max_iter ?tol ~omega ?x0 a b in
+  if not stats.converged then
+    Diag.emitf Diag.Non_convergence ~solver:(solver_name omega)
+      ~iterations:stats.iterations ~residual:stats.residual ?tolerance:tol
+      (if Float.is_nan stats.residual || stats.residual > 1e100 then
+         "diverged (iterate overflow) after %d sweeps"
+       else "no convergence after %d sweeps")
+      stats.iterations;
+  (x, stats)
 
 let gauss_seidel ?max_iter ?tol ?x0 a b = sor ?max_iter ?tol ~omega:1.0 ?x0 a b
+
+(* Robust Ax = b: Gauss-Seidel -> SOR with adaptive over-relaxation ->
+   direct Gaussian elimination, every hop recorded as a diagnostic and the
+   accepted iterate verified against the true residual ||Ax - b||_inf. *)
+let solve ?(max_iter = 100_000) ?(tol = 1e-12) a b =
+  let n = Array.length b in
+  let scale = Float.max 1.0 (inf_norm b) in
+  let verify_tol = Float.max (tol *. 1e4) 1e-8 in
+  let verified x = residual_inf a x b /. scale in
+  let direct ~from =
+    Diag.emitf Diag.Fallback ~solver:"linsolve"
+      "%s: falling back to direct Gaussian elimination" from;
+    let x =
+      try gauss (Sparse.to_dense a) b
+      with Singular ->
+        Diag.emit Diag.Error ~solver:"gauss"
+          "direct fallback hit a singular pivot: system has no unique solution";
+        raise Singular
+    in
+    let r = verified x in
+    if r > verify_tol then
+      Diag.emit Diag.Warning ~solver:"gauss" ~residual:r ~tolerance:verify_tol
+        "direct-solve residual above verification tolerance (ill-conditioned system)";
+    x
+  in
+  match try `Ok (sor_rate ~max_iter ~tol ~omega:1.0 a b) with Singular -> `Sing with
+  | `Sing -> direct ~from:"gauss_seidel hit a zero diagonal"
+  | `Ok (x1, st1, rho) -> (
+      let r1 = verified x1 in
+      if st1.converged && r1 <= verify_tol then x1
+      else begin
+        Diag.emit Diag.Non_convergence ~solver:"gauss_seidel"
+          ~iterations:st1.iterations ~residual:r1 ~tolerance:verify_tol
+          (if st1.converged then
+             "iterate stalled: post-solve residual verification failed"
+           else "no convergence within iteration budget");
+        let omega = adaptive_omega rho in
+        Diag.emitf Diag.Fallback ~solver:"linsolve"
+          "escalating to SOR (adaptive omega=%.3f)" omega;
+        let x0 = if Float.is_finite r1 && r1 < 1e100 then Some x1 else None in
+        match
+          try `Ok (sor_rate ~max_iter ~tol ~omega ?x0 a b) with Singular -> `Sing
+        with
+        | `Sing -> direct ~from:"sor hit a zero diagonal"
+        | `Ok (x2, st2, _) ->
+            let r2 = verified x2 in
+            if st2.converged && r2 <= verify_tol then x2
+            else begin
+              Diag.emit Diag.Non_convergence ~solver:"sor"
+                ~iterations:st2.iterations ~residual:r2 ~tolerance:verify_tol
+                "no convergence within iteration budget";
+              if n <= direct_cap then direct ~from:"sor"
+              else begin
+                Diag.emitf Diag.Error ~solver:"linsolve"
+                  ~residual:(Float.min r1 r2) ~tolerance:verify_tol
+                  "system of size %d exceeds the direct-solve cap (%d); returning best unverified iterate"
+                  n direct_cap;
+                if r2 < r1 then x2 else x1
+              end
+            end
+      end)
 
 let normalize_l1 x =
   let s = Array.fold_left ( +. ) 0.0 x in
   if s <> 0.0 then Array.iteri (fun i v -> x.(i) <- v /. s) x
 
+(* Clamp tiny negative probabilities, reporting clamped mass above noise
+   level, then renormalize. *)
+let clamp_normalize ~solver x =
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      if v < 0.0 then begin
+        if -.v > !worst then worst := -.v;
+        x.(i) <- 0.0
+      end)
+    x;
+  if !worst > clamp_warn then
+    Diag.emitf Diag.Warning ~solver ~residual:!worst
+      "clamped negative probability entries (largest magnitude %.3g)" !worst;
+  normalize_l1 x;
+  x
+
+(* --- DTMC steady state ------------------------------------------------ *)
+
+let dtmc_residual p x =
+  let y = Sparse.vec_mat x p in
+  let worst = ref 0.0 in
+  Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. x.(i)))) y;
+  !worst
+
+let dtmc_direct p =
+  (* pi (P - I) = 0 with the last equation replaced by sum pi = 1 *)
+  let n = Sparse.rows p in
+  let a = Matrix.create ~rows:n ~cols:n in
+  Sparse.iter p (fun i j v -> Matrix.add_to a j i v);
+  for i = 0 to n - 1 do
+    Matrix.add_to a i i (-1.0)
+  done;
+  for j = 0 to n - 1 do
+    Matrix.set a (n - 1) j 1.0
+  done;
+  let b = Array.make n 0.0 in
+  b.(n - 1) <- 1.0;
+  gauss a b
+
 let dtmc_steady_state ?(max_iter = 1_000_000) ?(tol = 1e-13) p =
   let n = Sparse.rows p in
   if n = 0 then [||]
+  else if n = 1 then [| 1.0 |]
   else begin
+    let solver = "dtmc_steady_state" in
+    let verify_tol = verify_tol_of tol in
     let x = ref (Array.make n (1.0 /. float_of_int n)) in
-    let k = ref 0 and delta = ref infinity in
-    while !delta > tol && !k < max_iter do
+    let xprev = ref (Array.copy !x) in
+    let k = ref 0 and delta = ref infinity and oscillating = ref false in
+    while !delta > tol && !k < max_iter && not !oscillating do
       let x' = Sparse.vec_mat !x p in
       normalize_l1 x';
-      let d = ref 0.0 in
-      Array.iteri (fun i v -> d := Float.max !d (Float.abs (v -. !x.(i)))) x';
+      let d = ref 0.0 and d2 = ref 0.0 in
+      Array.iteri
+        (fun i v ->
+          d := Float.max !d (Float.abs (v -. !x.(i)));
+          d2 := Float.max !d2 (Float.abs (v -. !xprev.(i))))
+        x';
       delta := !d;
+      (* x_{k+1} ~ x_{k-1} while x_{k+1} <> x_k: the iterate entered a
+         period-2 limit cycle (periodic chain) and will never converge *)
+      if !k > 2 && !d2 <= tol && !d > tol then oscillating := true;
+      xprev := !x;
       x := x';
       incr k
     done;
-    !x
+    let accept v = dtmc_residual p v /. Float.max 1.0 (inf_norm v) <= verify_tol in
+    if !delta <= tol && accept !x then clamp_normalize ~solver !x
+    else begin
+      Diag.emit Diag.Non_convergence ~solver ~iterations:!k
+        ~residual:(dtmc_residual p !x) ~tolerance:verify_tol
+        (if !oscillating then
+           "power iteration entered a period-2 limit cycle (periodic chain)"
+         else if !delta <= tol then
+           "iterate stalled: post-solve residual verification failed"
+         else "no convergence within iteration budget");
+      if n <= direct_cap then begin
+        Diag.emit Diag.Fallback ~solver
+          "escalating to direct solve of pi (P - I) = 0";
+        let y = dtmc_direct p in
+        let r = dtmc_residual p y in
+        if r /. Float.max 1.0 (inf_norm y) > verify_tol then
+          Diag.emit Diag.Warning ~solver ~residual:r ~tolerance:verify_tol
+            "direct steady-state residual above verification tolerance";
+        clamp_normalize ~solver y
+      end
+      else begin
+        (* too large for elimination: a Cesaro average repairs period-2
+           cycles; otherwise return the best iterate, loudly *)
+        let avg = Array.init n (fun i -> 0.5 *. (!x.(i) +. !xprev.(i))) in
+        if accept avg then begin
+          Diag.emit Diag.Warning ~solver
+            "accepted Cesaro-averaged iterate for a periodic chain";
+          clamp_normalize ~solver avg
+        end
+        else begin
+          Diag.emitf Diag.Error ~solver ~residual:(dtmc_residual p !x)
+            ~tolerance:verify_tol
+            "chain of size %d exceeds the direct-solve cap (%d); returning unverified iterate"
+            n direct_cap;
+          clamp_normalize ~solver !x
+        end
+      end
+    end
   end
+
+(* --- CTMC steady state ------------------------------------------------ *)
 
 let steady_state_direct q =
   (* replace last equation of Q^T pi = 0 with sum pi = 1 *)
@@ -118,43 +334,101 @@ let steady_state_direct q =
   done;
   let b = Array.make n 0.0 in
   b.(n - 1) <- 1.0;
-  let x = gauss a b in
-  Array.map (fun v -> Float.max 0.0 v) x
+  gauss a b
 
-let ctmc_steady_state ?(max_iter = 200_000) ?(tol = 1e-13) q =
+let ctmc_residual q x =
+  let r = Sparse.vec_mat x q in
+  inf_norm r
+
+(* Gauss-Seidel / SOR sweeps on Q^T x = 0 with per-sweep normalization:
+   the thesis' steady-state method; converges orders of magnitude faster
+   than power iteration on stiff chains.  Returns the final relative
+   change, the sweep count, and the observed contraction ratio. *)
+let ctmc_sweeps ~omega ~max_iter ~tol qt x =
+  let n = Array.length x in
+  let k = ref 0 and delta = ref infinity in
+  let prev = ref nan and rho = ref nan in
+  while !delta > tol && !k < max_iter do
+    let d = ref 0.0 in
+    for i = 0 to n - 1 do
+      let diag = ref 0.0 and s = ref 0.0 in
+      Sparse.iter_row qt i (fun j v ->
+          if j = i then diag := v else s := !s +. (v *. x.(j)));
+      if !diag <> 0.0 then begin
+        let xi' = -. !s /. !diag in
+        let xi'' = x.(i) +. (omega *. (xi' -. x.(i))) in
+        let change = Float.abs (xi'' -. x.(i)) /. Float.max 1e-300 (Float.abs xi'') in
+        if change > !d then d := change;
+        x.(i) <- xi''
+      end
+    done;
+    normalize_l1 x;
+    delta := !d;
+    if !prev > 0.0 then begin
+      let r = !d /. !prev in
+      rho := if Float.is_nan !rho then r else 0.5 *. (!rho +. r)
+    end;
+    prev := !d;
+    incr k
+  done;
+  (!delta, !k, !rho)
+
+let ctmc_steady_state ?(max_iter = 200_000) ?(tol = 1e-13) ?(direct_threshold = 500)
+    q =
   let n = Sparse.rows q in
   if n = 0 then [||]
   else if n = 1 then [| 1.0 |]
-  else if n <= 500 then begin
-    let x = steady_state_direct q in
-    normalize_l1 x;
-    x
-  end
   else begin
-    (* Gauss-Seidel on Q^T x = 0 with per-sweep normalization: the thesis'
-       steady-state method; converges orders of magnitude faster than power
-       iteration on stiff chains *)
-    let qt = Sparse.transpose q in
-    let x = Array.make n (1.0 /. float_of_int n) in
-    let k = ref 0 and delta = ref infinity in
-    while !delta > tol && !k < max_iter do
-      let d = ref 0.0 in
-      for i = 0 to n - 1 do
-        let diag = ref 0.0 and s = ref 0.0 in
-        Sparse.iter_row qt i (fun j v ->
-            if j = i then diag := v else s := !s +. (v *. x.(j)));
-        if !diag <> 0.0 then begin
-          let xi' = -. !s /. !diag in
-          let change = Float.abs (xi' -. x.(i)) /. Float.max 1e-300 (Float.abs xi') in
-          if change > !d then d := change;
-          x.(i) <- xi'
+    let solver = "ctmc_steady_state" in
+    let qnorm =
+      Float.max 1e-300 (2.0 *. inf_norm (Sparse.diag q))
+    in
+    let verify_tol = verify_tol_of tol in
+    let rel x = ctmc_residual q x /. qnorm in
+    let direct ~from () =
+      (match from with
+      | None -> ()
+      | Some src ->
+          Diag.emitf Diag.Fallback ~solver
+            "%s: falling back to direct solve of pi Q = 0" src);
+      let x = steady_state_direct q in
+      let r = rel x in
+      if r > verify_tol then
+        Diag.emit Diag.Warning ~solver ~residual:r ~tolerance:verify_tol
+          "direct steady-state residual above verification tolerance";
+      clamp_normalize ~solver x
+    in
+    if n <= direct_threshold then direct ~from:None ()
+    else begin
+      let qt = Sparse.transpose q in
+      let x = Array.make n (1.0 /. float_of_int n) in
+      let delta, iters, rho = ctmc_sweeps ~omega:1.0 ~max_iter ~tol qt x in
+      let r = rel x in
+      if delta <= tol && r <= verify_tol then clamp_normalize ~solver x
+      else begin
+        Diag.emit Diag.Non_convergence ~solver:"ctmc_gauss_seidel"
+          ~iterations:iters ~residual:r ~tolerance:verify_tol
+          (if delta <= tol then
+             "iterate stalled: post-solve residual verification of pi Q failed"
+           else "no convergence within iteration budget");
+        let omega = adaptive_omega rho in
+        Diag.emitf Diag.Fallback ~solver
+          "escalating to SOR sweeps (adaptive omega=%.3f)" omega;
+        let delta2, iters2, _ = ctmc_sweeps ~omega ~max_iter ~tol qt x in
+        let r2 = rel x in
+        if delta2 <= tol && r2 <= verify_tol then clamp_normalize ~solver x
+        else begin
+          Diag.emit Diag.Non_convergence ~solver:"ctmc_sor" ~iterations:iters2
+            ~residual:r2 ~tolerance:verify_tol
+            "no convergence within iteration budget";
+          if n <= direct_cap then direct ~from:(Some "ctmc_sor") ()
+          else begin
+            Diag.emitf Diag.Error ~solver ~residual:r2 ~tolerance:verify_tol
+              "chain of size %d exceeds the direct-solve cap (%d); returning unverified iterate"
+              n direct_cap;
+            clamp_normalize ~solver x
+          end
         end
-      done;
-      normalize_l1 x;
-      delta := !d;
-      incr k
-    done;
-    Array.iteri (fun i v -> if v < 0.0 then x.(i) <- 0.0) x;
-    normalize_l1 x;
-    x
+      end
+    end
   end

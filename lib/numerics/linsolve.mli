@@ -3,7 +3,16 @@
     SHARPE's steady-state analysis uses Gauss–Seidel and successive
     over-relaxation (thesis §2.2); direct Gaussian elimination backs the
     small dense systems (vanishing-marking elimination, embedded DTMCs,
-    fundamental-matrix MTTF). *)
+    fundamental-matrix MTTF).
+
+    Failure semantics: no solver fails silently.  Iterative solvers verify
+    their accepted iterate against the true residual and record a
+    {!Diag.Non_convergence} diagnostic when the budget runs out or
+    verification fails; {!solve}, {!ctmc_steady_state} and
+    {!dtmc_steady_state} then escalate automatically (Gauss–Seidel → SOR
+    with adaptive over-relaxation → direct elimination), each hop recorded
+    as a {!Diag.Fallback}.  Negative steady-state entries are clamped with
+    a {!Diag.Warning} carrying the clamped magnitude. *)
 
 exception Singular
 (** Raised by the direct solvers when elimination hits a (near-)zero pivot. *)
@@ -17,28 +26,52 @@ val gauss_matrix : Matrix.t -> Matrix.t -> Matrix.t
 
 val inverse : Matrix.t -> Matrix.t
 
-type iter_stats = { iterations : int; residual : float }
+type iter_stats = {
+  iterations : int;  (** sweeps performed *)
+  residual : float;  (** final max-norm relative change between sweeps *)
+  converged : bool;  (** the change dropped below [tol] within budget *)
+}
+
+val residual_inf : Sparse.t -> float array -> float array -> float
+(** [residual_inf a x b] is the true residual [||a x - b||_inf] — the
+    post-solve verification measure. *)
 
 val gauss_seidel :
   ?max_iter:int -> ?tol:float -> ?x0:float array ->
   Sparse.t -> float array -> float array * iter_stats
 (** [gauss_seidel a b] solves [a x = b] where [a] is accessed row-wise.
     Diagonal entries must be nonzero.  Stops when the max-norm of successive
-    differences relative to the iterate falls below [tol] (default 1e-12). *)
+    differences relative to the iterate falls below [tol] (default 1e-12),
+    or aborts early on numeric blow-up.  A non-converged return is recorded
+    as a {!Diag.Non_convergence} diagnostic. *)
 
 val sor :
   ?max_iter:int -> ?tol:float -> ?omega:float -> ?x0:float array ->
   Sparse.t -> float array -> float array * iter_stats
 (** Successive over-relaxation; [omega = 1] degenerates to Gauss–Seidel. *)
 
+val solve : ?max_iter:int -> ?tol:float -> Sparse.t -> float array -> float array
+(** [solve a b] solves [a x = b] with the automatic escalation chain:
+    Gauss–Seidel, then SOR with an over-relaxation factor adapted to the
+    observed contraction rate, then direct Gaussian elimination — each hop
+    recorded as a {!Diag.Fallback} diagnostic, and the accepted answer
+    verified against [||a x - b||_inf].
+    @raise Singular if even the direct solve finds no unique solution. *)
+
 val ctmc_steady_state :
-  ?max_iter:int -> ?tol:float -> Sparse.t -> float array
+  ?max_iter:int -> ?tol:float -> ?direct_threshold:int ->
+  Sparse.t -> float array
 (** [ctmc_steady_state q] solves [pi Q = 0], [sum pi = 1] for an irreducible
-    generator [q] (square, rows sum to 0) using power/Gauss–Seidel iteration
-    on the uniformized chain, falling back to a direct solve for small
-    systems.  Result entries are nonnegative and sum to 1. *)
+    generator [q] (square, rows sum to 0).  Systems of up to
+    [direct_threshold] states (default 500) are solved directly; larger ones
+    by Gauss–Seidel sweeps on the uniformized chain with the SOR/direct
+    escalation chain behind them.  The accepted vector is verified against
+    [||pi Q||_inf]; result entries are nonnegative and sum to 1. *)
 
 val dtmc_steady_state :
   ?max_iter:int -> ?tol:float -> Sparse.t -> float array
 (** [dtmc_steady_state p] solves [pi P = pi], [sum pi = 1] for an irreducible
-    stochastic matrix [p] by power iteration with normalization. *)
+    stochastic matrix [p] by power iteration with normalization.  Periodic
+    chains (detected as a period-2 limit cycle) and verification failures
+    fall back to a direct solve of [pi (P - I) = 0], recorded as a
+    {!Diag.Fallback}. *)

@@ -23,10 +23,14 @@ let race_kernels edges_from =
       (j, E.integrate integrand))
     edges_from
 
+let make_error msg =
+  Diag.emit Diag.Error ~solver:"semi_markov" msg;
+  invalid_arg ("Semi_markov.make: " ^ msg)
+
 let make ?(mode = `Uncond) ~n edges =
   List.iter (fun (i, j, _) ->
-      if i < 0 || i >= n || j < 0 || j >= n then invalid_arg "Semi_markov.make: state range";
-      if i = j then invalid_arg "Semi_markov.make: self loop")
+      if i < 0 || i >= n || j < 0 || j >= n then make_error "state range";
+      if i = j then make_error "self loop")
     edges;
   let kernel =
     match mode with
@@ -40,6 +44,15 @@ let make ?(mode = `Uncond) ~n edges =
   in
   let p = Matrix.create ~rows:n ~cols:n in
   List.iter (fun (i, j, k) -> Matrix.add_to p i j (E.limit_at_inf k)) kernel;
+  (* embedded branching probabilities out of each state must not exceed 1;
+     a defective row (< 1) is legitimate (mass escaping to infinity) *)
+  for i = 0 to n - 1 do
+    let total = Array.fold_left ( +. ) 0.0 (Matrix.row p i) in
+    if total > 1.0 +. 1e-9 then
+      Diag.emitf Diag.Warning ~solver:"semi_markov" ~residual:total
+        "branching probabilities out of state %d sum to %.6g > 1 (kernel limits are not a distribution)"
+        i total
+  done;
   let h = Array.make n 0.0 in
   for i = 0 to n - 1 do
     let hold = E.sum (List.filter_map (fun (i', _, k) -> if i' = i then Some k else None) kernel) in
@@ -66,7 +79,11 @@ let steady_state s =
   let nu = Linsolve.dtmc_steady_state (Sparse.finalize b) in
   let w = Array.mapi (fun i v -> v *. s.h.(i)) nu in
   let z = Array.fold_left ( +. ) 0.0 w in
-  if z <= 0.0 then invalid_arg "Semi_markov.steady_state: zero total holding";
+  if z <= 0.0 then begin
+    Diag.emit Diag.Error ~solver:"semi_markov"
+      "steady state undefined: total weighted holding time is zero";
+    invalid_arg "Semi_markov.steady_state: zero total holding"
+  end;
   Array.map (fun x -> x /. z) w
 
 let expected_reward_ss s ~reward =

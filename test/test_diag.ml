@@ -1,0 +1,271 @@
+(* Tests for the diagnostic sink and the solver fallback chains.
+
+   Each scenario pins down both the numeric answer and the exact
+   (severity, solver) sequence of emitted diagnostics, so a regression in
+   the escalation logic is caught even when the final numbers stay right. *)
+open Sharpe_numerics
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_loose = Alcotest.(check (float 1e-6))
+
+let sev_solver recs =
+  List.map (fun r -> (Diag.severity_to_string r.Diag.severity, r.Diag.solver)) recs
+
+let chain = Alcotest.(check (list (pair string string)))
+
+let is_infix needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Sink mechanics                                                      *)
+
+let test_capture_and_context () =
+  let (), recs =
+    Diag.capture (fun () ->
+        Diag.with_context "outer" (fun () ->
+            Diag.with_context "inner" (fun () ->
+                Diag.emit Diag.Warning ~solver:"t" ~iterations:3 "msg")))
+  in
+  match recs with
+  | [ r ] ->
+      Alcotest.(check (list string)) "context" [ "outer"; "inner" ] r.Diag.context;
+      Alcotest.(check (option int)) "iterations" (Some 3) r.Diag.iterations;
+      Alcotest.(check (option (float 0.))) "residual" None r.Diag.residual
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l)
+
+let test_capture_isolation () =
+  (* nested captures: the inner sink sees the inner record, and so does the
+     outer one (broadcast), but records emitted after the inner capture ends
+     reach only the outer sink *)
+  let (), outer =
+    Diag.capture (fun () ->
+        let (), inner =
+          Diag.capture (fun () -> Diag.emit Diag.Info ~solver:"a" "one")
+        in
+        Alcotest.(check int) "inner count" 1 (List.length inner);
+        Diag.emit Diag.Info ~solver:"b" "two")
+  in
+  chain "outer sees both" [ ("info", "a"); ("info", "b") ] (sev_solver outer)
+
+let test_severity_order () =
+  let open Diag in
+  let ranks = List.map severity_rank [ Info; Warning; Fallback; Non_convergence; Error ] in
+  Alcotest.(check (list int)) "strictly increasing" (List.sort_uniq compare ranks) ranks
+
+let test_json_shape () =
+  let (), recs =
+    Diag.capture (fun () ->
+        Diag.emit Diag.Error ~solver:"s\"x" ~residual:0.5 "bad \"quote\"")
+  in
+  let json = Diag.records_to_json recs in
+  let contains needle =
+    Alcotest.(check bool) needle true
+      (is_infix needle json)
+  in
+  contains "\"severity\":\"error\"";
+  contains "\"solver\":\"s\\\"x\"";
+  contains "\"residual\":0.5";
+  contains "\"iterations\":null"
+
+(* ------------------------------------------------------------------ *)
+(* Linear-solve escalation chain                                       *)
+
+(* not diagonally dominant: plain Gauss-Seidel diverges on this system *)
+let awkward () =
+  Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.0); (0, 1, 2.0); (1, 0, 3.0); (1, 1, 1.0) ]
+
+let test_solve_escalates_to_direct () =
+  let x, recs = Diag.capture (fun () -> Linsolve.solve (awkward ()) [| 5.0; 4.0 |]) in
+  check_float "x0" 0.6 x.(0);
+  check_float "x1" 2.2 x.(1);
+  chain "escalation sequence"
+    [ ("non-convergence", "gauss_seidel");
+      ("fallback", "linsolve");
+      ("non-convergence", "sor");
+      ("fallback", "linsolve") ]
+    (sev_solver recs)
+
+let test_solve_quiet_when_convergent () =
+  (* diagonally dominant: Gauss-Seidel converges, no diagnostics at all *)
+  let a =
+    Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 0, 4.0); (0, 1, 1.0); (1, 0, 1.0); (1, 1, 3.0) ]
+  in
+  let b = [| 9.0; 7.0 |] in
+  let x, recs = Diag.capture (fun () -> Linsolve.solve a b) in
+  check_float "residual" 0.0 (Linsolve.residual_inf a x b);
+  Alcotest.(check int) "silent" 0 (List.length recs)
+
+let test_gauss_seidel_stats () =
+  let a =
+    Sparse.of_triplets ~rows:2 ~cols:2 [ (0, 0, 4.0); (0, 1, 1.0); (1, 0, 1.0); (1, 1, 3.0) ]
+  in
+  let (_, st), recs = Diag.capture (fun () -> Linsolve.gauss_seidel a [| 9.0; 7.0 |]) in
+  Alcotest.(check bool) "converged" true st.Linsolve.converged;
+  Alcotest.(check bool) "few sweeps" true (st.Linsolve.iterations < 100);
+  Alcotest.(check bool) "tiny change" true (st.Linsolve.residual <= 1e-12);
+  Alcotest.(check int) "no diagnostics" 0 (List.length recs)
+
+let test_gauss_seidel_divergence_diagnosed () =
+  let (_, st), recs =
+    Diag.capture (fun () -> Linsolve.gauss_seidel (awkward ()) [| 5.0; 4.0 |])
+  in
+  Alcotest.(check bool) "not converged" false st.Linsolve.converged;
+  chain "one record" [ ("non-convergence", "gauss_seidel") ] (sev_solver recs)
+
+(* ------------------------------------------------------------------ *)
+(* CTMC steady state: nearly-completely-decomposable chain             *)
+
+(* two 2-state clusters with internal rates O(1) coupled at 1e-11: the
+   sweep iteration cannot cross the coupling in any reasonable budget *)
+let ncd_generator () =
+  let e = 1e-11 in
+  let edges =
+    [ (0, 1, 1.0); (1, 0, 2.0); (0, 2, e); (2, 0, 2.0 *. e); (2, 3, 1.0); (3, 2, 2.0) ]
+  in
+  let diag =
+    let d = Array.make 4 0.0 in
+    List.iter (fun (i, _, r) -> d.(i) <- d.(i) -. r) edges;
+    Array.to_list (Array.mapi (fun i r -> (i, i, r)) d)
+  in
+  Sparse.of_triplets ~rows:4 ~cols:4 (edges @ diag)
+
+let test_ctmc_ncd_fallback_chain () =
+  let q = ncd_generator () in
+  (* small chains go direct by default and stay silent *)
+  let pi_direct, recs0 = Diag.capture (fun () -> Linsolve.ctmc_steady_state q) in
+  Alcotest.(check int) "direct path silent" 0 (List.length recs0);
+  (* force the iterative path: sweeps fail, SOR fails, direct rescues *)
+  let pi, recs =
+    Diag.capture (fun () ->
+        Linsolve.ctmc_steady_state ~direct_threshold:0 ~max_iter:20_000 q)
+  in
+  Array.iteri (fun i p -> check_float_loose (Printf.sprintf "pi%d" i) pi_direct.(i) p) pi;
+  check_float_loose "pi0 value" (4.0 /. 9.0) pi.(0);
+  chain "escalation sequence"
+    [ ("non-convergence", "ctmc_gauss_seidel");
+      ("fallback", "ctmc_steady_state");
+      ("non-convergence", "ctmc_sor");
+      ("fallback", "ctmc_steady_state") ]
+    (sev_solver recs)
+
+(* ------------------------------------------------------------------ *)
+(* DTMC steady state: periodic chain                                   *)
+
+let test_dtmc_periodic_fallback () =
+  (* period 2: states 1 and 2 bounce back to 0; power iteration cycles *)
+  let p =
+    Sparse.of_triplets ~rows:3 ~cols:3
+      [ (0, 1, 0.5); (0, 2, 0.5); (1, 0, 1.0); (2, 0, 1.0) ]
+  in
+  let pi, recs = Diag.capture (fun () -> Linsolve.dtmc_steady_state p) in
+  check_float "pi0" 0.5 pi.(0);
+  check_float "pi1" 0.25 pi.(1);
+  check_float "pi2" 0.25 pi.(2);
+  chain "escalation sequence"
+    [ ("non-convergence", "dtmc_steady_state"); ("fallback", "dtmc_steady_state") ]
+    (sev_solver recs)
+
+(* ------------------------------------------------------------------ *)
+(* CTMC well-formedness and uniformization warnings                    *)
+
+let test_ctmc_validate_unreachable () =
+  let c = Sharpe_markov.Ctmc.make ~n:3 [ (0, 1, 1.0); (1, 0, 2.0); (2, 0, 1.0) ] in
+  let (), recs =
+    Diag.capture (fun () ->
+        Sharpe_markov.Ctmc.validate ~names:(fun i -> [| "up"; "down"; "iso" |].(i)) c)
+  in
+  match recs with
+  | [ r ] ->
+      Alcotest.(check string) "severity" "warning" (Diag.severity_to_string r.Diag.severity);
+      Alcotest.(check bool) "names the state" true
+        (is_infix "iso" r.Diag.message)
+  | l -> Alcotest.failf "expected one warning, got %d records" (List.length l)
+
+let test_ctmc_validate_clean () =
+  let c = Sharpe_markov.Ctmc.make ~n:2 [ (0, 1, 1.0); (1, 0, 2.0) ] in
+  let (), recs = Diag.capture (fun () -> Sharpe_markov.Ctmc.validate c) in
+  Alcotest.(check int) "silent" 0 (List.length recs)
+
+let test_ctmc_make_rejects_nan () =
+  Alcotest.(check bool) "nan rate rejected" true
+    (try
+       ignore (Sharpe_markov.Ctmc.make ~n:2 [ (0, 1, Float.nan) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cumulative_truncation_warning () =
+  (* lambda ~ 2, t = 4e6 => ~8e6 uniformization steps, past the 5M cap *)
+  let c = Sharpe_markov.Ctmc.make ~n:2 [ (0, 1, 1.0); (1, 0, 2.0) ] in
+  let t = 4.0e6 in
+  let l, recs =
+    Diag.capture (fun () ->
+        Sharpe_markov.Ctmc.cumulative c ~init:[| 1.0; 0.0 |] t)
+  in
+  (* the truncated series only accounts for part of [0, t] — that is what
+     the warning reports — but the occupancy split of the covered span is
+     still the steady-state 2/3 : 1/3 *)
+  let covered = l.(0) +. l.(1) in
+  Alcotest.(check bool) "series was cut short" true (covered < 0.99 *. t);
+  check_float_loose "occupancy split" (2.0 /. 3.0) (l.(0) /. covered);
+  let warnings =
+    List.filter (fun r -> r.Diag.severity = Diag.Warning) recs
+  in
+  match warnings with
+  | [ r ] ->
+      Alcotest.(check bool) "mentions truncation" true
+        (is_infix "truncated" r.Diag.message);
+      Alcotest.(check bool) "reports shortfall" true
+        (match r.Diag.residual with Some s -> s >= 0.0 && s < t | None -> false)
+  | l -> Alcotest.failf "expected one truncation warning, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Language level: per-statement recovery and error reporting          *)
+
+let test_interp_recovers_per_statement () =
+  let src = "expr nosuchvar\nexpr 2+2\n" in
+  let buf = Buffer.create 64 in
+  let out = Sharpe_lang.Interp.run_program ~print:(Buffer.add_string buf) src in
+  Alcotest.(check int) "one failed statement" 1 out.Sharpe_lang.Interp.failed_statements;
+  Alcotest.(check bool) "later statement still ran" true
+    (is_infix "4" (Buffer.contents buf));
+  let errors =
+    List.filter
+      (fun r -> r.Diag.severity = Diag.Error)
+      out.Sharpe_lang.Interp.diagnostics
+  in
+  match errors with
+  | [ r ] ->
+      Alcotest.(check (list string)) "statement context" [ "statement 1" ] r.Diag.context
+  | l -> Alcotest.failf "expected one error, got %d" (List.length l)
+
+let test_interp_parse_error_is_diagnostic () =
+  let out = Sharpe_lang.Interp.run_program ~print:ignore "markov )(" in
+  Alcotest.(check bool) "failed" true (out.Sharpe_lang.Interp.failed_statements > 0);
+  Alcotest.(check bool) "parser error recorded" true
+    (List.exists
+       (fun r -> r.Diag.severity = Diag.Error && r.Diag.solver = "parser")
+       out.Sharpe_lang.Interp.diagnostics)
+
+let suite =
+  [ Alcotest.test_case "capture and context" `Quick test_capture_and_context;
+    Alcotest.test_case "capture isolation" `Quick test_capture_isolation;
+    Alcotest.test_case "severity order" `Quick test_severity_order;
+    Alcotest.test_case "json shape" `Quick test_json_shape;
+    Alcotest.test_case "solve escalates to direct" `Quick test_solve_escalates_to_direct;
+    Alcotest.test_case "solve quiet when convergent" `Quick test_solve_quiet_when_convergent;
+    Alcotest.test_case "gauss_seidel iter_stats" `Quick test_gauss_seidel_stats;
+    Alcotest.test_case "gauss_seidel divergence diagnosed" `Quick
+      test_gauss_seidel_divergence_diagnosed;
+    Alcotest.test_case "ctmc NCD fallback chain" `Quick test_ctmc_ncd_fallback_chain;
+    Alcotest.test_case "dtmc periodic fallback" `Quick test_dtmc_periodic_fallback;
+    Alcotest.test_case "ctmc validate unreachable" `Quick test_ctmc_validate_unreachable;
+    Alcotest.test_case "ctmc validate clean" `Quick test_ctmc_validate_clean;
+    Alcotest.test_case "ctmc make rejects nan" `Quick test_ctmc_make_rejects_nan;
+    Alcotest.test_case "cumulative truncation warning" `Quick
+      test_cumulative_truncation_warning;
+    Alcotest.test_case "interp per-statement recovery" `Quick
+      test_interp_recovers_per_statement;
+    Alcotest.test_case "interp parse error diagnostic" `Quick
+      test_interp_parse_error_is_diagnostic ]
