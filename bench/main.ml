@@ -397,6 +397,143 @@ let a4 () =
 let () = register "A4" "ablation - fast (aggregated) MTTF vs exact MTTF" a4
 
 (* ====================================================================== *)
+(* S1 — sweep engine: serial-cold vs structural-cache vs cache+parallel   *)
+(* ====================================================================== *)
+
+(* A coverage sweep over the E1 wfs net scaled to N workstations (state
+   space grows quadratically in N), run three ways through the actual
+   interpreter loop:
+
+     serial-cold    solve cache disabled, 1 domain — every (c, t) point
+                    re-explores the reachability set and re-eliminates
+                    the vanishing markings from scratch;
+     cached-serial  structural solve cache enabled, 1 domain;
+     cached-jobs4   cache enabled, loop iterations on 4 domains.
+
+   All three must print bit-identical output; wall-clock times land in
+   BENCH_sweep.json at the repository root. *)
+
+let quick_mode = ref false
+
+let sweep_program n =
+  Printf.sprintf
+    {|format 8
+func avail()
+if ((#(wsup) > 0) and (#(fsup) == 1))
+1
+else
+0
+end
+end
+
+srn wfs (c)
+wsup %d
+fsup 1
+wst 0
+wsdn 0
+fsdn 0
+end
+wsfl placedep wsup 0.0001
+fsfl ind 0.00005
+wsrp ind 1.0
+fsrp ind 0.5
+end
+wscv ind c
+wsuc ind 1 - c
+end
+wsup wsfl 1
+fsup fsfl 1
+fsup wsuc 1
+wst wscv 1
+wst wsuc 1
+wsdn wsrp 1
+fsdn fsrp 1
+end
+wsfl wst 1
+wsrp wsup 1
+fsfl fsdn 1
+fsrp fsup 1
+wscv wsdn 1
+wsuc wsdn 1
+wsuc fsdn 1
+end
+fsdn wsfl 1
+fsdn wsrp 1
+wsdn fsfl 2
+end
+
+loop c, 0.70, 0.90, %s
+  loop t, 1, 10, 1
+    expr srn_exrt(t, wfs; avail; c)
+  end
+  expr srn_exrt(20, wfs; avail; c)
+end
+
+end
+|}
+    n
+    (if !quick_mode then "0.05" else "0.01")
+
+let repo_root = Filename.dirname (Filename.dirname examples_dir)
+
+let s1 () =
+  let module Structhash = Sharpe_numerics.Structhash in
+  let module Pool = Sharpe_numerics.Pool in
+  let n = if !quick_mode then 10 else 120 in
+  let program = sweep_program n in
+  let time_config ~cache ~jobs () =
+    Structhash.set_enabled cache;
+    Structhash.clear_all ();
+    Structhash.reset_stats ();
+    Pool.set_jobs jobs;
+    let buf = Buffer.create 65536 in
+    let t0 = Unix.gettimeofday () in
+    Sharpe_lang.Interp.run_string ~print:(Buffer.add_string buf) program;
+    let dt = Unix.gettimeofday () -. t0 in
+    Structhash.set_enabled true;
+    Pool.set_jobs 1;
+    (dt, Buffer.contents buf)
+  in
+  let t_cold, out_cold = time_config ~cache:false ~jobs:1 () in
+  let t_cached, out_cached = time_config ~cache:true ~jobs:1 () in
+  let effective = (Pool.set_jobs 4; Pool.jobs ()) in
+  let t_par, out_par = time_config ~cache:true ~jobs:4 () in
+  let same = out_cached = out_cold && out_par = out_cold in
+  printf "  wfs(%d) coverage sweep, %d output lines\n" n
+    (List.length (String.split_on_char '\n' out_cold) - 1);
+  printf "  serial-cold   (no cache, 1 domain):  %8.3f s\n" t_cold;
+  printf "  cached-serial (cache, 1 domain):     %8.3f s   (%.2fx)\n" t_cached
+    (t_cold /. t_cached);
+  printf "  cached-jobs4  (cache, %d domain(s)):  %8.3f s   (%.2fx)\n" effective
+    t_par (t_cold /. t_par);
+  printf "  outputs bit-identical across configurations: %b\n" same;
+  if not same then failwith "S1: sweep outputs differ across configurations";
+  if not !quick_mode then begin
+    let json =
+      Printf.sprintf
+        "{\n  \"experiment\": \"wfs(%d) coverage sweep, c in [0.70, 0.90] \
+         step 0.01, 11 time points each\",\n\
+        \  \"serial_cold_s\": %.4f,\n\
+        \  \"cached_serial_s\": %.4f,\n\
+        \  \"cached_jobs4_s\": %.4f,\n\
+        \  \"jobs4_effective_domains\": %d,\n\
+        \  \"speedup_cached\": %.2f,\n\
+        \  \"speedup_cached_jobs4\": %.2f,\n\
+        \  \"outputs_identical\": %b\n}\n"
+        n t_cold t_cached t_par effective (t_cold /. t_cached)
+        (t_cold /. t_par) same
+    in
+    let path = Filename.concat repo_root "BENCH_sweep.json" in
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    printf "  wrote %s\n" path
+  end
+
+let () =
+  register "S1" "sweep engine - serial-cold vs solve cache vs cache + 4 domains" s1
+
+(* ====================================================================== *)
 (* Bechamel timing suite                                                  *)
 (* ====================================================================== *)
 
@@ -472,6 +609,7 @@ let timing_tests () =
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
+  quick_mode := quick;
   let no_time = List.mem "--no-time" args in
   let only =
     let rec find = function
@@ -493,4 +631,19 @@ let () =
       (try e.run () with exn -> printf "  ERROR: %s\n" (Printexc.to_string exn));
       printf "\n%!")
     todo;
-  if (not no_time) && only = None then timing_tests ()
+  if (not no_time) && only = None then timing_tests ();
+  (* any error-severity diagnostic accumulated by a solver during the
+     experiments is a correctness problem, not noise: surface it and
+     fail, so CI smoke runs catch silent solver breakage *)
+  let module Diag = Sharpe_numerics.Diag in
+  let errors =
+    List.filter
+      (fun r -> r.Diag.severity = Diag.Error)
+      (Diag.default_records ())
+  in
+  if errors <> [] then begin
+    List.iter
+      (fun r -> Printf.eprintf "bench: %s\n" (Diag.record_to_string r))
+      errors;
+    exit 1
+  end

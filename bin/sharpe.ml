@@ -8,8 +8,12 @@
 
 module Diag = Sharpe_numerics.Diag
 module Interp = Sharpe_lang.Interp
+module Pool = Sharpe_numerics.Pool
+module Structhash = Sharpe_numerics.Structhash
 
-let run strict diag_fmt files =
+let run strict diag_fmt jobs no_cache cache_stats files =
+  Pool.set_jobs jobs;
+  Structhash.set_enabled (not no_cache);
   let all = ref [] and failed = ref 0 in
   List.iter
     (fun path ->
@@ -19,6 +23,15 @@ let run strict diag_fmt files =
       all := !all @ outcome.Interp.diagnostics;
       failed := !failed + outcome.Interp.failed_statements)
     files;
+  if cache_stats then begin
+    let _, recs = Diag.capture (fun () -> Structhash.report ()) in
+    match diag_fmt with
+    | `Json -> all := !all @ recs
+    | `Human ->
+        List.iter
+          (fun r -> prerr_endline ("sharpe: " ^ Diag.record_to_string r))
+          recs
+  end;
   let records = !all in
   let count sev =
     List.length (List.filter (fun r -> r.Diag.severity = sev) records)
@@ -68,6 +81,33 @@ let diag_fmt =
            prints every record (including info-level provenance) as a JSON \
            array on stdout.")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate independent loop iterations and transient time points \
+           on up to $(docv) domains.  Output order and printed values are \
+           identical to a serial run; loops whose bodies rebind shared \
+           state fall back to serial execution automatically.")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the structural solve cache (reachability skeletons, \
+           fault-tree BDDs, MVA tables, solved SRN instances are \
+           recomputed from scratch on every use).")
+
+let cache_stats =
+  Arg.(
+    value & flag
+    & info [ "cache-stats" ]
+        ~doc:
+          "Report solve-cache hit/miss counters after the run (to stderr, \
+           or into the JSON diagnostics array with $(b,--diagnostics json)).")
+
 let cmd =
   let doc = "Symbolic Hierarchical Automated Reliability and Performance Evaluator" in
   let man =
@@ -83,6 +123,6 @@ let cmd =
           fallback or non-convergence diagnostic was recorded." ]
   in
   Cmd.v (Cmd.info "sharpe" ~version:"2002-ocaml" ~doc ~man)
-    Term.(const run $ strict $ diag_fmt $ files)
+    Term.(const run $ strict $ diag_fmt $ jobs $ no_cache $ cache_stats $ files)
 
 let () = exit (Cmd.eval' cmd)

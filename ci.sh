@@ -18,6 +18,17 @@ else
   echo "== fmt skipped (ocamlformat not installed) =="
 fi
 
+echo "== golden suite =="
+# the golden harness lives inside dune runtest; re-run just that binary so
+# a golden drift is reported even when someone trims the runtest alias
+dune exec test/test_main.exe -- test golden >/dev/null
+
+echo "== bench smoke =="
+# quick pass over every experiment (timing suite skipped); the bench
+# binary itself exits nonzero when any solver emitted an error-severity
+# diagnostic, which aborts the build under set -e
+dune exec bench/main.exe -- --quick --no-time >/dev/null
+
 echo "== guard-rails demo =="
 demo=examples/sharpe/fallback_demo.sharpe
 out=$(dune exec bin/sharpe.exe -- --diagnostics json "$demo")

@@ -546,7 +546,13 @@ and build_srn mctx places timed immediate inputs outputs inhibitors =
   in
   let net = Net.build ~places:places' ~transitions in
   net_ref := Some net;
-  Srn.solve net
+  match
+    Solve_cache.srn_key mctx ~places:places' ~timed ~immediate ~inputs
+      ~outputs ~inhibitors
+  with
+  | Some key when Sharpe_numerics.Structhash.enabled () ->
+      Solve_cache.solve_srn ~key net
+  | _ -> Srn.solve net
 
 (* --- resolving analysis-call arguments -------------------------------- *)
 

@@ -23,10 +23,15 @@ module Pfqn = Sharpe_pfqn.Pfqn
 module Mpfqn = Sharpe_pfqn.Mpfqn
 module Net = Sharpe_petri.Net
 module Srn = Sharpe_petri.Srn
+module Pool = Sharpe_numerics.Pool
 
 exception Error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* Iteration budget for `while` loops (mutable so tests can exercise the
+   exhaustion path without a million iterations). *)
+let while_fuel_limit = ref 1_000_000
 
 (* --- instances ------------------------------------------------------ *)
 
@@ -316,37 +321,143 @@ and exec_stmt ctx stmt : float option =
       go clauses
   | SWhile (cond, body) ->
       let last = ref None in
-      let fuel = ref 1_000_000 in
-      while truthy (eval_expr ctx cond) && !fuel > 0 do
+      let fuel = ref !while_fuel_limit in
+      let continue_ = ref (truthy (eval_expr ctx cond)) in
+      while !continue_ && !fuel > 0 do
         (match exec_stmts ctx body with Some v -> last := Some v | None -> ());
-        decr fuel
+        decr fuel;
+        continue_ := truthy (eval_expr ctx cond)
       done;
-      if !fuel = 0 then err "while loop exceeded the iteration limit";
+      (* only a loop whose condition is STILL true when the fuel runs out
+         exceeded the limit; terminating on exactly the last allowed
+         iteration is a legitimate finish *)
+      if !continue_ then err "while loop exceeded the iteration limit";
       !last
   | SLoop (v, lo, hi, step, body) ->
       let lo = eval_expr ctx lo and hi = eval_expr ctx hi in
       let step = match step with Some s -> eval_expr ctx s | None -> 1.0 in
       if step = 0.0 then err "loop step is zero";
-      let last = ref None in
-      let set x =
-        match ctx.locals with
-        | tbl :: _ when ctx.in_func -> Hashtbl.replace tbl v x
-        | _ ->
-            Hashtbl.replace ctx.env.table v (Val x);
-            touch ctx.env
-      in
       let continues x =
         if step > 0.0 then x <= hi +. (Float.abs step /. 2.0)
         else x >= hi -. (Float.abs step /. 2.0)
       in
-      let x = ref lo in
-      while continues !x do
-        set !x;
-        (match exec_stmts ctx body with Some r -> last := Some r | None -> ());
-        x := !x +. step
+      let values =
+        let acc = ref [] and x = ref lo in
+        while continues !x do
+          acc := !x :: !acc;
+          x := !x +. step
+        done;
+        Array.of_list (List.rev !acc)
+      in
+      let n = Array.length values in
+      let parallel_ok =
+        Pool.jobs () > 1 && n > 1 && (not (Pool.in_worker ()))
+        && (not ctx.in_func) && ctx.marking = None && parallel_safe body
+      in
+      if parallel_ok then exec_loop_parallel ctx v values body
+      else begin
+        let last = ref None in
+        let set x =
+          match ctx.locals with
+          | tbl :: _ when ctx.in_func -> Hashtbl.replace tbl v x
+          | _ ->
+              Hashtbl.replace ctx.env.table v (Val x);
+              touch ctx.env
+        in
+        Array.iter
+          (fun x ->
+            set x;
+            match exec_stmts ctx body with
+            | Some r -> last := Some r
+            | None -> ())
+          values;
+        !last
+      end
+
+(* Evaluate independent loop iterations concurrently.  Each iteration runs
+   against a CLONE of the environment (own binding table, own instance
+   cache, print buffered), so iterations cannot observe each other; the
+   body was vetted by [parallel_safe] to contain no statement that writes
+   the shared environment.  Printed output is flushed in iteration order
+   after the pool returns, diagnostics are replayed in iteration order by
+   the pool itself, and on failure the lowest-index exception is re-raised
+   after the output of the iterations before it — observationally
+   identical to the serial loop. *)
+and exec_loop_parallel ctx v values body =
+  let n = Array.length values in
+  let bufs = Array.init n (fun _ -> Buffer.create 256) in
+  let exception Iter_fail of int * exn * Printexc.raw_backtrace in
+  let run_iter i =
+    let table = Hashtbl.copy ctx.env.table in
+    let env' =
+      { ctx.env with table; cache = Hashtbl.create 32;
+        print = Buffer.add_string bufs.(i) }
+    in
+    Hashtbl.replace table v (Val values.(i));
+    env'.version <- env'.version + 1;
+    let ctx' = { ctx with env = env' } in
+    match exec_stmts ctx' body with
+    | r -> (r, table)
+    | exception e -> raise (Iter_fail (i, e, Printexc.get_raw_backtrace ()))
+  in
+  match Pool.run n run_iter with
+  | exception Iter_fail (i, e, bt) ->
+      (* the pool already replayed the diagnostics of iterations 0..i;
+         print their output (i's partial output included) before failing *)
+      for k = 0 to i do
+        ctx.env.print (Buffer.contents bufs.(k))
       done;
-      !last
+      Printexc.raise_with_backtrace e bt
+  | results ->
+      Array.iter (fun b -> ctx.env.print (Buffer.contents b)) bufs;
+      (* the serial loop leaves the loop variables (outer and nested) at
+         their final-iteration values in the environment *)
+      let _, last_table = results.(n - 1) in
+      List.iter
+        (fun name ->
+          match Hashtbl.find_opt last_table name with
+          | Some b -> Hashtbl.replace ctx.env.table name b
+          | None -> ())
+        (v :: loop_vars_of [] body);
+      touch ctx.env;
+      let rec last i =
+        if i < 0 then None
+        else match results.(i) with Some r, _ -> Some r | None, _ -> last (i - 1)
+      in
+      last (n - 1)
 
 and is_printer_call = function
   | Call (("cdf" | "lcdf" | "pqcdf" | "mincuts" | "minpaths" | "multpath"), _) -> true
   | _ -> false
+
+(* A loop body is safe to parallelize when no statement in it (or in a
+   nested loop/conditional) writes the shared environment: definitions,
+   while-loops (which exist to do fixed-point iteration via bind),
+   format/epsilon/switch changes all force the serial path.  Expression
+   evaluation, printing and nested loops over the cloned environment are
+   fine.  (Statements inside user FUNCTIONS called from the body execute
+   against the iteration's clone; a function that defines globals would
+   see that definition confined to its iteration.) *)
+and parallel_safe body =
+  let rec safe = function
+    | SExpr _ | SEcho _ -> true
+    | SIf (clauses, els) ->
+        List.for_all (fun (_, ss) -> List.for_all safe ss) clauses
+        && List.for_all safe els
+    | SLoop (_, _, _, _, ss) -> List.for_all safe ss
+    | SBind _ | SVar _ | SFunc _ | SModel _ | SWhile _ | SEpsilon _
+    | SFormat _ | SSwitch _ ->
+        false
+  in
+  List.for_all safe body
+
+and loop_vars_of acc = function
+  | [] -> acc
+  | SLoop (v, _, _, _, ss) :: rest ->
+      loop_vars_of (loop_vars_of (v :: acc) ss) rest
+  | SIf (clauses, els) :: rest ->
+      let acc =
+        List.fold_left (fun a (_, ss) -> loop_vars_of a ss) acc clauses
+      in
+      loop_vars_of (loop_vars_of acc els) rest
+  | _ :: rest -> loop_vars_of acc rest

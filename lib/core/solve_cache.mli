@@ -1,0 +1,39 @@
+(** Structural solve cache for SRN/GSPN models.
+
+    Parameter sweeps rebuild and re-solve every model on every iteration
+    because any [bind] bumps the environment version.  This module keys
+    the expensive intermediates of an SRN solve by the net's STRUCTURE —
+    everything that can change which markings are reachable or which
+    transitions are enabled (places, initial tokens, arcs, cardinality
+    and guard ASTs plus the transitive definitions of their free
+    identifiers, priorities, transition kinds) — and deliberately
+    excludes rate expressions, which are the per-iteration parameters.
+
+    Two domain-local tables ({!Sharpe_numerics.Structhash.Table}):
+    ["srn_skeleton"] maps the structural key to the reachability
+    skeleton (a hit skips state-space exploration and only re-weights
+    edges), and ["srn_instance"] maps structural key + bit-exact edge
+    weights to the fully solved {!Sharpe_petri.Srn.t} (a hit preserves
+    accumulated steady/transient measure caches across iterations).
+
+    Nets whose guards or cardinalities call analysis builtins or other
+    constructs that cannot be pinned symbolically are reported
+    uncacheable ({!srn_key} = [None]) and solved cold. *)
+
+val srn_key :
+  Eval.ctx ->
+  places:(string * int) list ->
+  timed:Ast.srn_trans list ->
+  immediate:Ast.srn_trans list ->
+  inputs:(string * string * Ast.expr) list ->
+  outputs:(string * string * Ast.expr) list ->
+  inhibitors:(string * string * Ast.expr) list ->
+  string option
+(** Canonical structural key of a net being built under [ctx]; [places]
+    carries the already-evaluated initial token counts.  [None] when the
+    structure cannot be pinned down (then solve cold). *)
+
+val solve_srn : key:string -> Sharpe_petri.Net.t -> Sharpe_petri.Srn.t
+(** Solve the net, reusing the cached reachability skeleton (and, when
+    every edge weight is bit-identical, the cached solved instance)
+    filed under [key]. *)

@@ -4,6 +4,9 @@ type t = {
   n : int;
   q : Sparse.t; (* full generator, diagonal included *)
   exit : float array; (* exit.(i) = sum of off-diagonal rates out of i *)
+  mutable unif : (float * Sparse.t) option;
+      (* memoized uniformization (lambda, P): the generator is immutable,
+         so the factorization never changes for a given chain *)
 }
 
 let make_error msg =
@@ -24,7 +27,7 @@ let make ~n rates =
       end)
     rates;
   Array.iteri (fun i e -> if e > 0.0 then Sparse.add b i i (-.e)) exit;
-  { n; q = Sparse.finalize b; exit }
+  { n; q = Sparse.finalize b; exit; unif = None }
 
 (* Well-formedness checks that produce diagnostics instead of aborting:
    the model may still be analyzable (absorption measures on a reducible
@@ -83,14 +86,19 @@ let absorbing_states c =
 let steady_state ?tol c = Linsolve.ctmc_steady_state ?tol c.q
 
 let uniformized_dtmc c =
-  let qmax = Array.fold_left Float.max 1e-300 c.exit in
-  let lambda = 1.02 *. qmax in
-  let b = Sparse.builder ~rows:c.n ~cols:c.n in
-  Sparse.iter c.q (fun i j v -> Sparse.add b i j (v /. lambda));
-  for i = 0 to c.n - 1 do
-    Sparse.add b i i 1.0
-  done;
-  (lambda, Sparse.finalize b)
+  match c.unif with
+  | Some u -> u
+  | None ->
+      let qmax = Array.fold_left Float.max 1e-300 c.exit in
+      let lambda = 1.02 *. qmax in
+      let b = Sparse.builder ~rows:c.n ~cols:c.n in
+      Sparse.iter c.q (fun i j v -> Sparse.add b i j (v /. lambda));
+      for i = 0 to c.n - 1 do
+        Sparse.add b i i 1.0
+      done;
+      let u = (lambda, Sparse.finalize b) in
+      c.unif <- Some u;
+      u
 
 let check_init c init =
   if Array.length init <> c.n then invalid_arg "Ctmc: init length"
@@ -107,23 +115,56 @@ let transient_many ?(eps = 1e-12) c ~init ts =
       Diag.emitf Diag.Info ~solver:"ctmc_transient" ~tolerance:eps
         "uniformization with lambda=%.6g; largest Poisson window [%d, %d] (lambda t = %.6g)"
         lambda w.Poisson.left w.Poisson.right (lambda *. tmax));
-  List.map
-    (fun t ->
-      if t <= 0.0 then (t, Array.copy init)
-      else begin
-        let w = Poisson.window ~eps (lambda *. t) in
-        let acc = Array.make c.n 0.0 in
-        let v = ref (Array.copy init) in
-        for k = 0 to w.Poisson.right do
-          if k >= w.Poisson.left then begin
-            let wk = w.Poisson.weights.(k - w.Poisson.left) in
-            Array.iteri (fun i vi -> acc.(i) <- acc.(i) +. (wk *. vi)) !v
-          end;
-          if k < w.Poisson.right then v := Sparse.vec_mat !v p
-        done;
-        (t, acc)
-      end)
-    ts
+  let point t =
+    if t <= 0.0 then (t, Array.copy init)
+    else begin
+      let w = Poisson.window ~eps (lambda *. t) in
+      let acc = Array.make c.n 0.0 in
+      let v = ref (Array.copy init) in
+      (* steady-state detection: once the DTMC iterate stops moving
+         (sup-norm step below delta), every remaining term contributes the
+         same vector, so the Poisson tail collapses to one update.  The
+         committed error is at most the tail mass times delta. *)
+      let delta = eps /. 8.0 in
+      let k = ref 0 in
+      let finished = ref false in
+      while not !finished do
+        let kk = !k in
+        if kk >= w.Poisson.left then begin
+          let wk = w.Poisson.weights.(kk - w.Poisson.left) in
+          Array.iteri (fun i vi -> acc.(i) <- acc.(i) +. (wk *. vi)) !v
+        end;
+        if kk >= w.Poisson.right then finished := true
+        else begin
+          let v' = Sparse.vec_mat !v p in
+          let step = ref 0.0 in
+          Array.iteri
+            (fun i vi ->
+              let d = Float.abs (v'.(i) -. vi) in
+              if d > !step then step := d)
+            !v;
+          v := v';
+          if !step <= delta then begin
+            (* remaining Poisson mass, all weighting the settled vector *)
+            let tail = ref 0.0 in
+            for j = max (kk + 1) w.Poisson.left to w.Poisson.right do
+              tail := !tail +. w.Poisson.weights.(j - w.Poisson.left)
+            done;
+            Array.iteri
+              (fun i vi -> acc.(i) <- acc.(i) +. (!tail *. vi))
+              !v;
+            finished := true
+          end
+        end;
+        incr k
+      done;
+      (t, acc)
+    end
+  in
+  (* time points are independent given (lambda, p); the pool keeps result
+     and diagnostic order identical to the serial evaluation *)
+  let ts = Array.of_list ts in
+  Array.to_list (Pool.run (Array.length ts) (fun i -> point ts.(i)))
 
 let transient ?eps c ~init t =
   match transient_many ?eps c ~init [ t ] with

@@ -115,27 +115,38 @@ let max_severity s =
           else acc)
     None s.items
 
-(* installed sinks (innermost first) and the context stack *)
-let sinks : sink list ref = ref []
-let context_stack : string list ref = ref [] (* innermost first *)
+(* Installed sinks (innermost first) and the context stack are
+   domain-local: a worker domain of the parallel pool starts with an
+   empty stack, captures its records in its own sink, and the pool
+   replays them on the spawning domain (via [emit_record]) in
+   deterministic order.  Only the shared default sink needs a lock. *)
+let sinks_key : sink list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let context_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref []) (* innermost first *)
 
 let default_limit = 1024
 let default_sink = create_sink ()
+let default_mutex = Mutex.create ()
 
-let default_records () = records default_sink
-let reset_default () = clear default_sink
+let default_records () =
+  Mutex.protect default_mutex (fun () -> records default_sink)
+
+let reset_default () = Mutex.protect default_mutex (fun () -> clear default_sink)
 
 let push_record r =
-  match !sinks with
+  match !(Domain.DLS.get sinks_key) with
   | [] ->
-      default_sink.items <- r :: default_sink.items;
-      (* bounded: drop the oldest half when the cap is exceeded *)
-      if List.length default_sink.items > default_limit then
-        default_sink.items <-
-          List.filteri (fun i _ -> i < default_limit / 2) default_sink.items
+      Mutex.protect default_mutex (fun () ->
+          default_sink.items <- r :: default_sink.items;
+          (* bounded: drop the oldest half when the cap is exceeded *)
+          if List.length default_sink.items > default_limit then
+            default_sink.items <-
+              List.filteri (fun i _ -> i < default_limit / 2) default_sink.items)
   | ss -> List.iter (fun s -> s.items <- r :: s.items) ss
 
-let current_context () = List.rev !context_stack
+let current_context () = List.rev !(Domain.DLS.get context_key)
 
 let emit ?iterations ?residual ?tolerance severity ~solver message =
   push_record
@@ -147,14 +158,21 @@ let emit ?iterations ?residual ?tolerance severity ~solver message =
       residual;
       tolerance }
 
+(* Replay a record captured elsewhere (typically in a worker domain whose
+   context stack was empty): the replaying domain's context is prepended
+   so the record reads as if the work had run inline. *)
+let emit_record r = push_record { r with context = current_context () @ r.context }
+
 let emitf ?iterations ?residual ?tolerance severity ~solver fmt =
   Printf.ksprintf (emit ?iterations ?residual ?tolerance severity ~solver) fmt
 
 let with_context label f =
-  context_stack := label :: !context_stack;
-  Fun.protect ~finally:(fun () -> context_stack := List.tl !context_stack) f
+  let stack = Domain.DLS.get context_key in
+  stack := label :: !stack;
+  Fun.protect ~finally:(fun () -> stack := List.tl !stack) f
 
 let with_sink sink f =
+  let sinks = Domain.DLS.get sinks_key in
   sinks := sink :: !sinks;
   Fun.protect ~finally:(fun () -> sinks := List.tl !sinks) f
 

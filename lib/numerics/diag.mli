@@ -70,6 +70,12 @@ val emitf :
   'a
 (** [Printf]-style {!emit}. *)
 
+val emit_record : record -> unit
+(** Replay a record captured elsewhere (typically in a worker domain of
+    the parallel pool, whose context stack starts empty): the current
+    domain's context is prepended to the record's own, so it reads as if
+    the work had run inline. *)
+
 val with_context : string -> (unit -> 'a) -> 'a
 (** [with_context label f] runs [f] with [label] pushed on the context
     stack; every record emitted inside carries it.  Exception-safe. *)

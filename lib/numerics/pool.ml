@@ -1,0 +1,95 @@
+(* Domain-based parallel pool for independent sweep iterations.
+
+   [run n f] evaluates [f 0 .. f (n-1)] across at most [jobs] domains and
+   returns the results in index order.  Determinism contract:
+
+   - results are returned in index order regardless of completion order;
+   - diagnostics emitted inside a task are captured in a task-local sink
+     and replayed on the calling domain in index order after every task
+     has finished, so the diagnostic stream of a parallel run is
+     byte-identical to the serial one;
+   - if any task raises, the exception of the LOWEST index is re-raised
+     on the calling domain (matching what a serial left-to-right loop
+     would have surfaced), after the diagnostics of the tasks before it
+     have been replayed.
+
+   Nested calls never spawn: a task that itself calls [run] (detected via
+   a domain-local flag) executes sequentially, so the pool cannot
+   oversubscribe or deadlock on recursive parallelism. *)
+
+let jobs_ref = Atomic.make 1
+
+(* Running more domains than the hardware offers is strictly worse than
+   serial: every minor collection synchronizes all domains, and on an
+   oversubscribed machine each barrier costs an OS scheduling quantum.
+   [set_jobs] therefore clamps to the recommended domain count;
+   [~clamp:false] keeps the requested value (tests use it to exercise
+   the parallel machinery regardless of the host). *)
+let set_jobs ?(clamp = true) n =
+  let n = if clamp then min n (Domain.recommended_domain_count ()) else n in
+  Atomic.set jobs_ref (max 1 n)
+
+let jobs () = Atomic.get jobs_ref
+
+let in_worker_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let in_worker () = !(Domain.DLS.get in_worker_key)
+
+type 'a outcome = Done of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run_seq n f = Array.init n f
+
+let run n f =
+  let j = jobs () in
+  if n <= 0 then [||]
+  else if j <= 1 || n = 1 || in_worker () then run_seq n f
+  else begin
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let work () =
+      let flag = Domain.DLS.get in_worker_key in
+      flag := true;
+      let continue_ = ref true in
+      while !continue_ do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue_ := false
+        else begin
+          (* capture this task's diagnostics even when it raises *)
+          let sink = Diag.create_sink () in
+          let outcome =
+            Diag.with_sink sink (fun () ->
+                try Done (f i)
+                with e -> Raised (e, Printexc.get_raw_backtrace ()))
+          in
+          slots.(i) <- Some (outcome, Diag.records sink)
+        end
+      done
+    in
+    let spawned =
+      Array.init (min (j - 1) (n - 1)) (fun _ -> Domain.spawn work)
+    in
+    work ();
+    Array.iter Domain.join spawned;
+    (* replay diagnostics in index order, stopping at the first failure *)
+    let first_exn = ref None in
+    Array.iter
+      (fun slot ->
+        match slot with
+        | Some (outcome, records) when !first_exn = None -> (
+            List.iter Diag.emit_record records;
+            match outcome with
+            | Done _ -> ()
+            | Raised (e, bt) -> first_exn := Some (e, bt))
+        | _ -> ())
+      slots;
+    (match !first_exn with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (fun slot ->
+        match slot with
+        | Some (Done v, _) -> v
+        | _ -> assert false (* every task finished and none raised *))
+      slots
+  end

@@ -1,0 +1,31 @@
+(** Domain-based parallel pool for independent sweep iterations.
+
+    The pool evaluates a batch of independent tasks across at most
+    {!jobs} domains while preserving serial observable order: results
+    come back in index order, diagnostics emitted inside tasks are
+    replayed on the calling domain in index order (byte-identical to a
+    serial run), and the exception of the lowest-index failing task is
+    the one re-raised.  Nested {!run} calls execute sequentially instead
+    of spawning, so recursive parallelism cannot oversubscribe. *)
+
+val set_jobs : ?clamp:bool -> int -> unit
+(** Set the concurrency budget (1 = serial).  Wired to [sharpe --jobs N].
+    By default the value is clamped to
+    [Domain.recommended_domain_count ()] — oversubscribing domains is
+    strictly slower than serial because every minor collection
+    synchronizes all of them.  [~clamp:false] keeps the requested value
+    (tests use it to exercise the parallel path on any host). *)
+
+val jobs : unit -> int
+
+val in_worker : unit -> bool
+(** [true] while executing inside a pool task — used by callers to avoid
+    offering parallelism from within parallelism. *)
+
+val run : int -> (int -> 'a) -> 'a array
+(** [run n f] is [[| f 0; ...; f (n-1) |]], evaluated concurrently when
+    [jobs () > 1].  [f] must not depend on shared mutable state that
+    another task mutates.  Diagnostics emitted by [f i] are captured and
+    replayed in index order after all tasks complete; if any task raised,
+    the lowest-index exception is re-raised (with its backtrace) after
+    the diagnostics of the tasks preceding it were replayed. *)

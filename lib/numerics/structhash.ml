@@ -1,0 +1,143 @@
+(* Canonical structural keys and memo tables for the solve cache.
+
+   Keys are exact, injective serializations rather than bare hashes: a
+   collision in a 64-bit hash would silently return the wrong cached
+   solve, so we only ever compare full keys (the Hashtbl hashes them
+   internally for bucketing, but equality is on the complete string).
+
+   Tables are domain-local (via [Domain.DLS]) so cached values that
+   contain mutable state — BDD managers, reachability skeletons, solver
+   workspaces — are never shared between domains of the parallel pool.
+   Hit/miss counters are global atomics so [stats] and [report] see the
+   whole program's behaviour regardless of which domain did the work. *)
+
+(* --- canonical key serialization -------------------------------------- *)
+
+type builder = Buffer.t
+
+let builder tag =
+  let b = Buffer.create 256 in
+  Buffer.add_string b tag;
+  Buffer.add_char b '|';
+  b
+
+(* Length-prefixing keeps the encoding injective: no concatenation of two
+   different field sequences can produce the same bytes. *)
+let add_string b s =
+  Buffer.add_char b 's';
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let add_int b i =
+  Buffer.add_char b 'i';
+  Buffer.add_string b (string_of_int i);
+  Buffer.add_char b ';'
+
+let add_bool b v = Buffer.add_string b (if v then "T" else "F")
+
+(* Bit-exact: two floats get the same encoding iff they are the same
+   IEEE value (all NaNs collapse, which is fine for cache keys). *)
+let add_float b x =
+  Buffer.add_char b 'f';
+  Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float x));
+  Buffer.add_char b ';'
+
+let add_list b f xs =
+  Buffer.add_char b '[';
+  List.iter (f b) xs;
+  Buffer.add_char b ']'
+
+let add_array b f xs =
+  Buffer.add_char b '[';
+  Array.iter (f b) xs;
+  Buffer.add_char b ']'
+
+let finish b = Buffer.contents b
+
+(* --- memo tables with shared statistics -------------------------------- *)
+
+let enabled_flag = Atomic.make true
+let set_enabled v = Atomic.set enabled_flag v
+let enabled () = Atomic.get enabled_flag
+
+(* Bumping the generation lazily invalidates every domain's table on its
+   next access; DLS state of other domains cannot be touched directly. *)
+let generation = Atomic.make 0
+let clear_all () = Atomic.incr generation
+
+type stat = { name : string; hits : int; misses : int }
+
+let registry : (string * int Atomic.t * int Atomic.t) list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let stats () =
+  Mutex.protect registry_mutex (fun () ->
+      List.rev_map
+        (fun (name, h, m) ->
+          { name; hits = Atomic.get h; misses = Atomic.get m })
+        !registry)
+
+let reset_stats () =
+  Mutex.protect registry_mutex (fun () ->
+      List.iter
+        (fun (_, h, m) ->
+          Atomic.set h 0;
+          Atomic.set m 0)
+        !registry)
+
+let report () =
+  List.iter
+    (fun s ->
+      if s.hits + s.misses > 0 then
+        Diag.emitf Diag.Info ~solver:"solve_cache" "%s: %d hits, %d misses"
+          s.name s.hits s.misses)
+    (stats ())
+
+module Table = struct
+  type 'a t = {
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+    slot : (int * (string, 'a) Hashtbl.t) ref Domain.DLS.key;
+  }
+
+  let create name =
+    let hits = Atomic.make 0 and misses = Atomic.make 0 in
+    Mutex.protect registry_mutex (fun () ->
+        registry := (name, hits, misses) :: !registry);
+    {
+      hits;
+      misses;
+      slot =
+        Domain.DLS.new_key (fun () ->
+            ref (Atomic.get generation, Hashtbl.create 64));
+    }
+
+  let table t =
+    let r = Domain.DLS.get t.slot in
+    let gen, tbl = !r in
+    let cur = Atomic.get generation in
+    if gen = cur then tbl
+    else begin
+      let tbl = Hashtbl.create 64 in
+      r := (cur, tbl);
+      tbl
+    end
+
+  let find_or_add t key compute =
+    if not (enabled ()) then compute ()
+    else begin
+      let tbl = table t in
+      match Hashtbl.find_opt tbl key with
+      | Some v ->
+          Atomic.incr t.hits;
+          v
+      | None ->
+          Atomic.incr t.misses;
+          let v = compute () in
+          Hashtbl.add tbl key v;
+          v
+    end
+
+  let find_opt t key = if not (enabled ()) then None else Hashtbl.find_opt (table t) key
+end

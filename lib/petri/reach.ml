@@ -1,7 +1,22 @@
 open Sharpe_numerics
 
+(* The reachability SKELETON is the parameter-independent part of the
+   analysis: the marking set, the tangible/vanishing partition, and the
+   successor graph labelled with the firing transition's index.  It is
+   determined entirely by net structure (places, arcs, cardinalities,
+   guards, priorities, initial marking) and never by rate or weight
+   values, so a sweep that only re-binds rates can re-weight a cached
+   skeleton instead of re-exploring the state space. *)
+type skeleton = {
+  sk_markings : Net.marking array;
+  sk_vanishing : bool array;
+  sk_succs : (int * int) array array;
+      (* per marking: (target marking, firing transition index) *)
+}
+
 type t = {
   net : Net.t;
+  skel : skeleton;
   tangibles : Net.marking array;
   nv : int; (* number of vanishing markings eliminated *)
   ctmc : Sharpe_markov.Ctmc.t;
@@ -9,6 +24,8 @@ type t = {
 }
 
 let net g = g.net
+let skeleton_of g = g.skel
+let n_markings sk = Array.length sk.sk_markings
 let n_tangible g = Array.length g.tangibles
 let tangible_marking g i = Array.copy g.tangibles.(i)
 let ctmc g = g.ctmc
@@ -28,7 +45,7 @@ type raw = {
   succs : (int * float) array array;
 }
 
-let explore ?(max_markings = 200_000) n =
+let explore_skeleton ?(max_markings = 200_000) n =
   let ids = MarkingTbl.create 1024 in
   let rev = ref [] in
   let count = ref 0 in
@@ -53,14 +70,7 @@ let explore ?(max_markings = 200_000) n =
     let i, m = Queue.pop queue in
     let en = Net.enabled n m in
     let vanishing = Net.is_vanishing n m in
-    let out =
-      List.map
-        (fun ti ->
-          let tr = (Net.transitions n).(ti) in
-          let m' = Net.fire n ti m in
-          (intern m', tr.Net.rate m))
-        en
-    in
+    let out = List.map (fun ti -> (intern (Net.fire n ti m), ti)) en in
     succs := (i, Array.of_list out) :: !succs;
     vans := (i, vanishing) :: !vans
   done;
@@ -71,7 +81,19 @@ let explore ?(max_markings = 200_000) n =
   List.iter (fun (i, s) -> succ_arr.(i) <- s) !succs;
   let van_arr = Array.make nmk false in
   List.iter (fun (i, v) -> van_arr.(i) <- v) !vans;
-  { markings; vanishing = van_arr; succs = succ_arr }
+  { sk_markings = markings; sk_vanishing = van_arr; sk_succs = succ_arr }
+
+(* Evaluate the current rate/weight of every skeleton edge: the cheap,
+   parameter-dependent half of exploration. *)
+let weigh n sk =
+  let trans = Net.transitions n in
+  Array.mapi
+    (fun i out ->
+      let m = sk.sk_markings.(i) in
+      Array.map (fun (dst, ti) -> (dst, trans.(ti).Net.rate m)) out)
+    sk.sk_succs
+
+let edge_weights n sk = Array.map (Array.map snd) (weigh n sk)
 
 (* absorption distributions of vanishing markings over tangible markings *)
 let vanishing_absorption raw tangible_id =
@@ -157,8 +179,17 @@ let vanishing_absorption raw tangible_id =
       Hashtbl.fold (fun (v', t) p acc -> if v' = v then (t, p) :: acc else acc) sol []
   end
 
-let build ?max_markings n =
-  let raw = explore ?max_markings n in
+let build ?max_markings ?skeleton n =
+  let sk =
+    match skeleton with
+    | Some sk -> sk
+    | None -> explore_skeleton ?max_markings n
+  in
+  let raw =
+    { markings = sk.sk_markings;
+      vanishing = sk.sk_vanishing;
+      succs = weigh n sk }
+  in
   let nmk = Array.length raw.markings in
   let tangible_id = Array.make nmk (-1) in
   let tangibles = ref [] and nt = ref 0 in
@@ -193,7 +224,7 @@ let build ?max_markings n =
   if raw.vanishing.(0) then
     List.iter (fun (t, p) -> init.(t) <- init.(t) +. p) (absorb 0)
   else init.(tangible_id.(0)) <- 1.0;
-  { net = n; tangibles; nv = nmk - !nt; ctmc; init }
+  { net = n; skel = sk; tangibles; nv = nmk - !nt; ctmc; init }
 
 let n_vanishing g = g.nv
 

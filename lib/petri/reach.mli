@@ -7,10 +7,35 @@
 
 type t
 
-val build : ?max_markings:int -> Net.t -> t
-(** @raise Failure if the net is unbounded beyond [max_markings]
+type skeleton
+(** The parameter-independent half of the analysis: marking set,
+    tangible/vanishing partition, and the successor graph labelled with
+    transition indices.  Determined entirely by net structure (places,
+    arcs, cardinalities, guards, priorities, initial marking) — never by
+    rate or weight values — so a sweep that only re-binds rates can
+    re-weight a cached skeleton instead of re-exploring. *)
+
+val explore_skeleton : ?max_markings:int -> Net.t -> skeleton
+val n_markings : skeleton -> int
+
+val edge_weights : Net.t -> skeleton -> float array array
+(** The current rate/weight of every skeleton edge (same iteration order
+    as the skeleton's successor lists) under the net's rate closures —
+    the parameter-dependent half of the analysis, cheap to evaluate. *)
+
+val build : ?max_markings:int -> ?skeleton:skeleton -> Net.t -> t
+(** [build n] explores the reachability set and extracts the CTMC.
+    [~skeleton] skips exploration and only re-evaluates edge
+    rates/weights; the caller must guarantee the skeleton was built from
+    a structurally identical net (same places, arcs, cardinality and
+    guard behaviour, priorities and initial marking — rates may differ).
+    @raise Failure if the net is unbounded beyond [max_markings]
     (default 200_000) or a vanishing loop never reaches a tangible
     marking. *)
+
+val skeleton_of : t -> skeleton
+(** The skeleton this graph was built from (shareable across [build]
+    calls for structurally identical nets). *)
 
 val net : t -> Net.t
 val n_tangible : t -> int

@@ -8,13 +8,14 @@ type t = {
   cumulatives : (float, float array) Hashtbl.t; (* t -> L(t) *)
 }
 
-let solve ?max_markings n =
-  let g = Reach.build ?max_markings n in
+let solve ?max_markings ?skeleton n =
+  let g = Reach.build ?max_markings ?skeleton n in
   let markings = Array.init (Reach.n_tangible g) (Reach.tangible_marking g) in
   { g; markings; steady = None;
     transients = Hashtbl.create 16; cumulatives = Hashtbl.create 16 }
 
 let graph s = s.g
+let skeleton_of s = Reach.skeleton_of s.g
 let net s = Reach.net s.g
 
 let steady s =
@@ -44,12 +45,43 @@ let weighted s pi f =
 
 let exrss s reward = weighted s (steady s) reward
 
+(* Transient solves use a canonical checkpoint ladder: pi at grid times
+   j*delta (delta sized so one rung costs ~256 uniformization terms) is
+   built recursively via the semigroup property pi(t+d) = pi(t) e^(Qd),
+   and a query advances from its grid predecessor.  A time sweep
+   t, 2t, ..., nt therefore costs O(lambda n t) total terms instead of
+   O(lambda n^2 t).  The ladder is a function of the chain and t alone —
+   never of query order — so parallel and serial sweeps, cached and
+   uncached runs, all produce bit-identical values. *)
+let ladder_chunk = 256.0
+
 let transient_at s t =
   match Hashtbl.find_opt s.transients t with
   | Some pi -> pi
   | None ->
       let c = Reach.ctmc s.g in
-      let pi = Ctmc.transient c ~init:(Reach.initial_distribution s.g) t in
+      let init0 = Reach.initial_distribution s.g in
+      let lambda, _ = Ctmc.uniformized_dtmc c in
+      let delta = ladder_chunk /. lambda in
+      let pi =
+        if (not (Float.is_finite delta)) || delta <= 0.0 || t <= delta then
+          Ctmc.transient c ~init:init0 t
+        else begin
+          (* largest grid index with m*delta < t, ladder length bounded *)
+          let m = min (int_of_float (Float.ceil (t /. delta)) - 1) 100_000 in
+          let cp = ref init0 in
+          for j = 1 to m do
+            let tj = float_of_int j *. delta in
+            match Hashtbl.find_opt s.transients tj with
+            | Some v -> cp := v
+            | None ->
+                let v = Ctmc.transient c ~init:!cp delta in
+                Hashtbl.replace s.transients tj v;
+                cp := v
+          done;
+          Ctmc.transient c ~init:!cp (t -. (float_of_int m *. delta))
+        end
+      in
       Hashtbl.replace s.transients t pi;
       pi
 

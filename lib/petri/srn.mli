@@ -6,8 +6,17 @@
 
 type t
 
-val solve : ?max_markings:int -> Net.t -> t
+val solve : ?max_markings:int -> ?skeleton:Reach.skeleton -> Net.t -> t
+(** [~skeleton] reuses a previously explored reachability skeleton (see
+    {!Reach.build}): only edge rates/weights are re-evaluated, which is
+    the sweep-loop fast path. *)
+
 val graph : t -> Reach.t
+
+val skeleton_of : t -> Reach.skeleton
+(** The reachability skeleton of this solved instance, shareable across
+    structurally identical nets. *)
+
 val net : t -> Net.t
 
 val exrss : t -> (Net.marking -> float) -> float

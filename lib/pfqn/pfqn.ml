@@ -8,10 +8,20 @@ type kind =
   | Ms of int * float
   | Lds of float list
 
+type station_result = {
+  throughput : float;
+  utilization : float;
+  qlength : float;
+  rtime : float;
+}
+
 type t = {
   names : string array;
   kinds : kind array;
   visits : float array;
+  solved : (int, (string * station_result) list) Hashtbl.t;
+      (* per-instance MVA memo: population -> full result table, so the
+         four per-station measures of one query share a single recursion *)
 }
 
 let index_of names s =
@@ -46,17 +56,10 @@ let make ~stations ~routing =
   let b = Array.make k 0.0 in
   b.(0) <- 1.0;
   let visits = Linsolve.gauss a b in
-  { names; kinds; visits }
+  { names; kinds; visits; solved = Hashtbl.create 8 }
 
 let visit_ratios t =
   Array.to_list (Array.map2 (fun n v -> (n, v)) t.names t.visits)
-
-type station_result = {
-  throughput : float;
-  utilization : float;
-  qlength : float;
-  rtime : float;
-}
 
 (* service rate of a load-dependent station with j local customers *)
 let ld_rate kind j =
@@ -70,8 +73,7 @@ let ld_rate kind j =
 
 let is_ld = function Ms _ | Lds _ -> true | _ -> false
 
-let solve t ~customers =
-  if customers < 0 then invalid_arg "Pfqn.solve: negative population";
+let solve_mva t ~customers =
   let k = Array.length t.names in
   let q = Array.make k 0.0 in
   (* marginal queue-length probabilities for load-dependent stations:
@@ -132,6 +134,54 @@ let solve t ~customers =
          in
          ( t.names.(i),
            { throughput = tput; utilization = util; qlength = q.(i); rtime = r.(i) } )))
+
+(* MVA population-table cache across instances: the full content of the
+   net (station kinds incl. rates, visit ratios) plus the population is
+   the key, so a sweep that rebuilds an identical queueing network (or
+   queries several measures of one network) reuses the recursion. *)
+let mva_cache : (string * station_result) list Structhash.Table.t =
+  Structhash.Table.create "pfqn_mva"
+
+let content_key t ~customers =
+  let b = Structhash.builder "pfqn" in
+  Structhash.add_int b customers;
+  Structhash.add_array b Structhash.add_string t.names;
+  Structhash.add_array b
+    (fun b -> function
+      | Is r ->
+          Structhash.add_string b "is";
+          Structhash.add_float b r
+      | Fcfs r ->
+          Structhash.add_string b "fcfs";
+          Structhash.add_float b r
+      | Ps r ->
+          Structhash.add_string b "ps";
+          Structhash.add_float b r
+      | Lcfspr r ->
+          Structhash.add_string b "lcfspr";
+          Structhash.add_float b r
+      | Ms (m, r) ->
+          Structhash.add_string b "ms";
+          Structhash.add_int b m;
+          Structhash.add_float b r
+      | Lds rs ->
+          Structhash.add_string b "lds";
+          Structhash.add_list b Structhash.add_float rs)
+    t.kinds;
+  Structhash.add_array b Structhash.add_float t.visits;
+  Structhash.finish b
+
+let solve t ~customers =
+  if customers < 0 then invalid_arg "Pfqn.solve: negative population";
+  match Hashtbl.find_opt t.solved customers with
+  | Some res -> res
+  | None ->
+      let res =
+        Structhash.Table.find_or_add mva_cache (content_key t ~customers)
+          (fun () -> solve_mva t ~customers)
+      in
+      Hashtbl.replace t.solved customers res;
+      res
 
 let find t ~customers name =
   let res = solve t ~customers in

@@ -1,0 +1,130 @@
+(* QCheck property tests for the exponomial algebra (thesis §3.7 /
+   appendix): the symbolic distribution class must satisfy the calculus
+   identities the hierarchical composition engine relies on. *)
+
+module E = Sharpe_expo.Exponomial
+module D = Sharpe_expo.Dist
+
+let close ?(eps = 1e-9) a b =
+  let m = Float.max (Float.abs a) (Float.abs b) in
+  Float.abs (a -. b) <= eps *. Float.max 1.0 m
+
+(* Generator for a random proper CDF from SHARPE's built-in families.
+
+   Rates are drawn from a coarse grid: convolving terms whose rates are
+   close-but-unequal is intrinsically ill-conditioned (the partial
+   fractions carry 1/(b1 - b2)^k factors), so random real-valued rates
+   routinely produce pairs ~1e-3 apart whose convolutions disagree past
+   any fixed tolerance depending on operand order.  Grid rates are
+   either exactly equal — handled by the exact equal-rate path — or at
+   least 0.5 apart, keeping every identity well-conditioned even for
+   erlang factors of order 5 (amplification bounded by 2^5). *)
+let cdf_gen =
+  QCheck.Gen.(
+    let rate = map (fun i -> 0.5 *. float_of_int (1 + i)) (int_bound 8) in
+    let base =
+      oneof
+        [ map D.exponential rate;
+          map2 (fun n l -> D.erlang (1 + n) l) (int_bound 4) rate;
+          map2
+            (fun m1 m2 ->
+              if m1 = m2 then D.erlang 2 m1 else D.hypoexp m1 m2)
+            rate rate;
+          map3
+            (fun m1 m2 p -> D.hyperexp m1 p m2 (1.0 -. p))
+            rate rate
+            (float_range 0.05 0.95) ]
+    in
+    base)
+
+let cdf_arb = QCheck.make ~print:E.to_string cdf_gen
+
+let sample_ts = [ 0.0; 0.1; 0.5; 1.0; 2.0; 5.0; 10.0 ]
+
+let prop_convolve_commutes =
+  QCheck.Test.make ~name:"convolution is commutative" ~count:200
+    (QCheck.pair cdf_arb cdf_arb) (fun (f, g) ->
+      let fg = E.convolve f g and gf = E.convolve g f in
+      List.for_all (fun t -> close (E.eval fg t) (E.eval gf t)) sample_ts)
+
+let prop_convolve_assoc =
+  QCheck.Test.make ~name:"convolution is associative" ~count:100
+    (QCheck.triple cdf_arb cdf_arb cdf_arb) (fun (f, g, h) ->
+      let l = E.convolve (E.convolve f g) h
+      and r = E.convolve f (E.convolve g h) in
+      List.for_all (fun t -> close ~eps:1e-7 (E.eval l t) (E.eval r t)) sample_ts)
+
+let prop_convolve_mean_adds =
+  QCheck.Test.make ~name:"mean of a convolution is the sum of means"
+    ~count:200 (QCheck.pair cdf_arb cdf_arb) (fun (f, g) ->
+      close ~eps:1e-7 (E.mean (E.convolve f g)) (E.mean f +. E.mean g))
+
+let prop_deriv_integrate =
+  QCheck.Test.make ~name:"derivative of the integral is the identity"
+    ~count:200 cdf_arb (fun f ->
+      let f' = E.deriv (E.integrate f) in
+      List.for_all (fun t -> close (E.eval f' t) (E.eval f t)) sample_ts)
+
+let prop_integrate_deriv =
+  QCheck.Test.make
+    ~name:"integral of the derivative recovers F(t) - F(0)" ~count:200
+    cdf_arb (fun f ->
+      let g = E.integrate (E.deriv f) in
+      List.for_all
+        (fun t -> close (E.eval g t) (E.eval f t -. E.eval f 0.0))
+        sample_ts)
+
+let prop_cdf_monotone =
+  QCheck.Test.make ~name:"CDFs are monotone and within [0, 1]" ~count:200
+    cdf_arb (fun f ->
+      let vals = List.map (E.eval f) sample_ts in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-12 && mono rest
+        | _ -> true
+      in
+      mono vals
+      && List.for_all (fun v -> v >= -1e-12 && v <= 1.0 +. 1e-12) vals)
+
+let prop_cdf_limit =
+  QCheck.Test.make ~name:"proper CDFs tend to 1 at infinity" ~count:200
+    cdf_arb (fun f -> close (E.limit_at_inf f) 1.0)
+
+let prop_complement =
+  QCheck.Test.make ~name:"complement evaluates to 1 - F" ~count:200 cdf_arb
+    (fun f ->
+      let c = E.complement f in
+      List.for_all
+        (fun t -> close (E.eval c t) (1.0 -. E.eval f t))
+        sample_ts)
+
+let prop_mixture_weights =
+  QCheck.Test.make
+    ~name:"mixture of proper CDFs with normalized weights is proper"
+    ~count:200
+    (QCheck.triple cdf_arb cdf_arb
+       (QCheck.float_range 0.0 1.0))
+    (fun (f, g, p) ->
+      let mix = E.add (E.scale p f) (E.scale (1.0 -. p) g) in
+      close (E.limit_at_inf mix) 1.0
+      && List.for_all
+           (fun t ->
+             close
+               (E.eval mix t)
+               ((p *. E.eval f t) +. ((1.0 -. p) *. E.eval g t)))
+           sample_ts)
+
+let prop_mass_at_zero =
+  QCheck.Test.make
+    ~name:"convolution atom at zero is the product of the atoms" ~count:200
+    (QCheck.pair (QCheck.float_range 0.1 0.9) (QCheck.float_range 0.1 0.9))
+    (fun (p, q) ->
+      let f = D.mixture p (1.0 -. p) 1.0
+      and g = D.mixture q (1.0 -. q) 2.0 in
+      close (E.mass_at_zero (E.convolve f g)) (p *. q))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_convolve_commutes; prop_convolve_assoc; prop_convolve_mean_adds;
+      prop_deriv_integrate; prop_integrate_deriv; prop_cdf_monotone;
+      prop_cdf_limit; prop_complement; prop_mixture_weights;
+      prop_mass_at_zero ]

@@ -10,4 +10,7 @@ let () =
       ("pfqn", Test_pfqn.suite);
       ("petri", Test_petri.suite);
       ("lang", Test_lang.suite);
-      ("more", Test_more.suite) ]
+      ("more", Test_more.suite);
+      ("expo-properties", Test_expo_prop.suite);
+      ("sweep-engine", Test_sweep.suite);
+      ("golden", Test_golden.suite) ]

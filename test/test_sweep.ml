@@ -1,0 +1,255 @@
+(* Tests for the sweep engine: the structural solve cache (hit/miss
+   discipline, output invariance) and the parallel loop evaluator
+   (deterministic output, diagnostic replay order, failure semantics),
+   plus the while-loop fuel regression. *)
+
+module Interp = Sharpe_lang.Interp
+module Eval = Sharpe_lang.Eval
+module Pool = Sharpe_numerics.Pool
+module Structhash = Sharpe_numerics.Structhash
+module Diag = Sharpe_numerics.Diag
+
+let run program =
+  let buf = Buffer.create 1024 in
+  let outcome = Interp.run_program ~print:(Buffer.add_string buf) program in
+  (Buffer.contents buf, outcome.Interp.failed_statements)
+
+(* A parameter sweep over a small repairable-system SRN: the loop rebinds
+   the failure rate, which re-weights edges but never changes which
+   markings are reachable. *)
+let rate_sweep =
+  {|format 8
+bind lam 0.5
+srn m ()
+up 2
+dn 0
+end
+fl placedep up lam
+rp ind 1.0
+end
+end
+up fl 1
+dn rp 1
+end
+fl dn 1
+rp up 1
+end
+end
+func nup() #(up)
+loop r, 0.5, 2.5, 0.5
+  bind lam r
+  expr srn_exrss(m; nup)
+end
+end
+|}
+
+(* Same net, but the sweep rebinds the guard threshold: enabledness (and
+   hence the reachable skeleton) changes every iteration. *)
+let structure_sweep =
+  {|format 8
+bind lim 1
+srn m ()
+up 2
+dn 0
+end
+fl placedep up 0.5 guard #(dn) < lim
+rp ind 1.0
+end
+end
+up fl 1
+dn rp 1
+end
+fl dn 1
+rp up 1
+end
+end
+func nup() #(up)
+loop k, 1, 3, 1
+  bind lim k
+  expr srn_exrss(m; nup)
+end
+end
+|}
+
+let stat name =
+  match List.find_opt (fun s -> s.Structhash.name = name) (Structhash.stats ()) with
+  | Some s -> (s.Structhash.hits, s.Structhash.misses)
+  | None -> (0, 0)
+
+let fresh_cache () =
+  Structhash.set_enabled true;
+  Structhash.clear_all ();
+  Structhash.reset_stats ()
+
+let test_cache_output_invariant () =
+  fresh_cache ();
+  let cached, f1 = run rate_sweep in
+  Structhash.set_enabled false;
+  let cold, f2 = run rate_sweep in
+  Structhash.set_enabled true;
+  Alcotest.(check int) "no failed statements (cached)" 0 f1;
+  Alcotest.(check int) "no failed statements (cold)" 0 f2;
+  Alcotest.(check string) "cache-enabled output equals cold-cache output"
+    cold cached
+
+let test_rate_mutation_hits () =
+  fresh_cache ();
+  let _, failed = run rate_sweep in
+  Alcotest.(check int) "no failed statements" 0 failed;
+  let hits, misses = stat "srn_skeleton" in
+  (* 5 sweep iterations: one exploration, then skeleton reuse *)
+  Alcotest.(check int) "skeleton explored once" 1 misses;
+  Alcotest.(check int) "skeleton reused for every other iteration" 4 hits;
+  let ihits, imisses = stat "srn_instance" in
+  (* every iteration changes the rate, so no solved instance is reusable *)
+  Alcotest.(check int) "solved instances never wrongly shared" 0 ihits;
+  Alcotest.(check int) "one solved instance per rate value" 5 imisses
+
+let test_structure_mutation_misses () =
+  fresh_cache ();
+  let _, failed = run structure_sweep in
+  Alcotest.(check int) "no failed statements" 0 failed;
+  let hits, misses = stat "srn_skeleton" in
+  Alcotest.(check int) "guard change re-explores every iteration" 3 misses;
+  Alcotest.(check int) "no skeleton reuse across guard changes" 0 hits
+
+let test_instance_cache_transients () =
+  fresh_cache ();
+  let program =
+    {|format 8
+srn m ()
+up 2
+dn 0
+end
+fl placedep up 0.5
+rp ind 1.0
+end
+end
+up fl 1
+dn rp 1
+end
+fl dn 1
+rp up 1
+end
+end
+func nup() #(up)
+loop t, 1, 5, 1
+  expr srn_exrt(t, m; nup)
+end
+end
+|}
+  in
+  let _, failed = run program in
+  Alcotest.(check int) "no failed statements" 0 failed;
+  let ihits, imisses = stat "srn_instance" in
+  (* the time loop never changes a rate: one solve, reused per time point *)
+  Alcotest.(check int) "one solved instance for the whole time sweep" 1
+    imisses;
+  Alcotest.(check int) "solved instance reused at every time point" 4 ihits
+
+(* --- parallel loop evaluation ---------------------------------------- *)
+
+let with_jobs n f =
+  Pool.set_jobs ~clamp:false n;
+  Fun.protect ~finally:(fun () -> Pool.set_jobs 1) f
+
+let test_parallel_output_identical () =
+  fresh_cache ();
+  let serial, f1 = run rate_sweep in
+  let parallel, f2 = with_jobs 4 (fun () -> run rate_sweep) in
+  Alcotest.(check int) "no failed statements (serial)" 0 f1;
+  Alcotest.(check int) "no failed statements (parallel)" 0 f2;
+  Alcotest.(check string) "parallel output identical to serial" serial
+    parallel
+
+let test_parallel_loop_var_final_value () =
+  let program = "loop i, 1, 10, 1\n  expr i * i\nend\nexpr i + 100" in
+  let serial, _ = run program in
+  let parallel, _ = with_jobs 3 (fun () -> run program) in
+  Alcotest.(check string) "loop variable keeps its final value" serial
+    parallel
+
+let test_parallel_failure_matches_serial () =
+  (* iteration 3 calls an undefined function: the loop statement fails,
+     output of the iterations before it must still appear, in order *)
+  let program =
+    "loop i, 1, 5, 1\n  expr i * 10\n  if (i == 3)\n    expr nosuch(i)\n  end\nend"
+  in
+  let serial, f1 = run program in
+  let parallel, f2 = with_jobs 4 (fun () -> run program) in
+  Alcotest.(check int) "statement fails serially" 1 f1;
+  Alcotest.(check int) "statement fails in parallel" 1 f2;
+  Alcotest.(check string) "partial output identical to serial" serial
+    parallel
+
+let test_parallel_diag_order () =
+  (* diagnostics from worker domains must replay in iteration order *)
+  let _, records =
+    Diag.capture (fun () ->
+        Pool.set_jobs ~clamp:false 4;
+        Fun.protect ~finally:(fun () -> Pool.set_jobs 1) (fun () ->
+            ignore
+              (Pool.run 8 (fun i ->
+                   Diag.emitf Diag.Info ~solver:"test" "task %d" i;
+                   i))))
+  in
+  let msgs = List.map (fun r -> r.Diag.message) records in
+  Alcotest.(check (list string))
+    "replayed in index order"
+    (List.init 8 (Printf.sprintf "task %d"))
+    msgs
+
+let test_pool_results_in_order () =
+  let results =
+    with_jobs 3 (fun () -> Pool.run 20 (fun i -> (i * i) + 1))
+  in
+  Alcotest.(check (array int))
+    "results in index order"
+    (Array.init 20 (fun i -> (i * i) + 1))
+    results
+
+(* --- while-loop fuel -------------------------------------------------- *)
+
+let test_while_fuel_exact_boundary () =
+  (* a loop that terminates on exactly the last allowed iteration is NOT
+     an exhaustion: regression for the false positive *)
+  let saved = !Eval.while_fuel_limit in
+  Eval.while_fuel_limit := 50;
+  Fun.protect ~finally:(fun () -> Eval.while_fuel_limit := saved) (fun () ->
+      let out, failed =
+        run "bind i 0\nwhile (i < 50)\n  bind i i + 1\nend\nexpr i"
+      in
+      Alcotest.(check int) "loop of exactly the fuel limit succeeds" 0 failed;
+      Alcotest.(check string) "final value printed" "i: 50.000000\n"
+        (String.concat "\n"
+           (List.filter
+              (fun l -> String.length l > 1 && l.[0] = 'i' && l.[1] = ':')
+              (String.split_on_char '\n' out))
+        ^ "\n");
+      let _, failed =
+        run "bind i 0\nwhile (i < 51)\n  bind i i + 1\nend\nexpr i"
+      in
+      Alcotest.(check int) "one iteration beyond the fuel limit fails" 1
+        failed)
+
+let suite =
+  [ Alcotest.test_case "cache on/off output invariant" `Quick
+      test_cache_output_invariant;
+    Alcotest.test_case "rate re-bind hits the skeleton cache" `Quick
+      test_rate_mutation_hits;
+    Alcotest.test_case "guard re-bind misses the skeleton cache" `Quick
+      test_structure_mutation_misses;
+    Alcotest.test_case "time sweep reuses the solved instance" `Quick
+      test_instance_cache_transients;
+    Alcotest.test_case "parallel sweep output identical to serial" `Quick
+      test_parallel_output_identical;
+    Alcotest.test_case "parallel loop variable final value" `Quick
+      test_parallel_loop_var_final_value;
+    Alcotest.test_case "parallel failure keeps serial semantics" `Quick
+      test_parallel_failure_matches_serial;
+    Alcotest.test_case "parallel diagnostics replay in order" `Quick
+      test_parallel_diag_order;
+    Alcotest.test_case "pool preserves result order" `Quick
+      test_pool_results_in_order;
+    Alcotest.test_case "while fuel boundary is not an exhaustion" `Quick
+      test_while_fuel_exact_boundary ]
