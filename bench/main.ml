@@ -534,6 +534,234 @@ let () =
   register "S1" "sweep engine - serial-cold vs solve cache vs cache + 4 domains" s1
 
 (* ====================================================================== *)
+(* S2 — server mode: warm daemon vs one process per evaluation            *)
+(* ====================================================================== *)
+
+(* The server-mode value proposition measured directly: N evaluations of a
+   small SRN model, (a) cold — one `sharpe FILE` process spawn per
+   evaluation, paying binary startup, parsing and a cold solve cache every
+   time; (b) warm — the same N evaluations against one in-process sharped
+   daemon over a Unix socket, 8 concurrent client threads, warm worker
+   domains and a shared structural solve cache.  Wall-clock times and the
+   daemon's own cache statistics land in BENCH_server.json. *)
+
+let server_model =
+  {|format 8
+func nup() #(up)
+srn m ()
+up 2
+dn 0
+end
+fl placedep up 0.5
+rp ind 1.0
+end
+end
+up fl 1
+dn rp 1
+end
+fl dn 1
+rp up 1
+end
+end
+expr srn_exrss(m; nup)
+end
+|}
+
+let s2 () =
+  let module Server = Sharpe_server.Server in
+  let module Json = Sharpe_server.Json in
+  let module Structhash = Sharpe_numerics.Structhash in
+  let n_evals = if !quick_mode then 12 else 100 in
+  let clients = 8 in
+  (* --- cold: one process per evaluation ------------------------------- *)
+  let model_path = Filename.temp_file "sharpe_bench" ".sharpe" in
+  let oc = open_out model_path in
+  output_string oc server_model;
+  close_out oc;
+  let sharpe_exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/sharpe.exe"
+  in
+  let cold_cmd =
+    Printf.sprintf "%s %s > /dev/null 2>&1"
+      (Filename.quote sharpe_exe) (Filename.quote model_path)
+  in
+  if Sys.command cold_cmd <> 0 then
+    failwith "S2: cold sharpe run failed on the benchmark model";
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n_evals do
+    ignore (Sys.command cold_cmd)
+  done;
+  let t_cold = Unix.gettimeofday () -. t0 in
+  Sys.remove model_path;
+  (* --- warm: one daemon, concurrent clients --------------------------- *)
+  Structhash.clear_all ();
+  Structhash.reset_stats ();
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sharpe_bench_%d.sock" (Unix.getpid ()))
+  in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve
+          ~ready:(fun () ->
+            Mutex.protect ready_m (fun () ->
+                ready := true;
+                Condition.signal ready_c))
+          (`Unix sock))
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    fd
+  in
+  let send_line fd line =
+    let b = Bytes.of_string (line ^ "\n") in
+    let len = Bytes.length b in
+    let off = ref 0 in
+    while !off < len do
+      off := !off + Unix.write fd b !off (len - !off)
+    done
+  in
+  let recv_line fd =
+    let b = Buffer.create 4096 in
+    let one = Bytes.create 1 in
+    let rec go () =
+      match Unix.read fd one 0 1 with
+      | 0 -> Buffer.contents b
+      | _ ->
+          if Bytes.get one 0 = '\n' then Buffer.contents b
+          else begin
+            Buffer.add_char b (Bytes.get one 0);
+            go ()
+          end
+    in
+    go ()
+  in
+  let eval_req =
+    Json.to_string
+      (Json.Obj [ ("op", Json.Str "eval"); ("src", Json.Str server_model) ])
+  in
+  let eval_ok fd =
+    send_line fd eval_req;
+    match Json.parse (recv_line fd) with
+    | Ok r -> Json.member "ok" r = Some (Json.Bool true)
+    | Error _ -> false
+  in
+  (* warm-up: skeletons explored, worker domains spawned *)
+  let fd0 = connect () in
+  if not (eval_ok fd0) then failwith "S2: warm-up eval failed";
+  Unix.close fd0;
+  let failures = Atomic.make 0 in
+  let per_client i =
+    (n_evals / clients) + if i < n_evals mod clients then 1 else 0
+  in
+  let t0 = Unix.gettimeofday () in
+  let ts =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            let fd = connect () in
+            for _ = 1 to per_client i do
+              if not (eval_ok fd) then Atomic.incr failures
+            done;
+            Unix.close fd)
+          ())
+  in
+  List.iter Thread.join ts;
+  let t_warm = Unix.gettimeofday () -. t0 in
+  (* daemon-side statistics, then shutdown *)
+  let fd = connect () in
+  send_line fd (Json.to_string (Json.Obj [ ("op", Json.Str "stats") ]));
+  let stats_resp = recv_line fd in
+  send_line fd (Json.to_string (Json.Obj [ ("op", Json.Str "shutdown") ]));
+  ignore (recv_line fd);
+  Unix.close fd;
+  Thread.join server;
+  let cache_stat name =
+    match Json.parse stats_resp with
+    | Error _ -> (0, 0)
+    | Ok resp -> (
+        match
+          Option.bind (Json.member "stats" resp) (Json.member "cache")
+        with
+        | Some (Json.List entries) ->
+            List.fold_left
+              (fun acc e ->
+                if Json.member "name" e = Some (Json.Str name) then
+                  ( (match Option.bind (Json.member "hits" e) Json.to_float with
+                    | Some h -> int_of_float h
+                    | None -> 0),
+                    match Option.bind (Json.member "misses" e) Json.to_float with
+                    | Some m -> int_of_float m
+                    | None -> 0 )
+                else acc)
+              (0, 0) entries
+        | _ -> (0, 0))
+  in
+  let error_diags =
+    match Json.parse stats_resp with
+    | Ok resp -> (
+        match
+          Option.bind
+            (Option.bind (Json.member "stats" resp)
+               (Json.member "error_diagnostics"))
+            Json.to_float
+        with
+        | Some x -> int_of_float x
+        | None -> -1)
+    | Error _ -> -1
+  in
+  let skel_hits, skel_misses = cache_stat "srn_skeleton" in
+  let inst_hits, inst_misses = cache_stat "srn_instance" in
+  let speedup = t_cold /. t_warm in
+  printf "  %d evaluations of a small SRN (steady-state reward)\n" n_evals;
+  printf "  cold  (1 process spawn per eval):      %8.3f s\n" t_cold;
+  printf "  warm  (daemon, %d client threads):      %8.3f s   (%.1fx)\n"
+    clients t_warm speedup;
+  printf "  daemon cache: srn_skeleton %d hits / %d misses, srn_instance %d hits / %d misses\n"
+    skel_hits skel_misses inst_hits inst_misses;
+  printf "  daemon error diagnostics: %d, failed client evals: %d\n"
+    error_diags (Atomic.get failures);
+  if Atomic.get failures > 0 then failwith "S2: some daemon evals failed";
+  if skel_hits = 0 then
+    failwith "S2: expected structural-cache hits on a warm daemon";
+  if not !quick_mode then begin
+    let json =
+      Printf.sprintf
+        "{\n  \"experiment\": \"%d evals of a small SRN: cold process \
+         spawns vs warm sharped daemon, %d concurrent clients\",\n\
+        \  \"cold_process_spawns_s\": %.4f,\n\
+        \  \"warm_daemon_s\": %.4f,\n\
+        \  \"speedup\": %.2f,\n\
+        \  \"clients\": %d,\n\
+        \  \"srn_skeleton_hits\": %d,\n\
+        \  \"srn_skeleton_misses\": %d,\n\
+        \  \"srn_instance_hits\": %d,\n\
+        \  \"srn_instance_misses\": %d,\n\
+        \  \"daemon_error_diagnostics\": %d\n}\n"
+        n_evals clients t_cold t_warm speedup clients skel_hits skel_misses
+        inst_hits inst_misses error_diags
+    in
+    let path = Filename.concat repo_root "BENCH_server.json" in
+    let oc = open_out path in
+    output_string oc json;
+    close_out oc;
+    printf "  wrote %s\n" path
+  end
+
+let () =
+  register "S2" "server mode - warm daemon vs one process per evaluation" s2
+
+(* ====================================================================== *)
 (* Bechamel timing suite                                                  *)
 (* ====================================================================== *)
 

@@ -4,25 +4,56 @@
    error recovery — a failing model definition is reported and the rest of
    the file keeps executing.  Diagnostics go to stderr (human form) or
    stdout (--diagnostics json); the exit code tells automation what
-   happened: 0 clean, 1 any error, 2 any warning-or-worse under --strict. *)
+   happened: 0 clean, 1 any error, 2 any warning-or-worse under --strict,
+   3 when --timeout expired and the run was cancelled.
+
+   --serve turns the process into the sharped evaluation daemon on a
+   Unix-domain socket (see PROTOCOL.md); sharped(1) is the same server
+   with more listener options. *)
 
 module Diag = Sharpe_numerics.Diag
+module Deadline = Sharpe_numerics.Deadline
 module Interp = Sharpe_lang.Interp
 module Pool = Sharpe_numerics.Pool
 module Structhash = Sharpe_numerics.Structhash
+module Server = Sharpe_server.Server
 
-let run strict diag_fmt jobs no_cache cache_stats files =
-  Pool.set_jobs jobs;
-  Structhash.set_enabled (not no_cache);
+let run_batch timeout files =
   let all = ref [] and failed = ref 0 in
-  List.iter
-    (fun path ->
-      let outcome =
-        Diag.with_context path (fun () -> Interp.run_program_file path)
-      in
-      all := !all @ outcome.Interp.diagnostics;
-      failed := !failed + outcome.Interp.failed_statements)
-    files;
+  let execute () =
+    List.iter
+      (fun path ->
+        let outcome =
+          Diag.with_context path (fun () -> Interp.run_program_file path)
+        in
+        all := !all @ outcome.Interp.diagnostics;
+        failed := !failed + outcome.Interp.failed_statements)
+      files
+  in
+  let timed_out = ref false in
+  (match timeout with
+  | None -> execute ()
+  | Some s -> (
+      try Deadline.with_timeout s execute
+      with Deadline.Timed_out ->
+        timed_out := true;
+        all :=
+          !all
+          @ [ { Diag.severity = Diag.Error;
+                solver = "cli";
+                context = [];
+                message =
+                  Printf.sprintf
+                    "timeout: run cancelled after %g seconds; remaining \
+                     statements and files were skipped"
+                    s;
+                iterations = None;
+                residual = None;
+                tolerance = None } ]));
+  (!all, !failed, !timed_out)
+
+let report strict diag_fmt cache_stats (records, failed, timed_out) =
+  let all = ref records in
   if cache_stats then begin
     let _, recs = Diag.capture (fun () -> Structhash.report ()) in
     match diag_fmt with
@@ -54,13 +85,34 @@ let run strict diag_fmt jobs no_cache cache_stats files =
           "sharpe: diagnostics: %d info, %d warning, %d fallback, %d non-convergence, %d error\n"
           (count Diag.Info) (count Diag.Warning) (count Diag.Fallback)
           (count Diag.Non_convergence) (count Diag.Error));
-  if !failed > 0 || count Diag.Error > 0 then 1
+  if timed_out then 3
+  else if failed > 0 || count Diag.Error > 0 then 1
   else if strict && worst_rank >= Diag.severity_rank Diag.Warning then 2
   else 0
 
+let run strict diag_fmt jobs no_cache cache_stats timeout serve files =
+  Pool.set_jobs jobs;
+  Structhash.set_enabled (not no_cache);
+  match serve with
+  | Some path ->
+      Server.serve
+        ~config:
+          { Server.default_config with
+            default_timeout = timeout;
+            workers = max Server.default_config.Server.workers jobs }
+        (`Unix path);
+      0
+  | None when files = [] ->
+      prerr_endline
+        "sharpe: no input files (expected FILE... or --serve SOCKET)";
+      Cmdliner.Cmd.Exit.cli_error
+  | None ->
+      report strict diag_fmt cache_stats (run_batch timeout files)
+
 open Cmdliner
 
-let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"SHARPE input files")
+let files =
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"SHARPE input files")
 
 let strict =
   Arg.(
@@ -108,6 +160,30 @@ let cache_stats =
           "Report solve-cache hit/miss counters after the run (to stderr, \
            or into the JSON diagnostics array with $(b,--diagnostics json)).")
 
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Cancel the whole run after $(docv) seconds of wall-clock time: \
+           solvers and loops hit a cooperative cancellation point, the \
+           cancellation is reported as an error diagnostic, and the exit \
+           status is 3.  With $(b,--serve), sets the default per-request \
+           deadline instead.")
+
+let serve =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve" ] ~docv:"SOCKET"
+        ~doc:
+          "Do not run input files; listen on the Unix-domain socket \
+           $(docv) as an evaluation daemon speaking the newline-delimited \
+           JSON protocol of PROTOCOL.md (same server as sharped(1), which \
+           also offers TCP and tuning options).  Runs until a client sends \
+           a $(i,shutdown) request.")
+
 let cmd =
   let doc = "Symbolic Hierarchical Automated Reliability and Performance Evaluator" in
   let man =
@@ -120,9 +196,12 @@ let cmd =
       `S Manpage.s_exit_status;
       `P "0 on success; 1 if any statement failed or any error diagnostic \
           was recorded; 2 if $(b,--strict) is set and any warning, \
-          fallback or non-convergence diagnostic was recorded." ]
+          fallback or non-convergence diagnostic was recorded; 3 if \
+          $(b,--timeout) expired and the run was cancelled." ]
   in
   Cmd.v (Cmd.info "sharpe" ~version:"2002-ocaml" ~doc ~man)
-    Term.(const run $ strict $ diag_fmt $ jobs $ no_cache $ cache_stats $ files)
+    Term.(
+      const run $ strict $ diag_fmt $ jobs $ no_cache $ cache_stats $ timeout
+      $ serve $ files)
 
 let () = exit (Cmd.eval' cmd)

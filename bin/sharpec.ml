@@ -1,0 +1,164 @@
+(* sharpec: command-line client for the sharped evaluation daemon.
+
+   One request per invocation, over a Unix-domain socket:
+
+     sharpec --socket /tmp/s eval model.sharpe [--session NAME] [--timeout S]
+     sharpec --socket /tmp/s query NAME 'expr'
+     sharpec --socket /tmp/s bind NAME var 3.5
+     sharpec --socket /tmp/s ping | stats | shutdown
+
+   For eval, the model's printed output goes to stdout exactly as the
+   batch CLI would print it (so outputs can be diffed against goldens);
+   stats prints the raw JSON response.  Exit status: 0 ok, 1 the server
+   answered with ok=false or failed statements, 2 transport/usage error. *)
+
+module Json = Sharpe_server.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("sharpec: " ^ m); exit 2) fmt
+
+let request sock_path line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX sock_path)
+   with Unix.Unix_error (e, _, _) ->
+     fail "cannot connect to %s: %s" sock_path (Unix.error_message e));
+  let b = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done;
+  (* read one newline-terminated response *)
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n -> (
+        match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+        | Some i -> Buffer.add_subbytes buf chunk 0 i
+        | None ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ())
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "read error: %s" (Unix.error_message e)
+  in
+  go ();
+  Unix.close fd;
+  if Buffer.length buf = 0 then fail "server closed the connection without replying";
+  match Json.parse (Buffer.contents buf) with
+  | Ok v -> v
+  | Error msg -> fail "unparseable response: %s" msg
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error m -> fail "%s" m in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_ok resp = Json.member "ok" resp = Some (Json.Bool true)
+
+let error_message resp =
+  match Json.member "error" resp with
+  | Some err -> (
+      match Option.bind (Json.member "message" err) Json.to_str with
+      | Some m -> m
+      | None -> "unknown error")
+  | None -> "unknown error"
+
+let run sock_path session timeout args =
+  let base = [ ("id", Json.Str "sharpec") ] in
+  let timeout_field =
+    match timeout with Some s -> [ ("timeout", Json.Num s) ] | None -> []
+  in
+  let req, print_result =
+    match args with
+    | [ "ping" ] ->
+        ( [ ("op", Json.Str "ping") ],
+          fun _ -> print_endline "pong" )
+    | [ "stats" ] ->
+        ( [ ("op", Json.Str "stats") ],
+          fun resp ->
+            print_endline
+              (Json.to_string
+                 (Option.value (Json.member "stats" resp) ~default:Json.Null)) )
+    | [ "shutdown" ] -> ([ ("op", Json.Str "shutdown") ], fun _ -> ())
+    | [ "eval"; path ] ->
+        let session_field =
+          match session with
+          | Some s -> [ ("session", Json.Str s) ]
+          | None -> []
+        in
+        ( [ ("op", Json.Str "eval"); ("src", Json.Str (read_file path)) ]
+          @ session_field @ timeout_field,
+          fun resp ->
+            (match Option.bind (Json.member "output" resp) Json.to_str with
+            | Some out -> print_string out
+            | None -> ());
+            match Option.bind (Json.member "failed_statements" resp) Json.to_float with
+            | Some f when f > 0.0 ->
+                Printf.eprintf "sharpec: %g statement(s) failed\n" f;
+                exit 1
+            | _ -> () )
+    | [ "query"; name; expr ] ->
+        ( [ ("op", Json.Str "query"); ("session", Json.Str name);
+            ("expr", Json.Str expr) ]
+          @ timeout_field,
+          fun resp ->
+            match Option.bind (Json.member "value" resp) Json.to_float with
+            | Some v -> Printf.printf "%.10g\n" v
+            | None -> () )
+    | [ "bind"; name; var; value ] -> (
+        match float_of_string_opt value with
+        | None -> fail "bind VALUE must be a number, got %S" value
+        | Some v ->
+            ( [ ("op", Json.Str "bind"); ("session", Json.Str name);
+                ("name", Json.Str var); ("value", Json.Num v) ],
+              fun _ -> () ))
+    | cmd :: _ -> fail "unknown or malformed command %S" cmd
+    | [] -> fail "missing command (eval|query|bind|ping|stats|shutdown)"
+  in
+  let resp = request sock_path (Json.to_string (Json.Obj (base @ req))) in
+  if is_ok resp then begin
+    print_result resp;
+    0
+  end
+  else begin
+    Printf.eprintf "sharpec: server error: %s\n" (error_message resp);
+    1
+  end
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"The daemon's Unix-domain socket.")
+
+let session =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "session" ] ~docv:"NAME"
+        ~doc:"Named session for $(i,eval) (created on first use).")
+
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request deadline.")
+
+let args =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"CMD"
+        ~doc:
+          "One of: $(b,eval) FILE, $(b,query) SESSION EXPR, $(b,bind) \
+           SESSION NAME VALUE, $(b,ping), $(b,stats), $(b,shutdown).")
+
+let cmd =
+  let doc = "client for the sharped evaluation daemon" in
+  Cmd.v (Cmd.info "sharpec" ~version:"2002-ocaml" ~doc)
+    Term.(const run $ socket $ session $ timeout $ args)
+
+let () = exit (Cmd.eval' cmd)

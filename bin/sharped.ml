@@ -1,0 +1,96 @@
+(* sharped: the SHARPE evaluation daemon.
+
+   Serves the newline-delimited JSON protocol of PROTOCOL.md on a
+   Unix-domain socket (--socket) or a loopback TCP port (--port).  The
+   process runs in the foreground until a client sends a shutdown
+   request; sharpec(1) is a matching command-line client. *)
+
+module Server = Sharpe_server.Server
+
+let run socket port host workers timeout max_bytes =
+  let config =
+    { Server.max_request_bytes = max_bytes;
+      default_timeout = timeout;
+      workers = max 1 workers }
+  in
+  match (socket, port) with
+  | Some _, Some _ ->
+      prerr_endline "sharped: --socket and --port are mutually exclusive";
+      Cmdliner.Cmd.Exit.cli_error
+  | None, None ->
+      prerr_endline "sharped: one of --socket PATH or --port PORT is required";
+      Cmdliner.Cmd.Exit.cli_error
+  | Some path, None ->
+      Server.serve ~config (`Unix path);
+      0
+  | None, Some port ->
+      Server.serve ~config (`Tcp (host, port));
+      0
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on the Unix-domain socket $(docv).")
+
+let port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Listen on TCP port $(docv).")
+
+let host =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST"
+        ~doc:"Address to bind with $(b,--port) (default loopback only).")
+
+let workers =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.workers
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains to pre-warm.  Requests multiplex onto these \
+           domains; more workers means more truly concurrent evaluations.")
+
+let timeout =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-request deadline applied when a request carries no \
+           $(i,timeout) field of its own (default: none).")
+
+let max_bytes =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_request_bytes
+    & info [ "max-request-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Reject request lines longer than $(docv) with an \
+           $(i,oversized) error response.")
+
+let cmd =
+  let doc = "SHARPE evaluation daemon" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Long-running evaluation server for the SHARPE language: clients \
+          send newline-delimited JSON requests (eval, bind, query, stats, \
+          ping, shutdown) and receive one JSON response line per request. \
+          Named sessions keep interpreter state (bindings, models, number \
+          format) alive between requests; structural solve caches and \
+          warm worker domains are shared across all requests, so repeated \
+          evaluations are much faster than one process per model file. \
+          See PROTOCOL.md for the wire format." ]
+  in
+  Cmd.v (Cmd.info "sharped" ~version:"2002-ocaml" ~doc ~man)
+    Term.(
+      const run $ socket $ port $ host $ workers $ timeout $ max_bytes)
+
+let () = exit (Cmd.eval' cmd)

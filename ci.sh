@@ -43,4 +43,55 @@ else
   [ "$status" -eq 2 ] || { echo "ci: expected exit 2, got $status" >&2; exit 1; }
 fi
 
+echo "== server smoke =="
+# start sharped on a temp socket, hit it with concurrent clients running
+# distinct examples, verify every output against the golden files, check
+# the daemon accumulated zero error diagnostics, and shut down cleanly
+sock="${TMPDIR:-/tmp}/sharpe_ci_$$.sock"
+smokedir="${TMPDIR:-/tmp}/sharpe_ci_$$"
+mkdir -p "$smokedir"
+# binaries were built by `dune build` above; run them directly so
+# concurrent clients do not contend for the dune build lock
+./_build/default/bin/sharped.exe --socket "$sock" --workers 4 &
+daemon=$!
+trap 'kill $daemon 2>/dev/null; rm -rf "$smokedir" "$sock"' EXIT
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "ci: sharped did not come up" >&2; exit 1; }
+  sleep 0.1
+done
+examples="molloy software mmmb cmmp database overlap pfqn916 wfs"
+clients=""
+for ex in $examples; do
+  ./_build/default/bin/sharpec.exe --socket "$sock" \
+    eval "examples/sharpe/$ex.sharpe" > "$smokedir/$ex.out" &
+  clients="$clients $!"
+done
+for pid in $clients; do
+  wait "$pid" || { echo "ci: a server smoke client failed" >&2; exit 1; }
+done
+for ex in $examples; do
+  if ! cmp -s "$smokedir/$ex.out" "test/golden/$ex.out"; then
+    echo "ci: server output for $ex differs from golden" >&2
+    diff "test/golden/$ex.out" "$smokedir/$ex.out" | head >&2
+    exit 1
+  fi
+done
+stats=$(./_build/default/bin/sharpec.exe --socket "$sock" stats)
+echo "$stats" | grep -q '"error_diagnostics":0' || {
+  echo "ci: daemon recorded error diagnostics: $stats" >&2
+  exit 1
+}
+./_build/default/bin/sharpec.exe --socket "$sock" shutdown
+i=0
+while kill -0 $daemon 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "ci: sharped did not shut down" >&2; exit 1; }
+  sleep 0.1
+done
+wait $daemon 2>/dev/null || true
+trap - EXIT
+rm -rf "$smokedir" "$sock"
+
 echo "ci: OK"

@@ -24,14 +24,17 @@ module Mpfqn = Sharpe_pfqn.Mpfqn
 module Net = Sharpe_petri.Net
 module Srn = Sharpe_petri.Srn
 module Pool = Sharpe_numerics.Pool
+module Deadline = Sharpe_numerics.Deadline
 
 exception Error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 
-(* Iteration budget for `while` loops (mutable so tests can exercise the
-   exhaustion path without a million iterations). *)
-let while_fuel_limit = ref 1_000_000
+(* Default iteration budget for `while` loops; each environment carries
+   its own copy (sessions must not leak configuration into each other),
+   overridable per environment so tests can exercise the exhaustion path
+   without a million iterations. *)
+let default_fuel_limit = 1_000_000
 
 (* --- instances ------------------------------------------------------ *)
 
@@ -88,6 +91,7 @@ type env = {
   mutable digits : int;
   mutable side : [ `Left | `Right ];
   mutable epsilons : (string * float) list;
+  mutable fuel_limit : int; (* iteration budget for `while` loops *)
   cache : (string * float list, int * instance) Hashtbl.t;
   print : string -> unit;
 }
@@ -99,12 +103,13 @@ type ctx = {
   in_func : bool;
 }
 
-let make_env ?(print = print_string) () =
+let make_env ?(print = print_string) ?(fuel_limit = default_fuel_limit) () =
   { table = Hashtbl.create 64;
     version = 0;
     digits = 6;
     side = `Left;
     epsilons = [];
+    fuel_limit;
     cache = Hashtbl.create 32;
     print }
 
@@ -230,6 +235,7 @@ and eval_call ctx f groups =
       let acc = ref 0.0 in
       let i = ref lo in
       while !i <= hi +. 1e-9 do
+        Deadline.check ();
         Hashtbl.replace tbl v !i;
         acc := !acc +. eval_expr ctx' body;
         i := !i +. 1.0
@@ -270,6 +276,7 @@ and exec_stmts ctx stmts : float option =
     None stmts
 
 and exec_stmt ctx stmt : float option =
+  Deadline.check ();
   match stmt with
   | SFormat e ->
       ctx.env.digits <- int_of_float (eval_expr ctx e);
@@ -321,9 +328,10 @@ and exec_stmt ctx stmt : float option =
       go clauses
   | SWhile (cond, body) ->
       let last = ref None in
-      let fuel = ref !while_fuel_limit in
+      let fuel = ref ctx.env.fuel_limit in
       let continue_ = ref (truthy (eval_expr ctx cond)) in
       while !continue_ && !fuel > 0 do
+        Deadline.check ();
         (match exec_stmts ctx body with Some v -> last := Some v | None -> ());
         decr fuel;
         continue_ := truthy (eval_expr ctx cond)
@@ -344,6 +352,7 @@ and exec_stmt ctx stmt : float option =
       let values =
         let acc = ref [] and x = ref lo in
         while continues !x do
+          Deadline.check ();
           acc := !x :: !acc;
           x := !x +. step
         done;

@@ -30,7 +30,17 @@ type outcome = {
   failed_statements : int;
 }
 
-let run_program ?(print = print_string) src =
+(* Parse and execute [src] against an EXISTING environment with
+   per-statement error recovery, collecting diagnostics into a fresh
+   sink.  This is the shared core of the batch runner ([run_program],
+   fresh environment per call) and the evaluation server's sessions
+   (persistent environment, one call per request).
+
+   A [Deadline.Timed_out] is deliberately NOT recovered per-statement:
+   a cancellation must unwind the whole evaluation, so it propagates to
+   the caller (the sink machinery is exception-safe; output printed so
+   far is still in the caller's buffer). *)
+let exec_with_recovery env src =
   let sink = Diag.create_sink () in
   let failed = ref 0 in
   Diag.with_sink sink (fun () ->
@@ -39,7 +49,7 @@ let run_program ?(print = print_string) src =
           Some
             (Parser.parse_string
                ~warn:(fun w ->
-                 print (w ^ "\n");
+                 env.Eval.print (w ^ "\n");
                  Diag.emit Diag.Warning ~solver:"lexer" w)
                src)
         with Parser.Parse_error msg ->
@@ -50,7 +60,6 @@ let run_program ?(print = print_string) src =
       match stmts with
       | None -> ()
       | Some stmts ->
-          let env = Eval.make_env ~print () in
           let ctx = Eval.base_ctx env in
           (* one failing statement aborts neither the file nor the
              remaining statements: its error becomes a diagnostic *)
@@ -70,6 +79,9 @@ let run_program ?(print = print_string) src =
             stmts);
   { diagnostics = Diag.records sink; failed_statements = !failed }
 
+let run_program ?(print = print_string) ?fuel_limit src =
+  exec_with_recovery (Eval.make_env ~print ?fuel_limit ()) src
+
 let run_program_file ?print path =
   match read_file path with
   | src -> run_program ?print src
@@ -83,3 +95,50 @@ let run_program_file ?print path =
               residual = None;
               tolerance = None } ];
         failed_statements = 1 }
+
+(* --- sessions ---------------------------------------------------------- *)
+
+(* A session is a persistent interpreter environment: bindings, function
+   and model definitions, number-format state, epsilons and the instance
+   cache all survive across [eval] calls, while output and diagnostics
+   are collected per call.  Everything mutable lives inside the session's
+   [Eval.env] (the PR-1 interpreter kept this state per-run already; the
+   fuel limit was the last process-global and now lives in the env too),
+   so two sessions can evaluate concurrently on different domains without
+   observing each other — the evaluation server relies on exactly that. *)
+
+module Session = struct
+  type t = {
+    senv : Eval.env;
+    sbuf : Buffer.t ref; (* swapped fresh for every eval *)
+    mutable evals : int;
+  }
+
+  let create ?fuel_limit () =
+    let sbuf = ref (Buffer.create 256) in
+    let print s = Buffer.add_string !sbuf s in
+    { senv = Eval.make_env ~print ?fuel_limit (); sbuf; evals = 0 }
+
+  let pending_output t = Buffer.contents !(t.sbuf)
+  let eval_count t = t.evals
+
+  let eval t src =
+    t.sbuf := Buffer.create 1024;
+    t.evals <- t.evals + 1;
+    let outcome = exec_with_recovery t.senv src in
+    (Buffer.contents !(t.sbuf), outcome)
+
+  let bind t name value =
+    Eval.set_binding t.senv name (Eval.Val value)
+
+  let query t src =
+    match Parser.parse_expression src with
+    | exception Parser.Parse_error msg -> Error msg
+    | e -> (
+        match Eval.eval_expr (Eval.base_ctx t.senv) e with
+        | v -> Ok v
+        | exception (Eval.Error msg | Failure msg | Invalid_argument msg) ->
+            Error msg
+        | exception Sharpe_numerics.Linsolve.Singular ->
+            Error "singular linear system (model has no unique solution)")
+end

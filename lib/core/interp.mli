@@ -24,11 +24,54 @@ type outcome = {
       (** statements (or whole-file parses) aborted by an error *)
 }
 
-val run_program : ?print:(string -> unit) -> string -> outcome
+val run_program :
+  ?print:(string -> unit) -> ?fuel_limit:int -> string -> outcome
 (** Like {!run_string} but never raises on program errors: parse errors and
     per-statement evaluation errors become diagnostics, and execution
-    continues with the next statement. *)
+    continues with the next statement.  [?fuel_limit] bounds `while`-loop
+    iterations for this run only (default one million).  A
+    {!Sharpe_numerics.Deadline.Timed_out} is NOT recovered — cancellation
+    unwinds the whole run and propagates to the caller. *)
 
 val run_program_file : ?print:(string -> unit) -> string -> outcome
 (** {!run_program} on a file; an unreadable file yields a single error
     diagnostic rather than an exception. *)
+
+(** {1 Sessions}
+
+    A session is a persistent interpreter environment: bindings, function
+    and model definitions, number-format state, epsilons, the while-loop
+    fuel budget and the per-environment instance cache all survive across
+    {!Session.eval} calls; printed output and diagnostics are collected
+    per call.  No interpreter state is process-global, so concurrent
+    sessions on different domains never observe each other's bindings,
+    outputs or diagnostics — the evaluation server keeps one session per
+    client-chosen name and serializes calls into each. *)
+
+module Session : sig
+  type t
+
+  val create : ?fuel_limit:int -> unit -> t
+
+  val eval : t -> string -> string * outcome
+  (** Execute a program fragment against the session environment with
+      per-statement error recovery; returns everything it printed plus
+      the run's diagnostics.  Raises {!Sharpe_numerics.Deadline.Timed_out}
+      if a surrounding deadline expires (state mutated by already-executed
+      statements remains — see PROTOCOL.md). *)
+
+  val bind : t -> string -> float -> unit
+  (** Bind a numeric constant in the session environment (like a [bind]
+      statement, without echo). *)
+
+  val query : t -> string -> (float, string) result
+  (** Parse and evaluate one expression against the session environment.
+      Analysis builtins over models defined by earlier [eval]s work;
+      errors come back as [Error message] rather than raising. *)
+
+  val pending_output : t -> string
+  (** Output printed by the current/last [eval] — used to salvage partial
+      output after a timeout. *)
+
+  val eval_count : t -> int
+end

@@ -277,8 +277,13 @@ let srn_key (ctx : Eval.ctx) ~places ~timed ~immediate ~inputs ~outputs
 
 (* --- the two cache tables --------------------------------------------- *)
 
+(* Skeletons are immutable, so the table is process-shared (one mutex):
+   a skeleton explored while serving one evaluation-server request is a
+   hit for every later request on any worker domain.  The instance table
+   stays domain-local — a solved Srn.t carries mutable measure caches
+   that must never be touched by two domains. *)
 let skeleton_cache : Reach.skeleton Structhash.Table.t =
-  Structhash.Table.create "srn_skeleton"
+  Structhash.Table.create ~shared:true "srn_skeleton"
 
 let instance_cache : Srn.t Structhash.Table.t =
   Structhash.Table.create "srn_instance"

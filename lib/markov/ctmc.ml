@@ -129,6 +129,7 @@ let transient_many ?(eps = 1e-12) c ~init ts =
       let k = ref 0 in
       let finished = ref false in
       while not !finished do
+        Deadline.check ();
         let kk = !k in
         if kk >= w.Poisson.left then begin
           let wk = w.Poisson.weights.(kk - w.Poisson.left) in
@@ -189,6 +190,7 @@ let cumulative ?(eps = 1e-12) c ~init t =
     let continue_ = ref true in
     let truncated = ref false in
     while !continue_ do
+      Deadline.check ();
       let wk = Float.max 0.0 (!survivor /. lambda) in
       if wk > 0.0 then begin
         wsum := !wsum +. wk;

@@ -1,0 +1,32 @@
+exception Timed_out
+
+(* One deadline per domain: the pool's worker domains each run one job at
+   a time, so domain-local storage gives every job its own budget without
+   any synchronization on the hot [check] path. *)
+let key : float option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Domain.DLS.get key)
+let active () = current () <> None
+
+let check () =
+  match !(Domain.DLS.get key) with
+  | None -> ()
+  | Some d -> if Unix.gettimeofday () > d then raise Timed_out
+
+let remaining () =
+  match current () with
+  | None -> None
+  | Some d -> Some (d -. Unix.gettimeofday ())
+
+let with_until t f =
+  let r = Domain.DLS.get key in
+  let saved = !r in
+  let eff = match saved with None -> t | Some outer -> Float.min t outer in
+  r := Some eff;
+  Fun.protect ~finally:(fun () -> r := saved) (fun () ->
+      check ();
+      f ())
+
+let with_timeout s f = with_until (Unix.gettimeofday () +. s) f
+let with_current d f = match d with None -> f () | Some t -> with_until t f

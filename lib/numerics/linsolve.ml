@@ -116,6 +116,7 @@ let sor_rate ?(max_iter = 100_000) ?(tol = 1e-12) ?(omega = 1.0) ?x0 a b =
   let prev = ref nan and rho = ref nan in
   let diverged = ref false and continue_ = ref true in
   while !continue_ do
+    Deadline.check ();
     incr k;
     let d = sweep ~omega a b x in
     delta := d;
@@ -266,6 +267,7 @@ let dtmc_steady_state ?(max_iter = 1_000_000) ?(tol = 1e-13) p =
     let xprev = ref (Array.copy !x) in
     let k = ref 0 and delta = ref infinity and oscillating = ref false in
     while !delta > tol && !k < max_iter && not !oscillating do
+      Deadline.check ();
       let x' = Sparse.vec_mat !x p in
       normalize_l1 x';
       let d = ref 0.0 and d2 = ref 0.0 in
@@ -349,6 +351,7 @@ let ctmc_sweeps ~omega ~max_iter ~tol qt x =
   let k = ref 0 and delta = ref infinity in
   let prev = ref nan and rho = ref nan in
   while !delta > tol && !k < max_iter do
+    Deadline.check ();
     let d = ref 0.0 in
     for i = 0 to n - 1 do
       let diag = ref 0.0 and s = ref 0.0 in

@@ -1,7 +1,16 @@
-(* Domain-based parallel pool for independent sweep iterations.
+(* Persistent domain pool: a shared job queue served by long-lived worker
+   domains.
 
-   [run n f] evaluates [f 0 .. f (n-1)] across at most [jobs] domains and
-   returns the results in index order.  Determinism contract:
+   PR 2 introduced this module as a one-shot fork/join helper: every
+   [run] spawned fresh domains and joined them before returning.  The
+   evaluation server turns that into a poor fit — each request would pay
+   domain startup, and concurrent requests would each spawn their own
+   domains and oversubscribe the machine.  The pool is therefore now
+   persistent: worker domains are spawned on first use, block on a global
+   queue, and are shared by every client in the process (batch [run]
+   calls and server [submit] jobs alike).
+
+   [run n f] keeps its PR-2 determinism contract exactly:
 
    - results are returned in index order regardless of completion order;
    - diagnostics emitted inside a task are captured in a task-local sink
@@ -11,11 +20,21 @@
    - if any task raises, the exception of the LOWEST index is re-raised
      on the calling domain (matching what a serial left-to-right loop
      would have surfaced), after the diagnostics of the tasks before it
-     have been replayed.
+     have been replayed;
+   - nested calls never spawn: a task that itself calls [run] (detected
+     via a domain-local flag) executes sequentially, so the pool cannot
+     oversubscribe or deadlock on recursive parallelism.
 
-   Nested calls never spawn: a task that itself calls [run] (detected via
-   a domain-local flag) executes sequentially, so the pool cannot
-   oversubscribe or deadlock on recursive parallelism. *)
+   The calling domain participates in its own batch (it claims task
+   indices like any worker), so [run] is never slower than the old
+   fork/join shape; batch tasks re-install the caller's {!Deadline} so a
+   timeout covers parallel iterations too.
+
+   [submit]/[await] expose the queue directly for the evaluation server:
+   a job is a single closure with an optional deadline, executed on some
+   worker domain, its result or exception handed back to the awaiting
+   thread.  Jobs do not capture diagnostics — a server job installs its
+   own session sink. *)
 
 let jobs_ref = Atomic.make 1
 
@@ -36,6 +55,70 @@ let in_worker_key : bool ref Domain.DLS.key =
 
 let in_worker () = !(Domain.DLS.get in_worker_key)
 
+(* --- the shared queue and its worker domains --------------------------- *)
+
+let qmutex = Mutex.create ()
+let qcond = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let worker_handles : unit Domain.t list ref = ref [] (* guarded by qmutex *)
+let live_workers = ref 0 (* guarded by qmutex *)
+let stopping = ref false (* guarded by qmutex *)
+
+let worker_main () =
+  (* the flag stays set for the worker's whole life: anything executed
+     here — batch tasks and server jobs alike — must not re-enter the
+     pool in parallel *)
+  Domain.DLS.get in_worker_key := true;
+  let rec loop () =
+    Mutex.lock qmutex;
+    while Queue.is_empty queue && not !stopping do
+      Condition.wait qcond qmutex
+    done;
+    match Queue.take_opt queue with
+    | None ->
+        (* stopping and drained *)
+        Mutex.unlock qmutex
+    | Some task ->
+        Mutex.unlock qmutex;
+        (* tasks store their own outcome and must not raise; a raise here
+           would kill the worker, so swallow as a last resort *)
+        (try task () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let ensure_workers target =
+  if target > 0 then
+    Mutex.protect qmutex (fun () ->
+        if not !stopping then
+          while !live_workers < target do
+            worker_handles := Domain.spawn worker_main :: !worker_handles;
+            incr live_workers
+          done)
+
+let workers () = Mutex.protect qmutex (fun () -> !live_workers)
+
+let enqueue tasks =
+  Mutex.protect qmutex (fun () ->
+      List.iter (fun t -> Queue.add t queue) tasks;
+      Condition.broadcast qcond)
+
+let shutdown () =
+  let handles =
+    Mutex.protect qmutex (fun () ->
+        stopping := true;
+        Condition.broadcast qcond;
+        let hs = !worker_handles in
+        worker_handles := [];
+        hs)
+  in
+  List.iter Domain.join handles;
+  Mutex.protect qmutex (fun () ->
+      live_workers := 0;
+      stopping := false)
+
+(* --- fork/join batches ------------------------------------------------- *)
+
 type 'a outcome = Done of 'a | Raised of exn * Printexc.raw_backtrace
 
 let run_seq n f = Array.init n f
@@ -45,32 +128,47 @@ let run n f =
   if n <= 0 then [||]
   else if j <= 1 || n = 1 || in_worker () then run_seq n f
   else begin
+    let deadline = Deadline.current () in
     let slots = Array.make n None in
     let next = Atomic.make 0 in
-    let work () =
+    let remaining = Atomic.make n in
+    let bmutex = Mutex.create () and bcond = Condition.create () in
+    (* claim-and-run loop shared by the calling domain and any worker
+       that picks up this batch's token from the queue *)
+    let work_one () =
       let flag = Domain.DLS.get in_worker_key in
+      let saved = !flag in
       flag := true;
-      let continue_ = ref true in
-      while !continue_ do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n then continue_ := false
-        else begin
-          (* capture this task's diagnostics even when it raises *)
-          let sink = Diag.create_sink () in
-          let outcome =
-            Diag.with_sink sink (fun () ->
-                try Done (f i)
-                with e -> Raised (e, Printexc.get_raw_backtrace ()))
-          in
-          slots.(i) <- Some (outcome, Diag.records sink)
-        end
-      done
+      Fun.protect
+        ~finally:(fun () -> flag := saved)
+        (fun () ->
+          let continue_ = ref true in
+          while !continue_ do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n then continue_ := false
+            else begin
+              (* capture this task's diagnostics even when it raises *)
+              let sink = Diag.create_sink () in
+              let outcome =
+                Diag.with_sink sink (fun () ->
+                    try Done (Deadline.with_current deadline (fun () -> f i))
+                    with e -> Raised (e, Printexc.get_raw_backtrace ()))
+              in
+              slots.(i) <- Some (outcome, Diag.records sink);
+              if Atomic.fetch_and_add remaining (-1) = 1 then
+                Mutex.protect bmutex (fun () -> Condition.broadcast bcond)
+            end
+          done)
     in
-    let spawned =
-      Array.init (min (j - 1) (n - 1)) (fun _ -> Domain.spawn work)
-    in
-    work ();
-    Array.iter Domain.join spawned;
+    let helpers = min (j - 1) (n - 1) in
+    ensure_workers helpers;
+    enqueue (List.init helpers (fun _ -> work_one));
+    work_one ();
+    Mutex.lock bmutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait bcond bmutex
+    done;
+    Mutex.unlock bmutex;
     (* replay diagnostics in index order, stopping at the first failure *)
     let first_exn = ref None in
     Array.iter
@@ -93,3 +191,39 @@ let run n f =
         | _ -> assert false (* every task finished and none raised *))
       slots
   end
+
+(* --- single jobs for the evaluation server ----------------------------- *)
+
+type 'a job = {
+  jmutex : Mutex.t;
+  jcond : Condition.t;
+  mutable jstate : 'a outcome option;
+}
+
+let submit ?deadline f =
+  ensure_workers 1;
+  let job = { jmutex = Mutex.create (); jcond = Condition.create (); jstate = None } in
+  let task () =
+    let outcome =
+      try Done (Deadline.with_current deadline f)
+      with e -> Raised (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.protect job.jmutex (fun () ->
+        job.jstate <- Some outcome;
+        Condition.broadcast job.jcond)
+  in
+  enqueue [ task ];
+  job
+
+let await job =
+  Mutex.lock job.jmutex;
+  let rec wait () =
+    match job.jstate with
+    | None ->
+        Condition.wait job.jcond job.jmutex;
+        wait ()
+    | Some outcome -> outcome
+  in
+  let outcome = wait () in
+  Mutex.unlock job.jmutex;
+  match outcome with Done v -> Ok v | Raised (e, bt) -> Error (e, bt)

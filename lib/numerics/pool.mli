@@ -1,16 +1,22 @@
-(** Domain-based parallel pool for independent sweep iterations.
+(** Persistent domain pool: a shared job queue served by long-lived
+    worker domains.
 
-    The pool evaluates a batch of independent tasks across at most
-    {!jobs} domains while preserving serial observable order: results
-    come back in index order, diagnostics emitted inside tasks are
-    replayed on the calling domain in index order (byte-identical to a
-    serial run), and the exception of the lowest-index failing task is
-    the one re-raised.  Nested {!run} calls execute sequentially instead
-    of spawning, so recursive parallelism cannot oversubscribe. *)
+    Worker domains are spawned on first use and then shared by every
+    client in the process: parallel sweep batches ({!run}) and the
+    evaluation server's per-request jobs ({!submit}) drain the same
+    queue, so concurrent requests multiplex onto a bounded set of
+    domains instead of each spawning their own.
+
+    {!run} preserves serial observable order exactly: results come back
+    in index order, diagnostics emitted inside tasks are replayed on the
+    calling domain in index order (byte-identical to a serial run), and
+    the exception of the lowest-index failing task is the one re-raised.
+    Nested {!run} calls execute sequentially instead of spawning, so
+    recursive parallelism cannot oversubscribe. *)
 
 val set_jobs : ?clamp:bool -> int -> unit
-(** Set the concurrency budget (1 = serial).  Wired to [sharpe --jobs N].
-    By default the value is clamped to
+(** Set the batch concurrency budget (1 = serial).  Wired to
+    [sharpe --jobs N].  By default the value is clamped to
     [Domain.recommended_domain_count ()] — oversubscribing domains is
     strictly slower than serial because every minor collection
     synchronizes all of them.  [~clamp:false] keeps the requested value
@@ -19,8 +25,17 @@ val set_jobs : ?clamp:bool -> int -> unit
 val jobs : unit -> int
 
 val in_worker : unit -> bool
-(** [true] while executing inside a pool task — used by callers to avoid
-    offering parallelism from within parallelism. *)
+(** [true] while executing on a pool worker domain or inside a batch
+    task — used by callers to avoid offering parallelism from within
+    parallelism. *)
+
+val ensure_workers : int -> unit
+(** Spawn worker domains until at least that many are alive.  {!run} and
+    {!submit} call this themselves; the evaluation server calls it at
+    startup to pre-warm its configured worker count. *)
+
+val workers : unit -> int
+(** Number of live worker domains. *)
 
 val run : int -> (int -> 'a) -> 'a array
 (** [run n f] is [[| f 0; ...; f (n-1) |]], evaluated concurrently when
@@ -28,4 +43,24 @@ val run : int -> (int -> 'a) -> 'a array
     another task mutates.  Diagnostics emitted by [f i] are captured and
     replayed in index order after all tasks complete; if any task raised,
     the lowest-index exception is re-raised (with its backtrace) after
-    the diagnostics of the tasks preceding it were replayed. *)
+    the diagnostics of the tasks preceding it were replayed.  The calling
+    domain's {!Deadline} (if any) is re-installed around every task, so a
+    timeout bounds parallel iterations too. *)
+
+(** {1 Single jobs (the evaluation server's request scheduler)} *)
+
+type 'a job
+
+val submit : ?deadline:float -> (unit -> 'a) -> 'a job
+(** Enqueue one closure for execution on a worker domain (spawning one if
+    none exist).  [?deadline] is an absolute wall-clock instant installed
+    via {!Deadline.with_until} around the closure, so cooperative
+    cancellation points inside raise {!Deadline.Timed_out}.  The job does
+    not capture diagnostics — install a sink inside the closure. *)
+
+val await : 'a job -> ('a, exn * Printexc.raw_backtrace) result
+(** Block (the calling thread, not the runtime) until the job finishes. *)
+
+val shutdown : unit -> unit
+(** Stop and join every worker domain after the queue drains.  The pool
+    restarts lazily on the next {!run}/{!submit}. *)

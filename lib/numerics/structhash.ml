@@ -95,26 +95,41 @@ let report () =
     (stats ())
 
 module Table = struct
-  type 'a t = {
-    hits : int Atomic.t;
-    misses : int Atomic.t;
-    slot : (int * (string, 'a) Hashtbl.t) ref Domain.DLS.key;
-  }
+  (* Two storage shapes:
 
-  let create name =
+     - [Local]: one table per domain (via DLS).  The only choice for
+       cached values that carry mutable state (solved SRN instances with
+       their accumulated measure caches, BDD managers): they are never
+       observed by two domains, so no synchronization is needed and no
+       cross-domain mutation race can exist.
+
+     - [Shared]: one mutex-protected table for the whole process.  Only
+       sound for IMMUTABLE cached values (reachability skeletons), but
+       then strictly better for the evaluation server: a skeleton
+       explored while serving one request is a hit for every later
+       request regardless of which worker domain it lands on. *)
+  type 'a store =
+    | Local of (int * (string, 'a) Hashtbl.t) ref Domain.DLS.key
+    | Shared of Mutex.t * (int * (string, 'a) Hashtbl.t) ref
+
+  type 'a t = { hits : int Atomic.t; misses : int Atomic.t; store : 'a store }
+
+  let create ?(shared = false) name =
     let hits = Atomic.make 0 and misses = Atomic.make 0 in
     Mutex.protect registry_mutex (fun () ->
         registry := (name, hits, misses) :: !registry);
-    {
-      hits;
-      misses;
-      slot =
-        Domain.DLS.new_key (fun () ->
-            ref (Atomic.get generation, Hashtbl.create 64));
-    }
+    let store =
+      if shared then
+        Shared (Mutex.create (), ref (Atomic.get generation, Hashtbl.create 64))
+      else
+        Local
+          (Domain.DLS.new_key (fun () ->
+               ref (Atomic.get generation, Hashtbl.create 64)))
+    in
+    { hits; misses; store }
 
-  let table t =
-    let r = Domain.DLS.get t.slot in
+  (* The caller must hold the table's mutex when the store is [Shared]. *)
+  let table_of_ref r =
     let gen, tbl = !r in
     let cur = Atomic.get generation in
     if gen = cur then tbl
@@ -126,18 +141,45 @@ module Table = struct
 
   let find_or_add t key compute =
     if not (enabled ()) then compute ()
-    else begin
-      let tbl = table t in
-      match Hashtbl.find_opt tbl key with
-      | Some v ->
-          Atomic.incr t.hits;
-          v
-      | None ->
-          Atomic.incr t.misses;
-          let v = compute () in
-          Hashtbl.add tbl key v;
-          v
-    end
+    else
+      match t.store with
+      | Local slot -> (
+          let tbl = table_of_ref (Domain.DLS.get slot) in
+          match Hashtbl.find_opt tbl key with
+          | Some v ->
+              Atomic.incr t.hits;
+              v
+          | None ->
+              Atomic.incr t.misses;
+              let v = compute () in
+              Hashtbl.add tbl key v;
+              v)
+      | Shared (m, r) -> (
+          let found =
+            Mutex.protect m (fun () ->
+                Hashtbl.find_opt (table_of_ref r) key)
+          in
+          match found with
+          | Some v ->
+              Atomic.incr t.hits;
+              v
+          | None ->
+              Atomic.incr t.misses;
+              (* compute OUTSIDE the lock: a slow exploration must not
+                 stall every other domain's lookups.  Two domains may
+                 race to compute the same key; both results are built
+                 from identical structure, so last-write-wins is
+                 harmless (one redundant solve, never a wrong one). *)
+              let v = compute () in
+              Mutex.protect m (fun () ->
+                  Hashtbl.replace (table_of_ref r) key v);
+              v)
 
-  let find_opt t key = if not (enabled ()) then None else Hashtbl.find_opt (table t) key
+  let find_opt t key =
+    if not (enabled ()) then None
+    else
+      match t.store with
+      | Local slot -> Hashtbl.find_opt (table_of_ref (Domain.DLS.get slot)) key
+      | Shared (m, r) ->
+          Mutex.protect m (fun () -> Hashtbl.find_opt (table_of_ref r) key)
 end

@@ -7,10 +7,16 @@
     cache hit can only ever return a value computed from an identical
     structure.
 
-    {!Table}s are domain-local: each domain of the parallel pool sees its
-    own storage, so cached values containing mutable state (BDD managers,
-    reachability skeletons) are never shared across domains.  Hit/miss
-    counters are global and surfaced through {!Diag} by {!report}. *)
+    {!Table}s are domain-local by default: each domain of the parallel
+    pool sees its own storage, so cached values containing mutable state
+    (BDD managers, solved SRN instances) are never shared across domains.
+    Tables created with [~shared:true] instead keep one mutex-protected
+    store for the whole process — sound only for immutable cached values,
+    and what lets the evaluation server's requests warm each other's
+    caches regardless of which worker domain serves them.  Hit/miss
+    counters and the table registry are synchronized (atomics behind a
+    mutex-protected registry) and surfaced through {!Diag} by
+    {!report}. *)
 
 (** {1 Key construction} *)
 
@@ -61,9 +67,13 @@ val report : unit -> unit
 module Table : sig
   type 'a t
 
-  val create : string -> 'a t
+  val create : ?shared:bool -> string -> 'a t
   (** [create name] registers a table under [name] for {!stats}.  Call at
-      module initialization, once per cache site. *)
+      module initialization, once per cache site.  [~shared:true] uses
+      one mutex-protected store for the whole process instead of one
+      store per domain — only sound when the cached values are immutable
+      (the computing function may run twice for a racing key; the results
+      must be interchangeable). *)
 
   val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
   (** [find_or_add t key compute] returns the cached value for [key] or

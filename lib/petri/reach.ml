@@ -67,6 +67,7 @@ let explore_skeleton ?(max_markings = 200_000) n =
   ignore (intern m0);
   let succs = ref [] and vans = ref [] in
   while not (Queue.is_empty queue) do
+    Deadline.check ();
     let i, m = Queue.pop queue in
     let en = Net.enabled n m in
     let vanishing = Net.is_vanishing n m in

@@ -1,0 +1,109 @@
+module Diag = Sharpe_numerics.Diag
+
+type request =
+  | Ping
+  | Eval of { session : string option; src : string; timeout : float option }
+  | Bind of { session : string; name : string; value : float }
+  | Query of { session : string; expr : string; timeout : float option }
+  | Stats
+  | Shutdown
+
+let op_name = function
+  | Ping -> "ping"
+  | Eval _ -> "eval"
+  | Bind _ -> "bind"
+  | Query _ -> "query"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+type parsed = { id : Json.t; req : (request, string) result }
+
+let str_field obj name =
+  match Json.member name obj with
+  | Some (Json.Str s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_str_field obj name =
+  match Json.member name obj with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let num_field obj name =
+  match Json.member name obj with
+  | Some (Json.Num x) -> Ok x
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_timeout obj =
+  match Json.member "timeout" obj with
+  | Some (Json.Num x) when x > 0.0 -> Ok (Some x)
+  | Some (Json.Num _) -> Error "field \"timeout\" must be a positive number"
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error "field \"timeout\" must be a positive number"
+
+let ( let* ) = Result.bind
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> { id = Json.Null; req = Error ("malformed JSON: " ^ msg) }
+  | Ok (Json.Obj _ as obj) ->
+      let id = Option.value (Json.member "id" obj) ~default:Json.Null in
+      let req =
+        let* op = str_field obj "op" in
+        match op with
+        | "ping" -> Ok Ping
+        | "eval" ->
+            let* src = str_field obj "src" in
+            let* session = opt_str_field obj "session" in
+            let* timeout = opt_timeout obj in
+            Ok (Eval { session; src; timeout })
+        | "bind" ->
+            let* session = str_field obj "session" in
+            let* name = str_field obj "name" in
+            let* value = num_field obj "value" in
+            Ok (Bind { session; name; value })
+        | "query" ->
+            let* session = str_field obj "session" in
+            let* expr = str_field obj "expr" in
+            let* timeout = opt_timeout obj in
+            Ok (Query { session; expr; timeout })
+        | "stats" -> Ok Stats
+        | "shutdown" -> Ok Shutdown
+        | op -> Error (Printf.sprintf "unknown op %S" op)
+      in
+      { id; req }
+  | Ok _ -> { id = Json.Null; req = Error "request must be a JSON object" }
+
+let ok ~id fields =
+  Json.to_string (Json.Obj (("id", id) :: ("ok", Json.Bool true) :: fields))
+
+let error ~id ~kind ?(extra = []) message =
+  Json.to_string
+    (Json.Obj
+       (("id", id) :: ("ok", Json.Bool false)
+       :: ( "error",
+            Json.Obj [ ("kind", Json.Str kind); ("message", Json.Str message) ]
+          )
+       :: extra))
+
+let diagnostics_json records =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("severity", Json.Str (Diag.severity_to_string r.Diag.severity));
+             ("solver", Json.Str r.Diag.solver);
+             ("context", Json.List (List.map (fun c -> Json.Str c) r.Diag.context));
+             ("message", Json.Str r.Diag.message);
+             ( "iterations",
+               match r.Diag.iterations with
+               | Some i -> Json.Num (float_of_int i)
+               | None -> Json.Null );
+             ( "residual",
+               match r.Diag.residual with Some x -> Json.Num x | None -> Json.Null );
+             ( "tolerance",
+               match r.Diag.tolerance with Some x -> Json.Num x | None -> Json.Null )
+           ])
+       records)

@@ -1,0 +1,39 @@
+(** The sharped wire protocol: newline-delimited JSON requests and
+    responses.  PROTOCOL.md is the normative description; this module is
+    its implementation. *)
+
+type request =
+  | Ping
+  | Eval of { session : string option; src : string; timeout : float option }
+  | Bind of { session : string; name : string; value : float }
+  | Query of { session : string; expr : string; timeout : float option }
+  | Stats
+  | Shutdown
+
+val op_name : request -> string
+(** The protocol op string (["eval"], ["bind"], ...) — keys the per-op
+    latency histograms. *)
+
+type parsed = {
+  id : Json.t;  (** echoed verbatim in the response; [Null] when absent *)
+  req : (request, string) result;
+}
+
+val parse_request : string -> parsed
+(** Parse one request line.  Malformed JSON, a non-object, an unknown
+    [op] or missing/ill-typed fields yield [req = Error message] with the
+    best-effort [id] still extracted for the error response. *)
+
+(** {1 Response builders} — every function returns one complete response
+    line WITHOUT the trailing newline. *)
+
+val ok : id:Json.t -> (string * Json.t) list -> string
+(** [{"id":..,"ok":true, ...fields}] *)
+
+val error :
+  id:Json.t -> kind:string -> ?extra:(string * Json.t) list -> string -> string
+(** [{"id":..,"ok":false,"error":{"kind":..,"message":..}, ...extra}] *)
+
+val diagnostics_json : Sharpe_numerics.Diag.record list -> Json.t
+(** The PR-1 structured diagnostics as a JSON array (same field names as
+    [sharpe --diagnostics json]). *)

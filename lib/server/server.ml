@@ -1,0 +1,295 @@
+module Pool = Sharpe_numerics.Pool
+module Deadline = Sharpe_numerics.Deadline
+module Diag = Sharpe_numerics.Diag
+module Interp = Sharpe_lang.Interp
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  max_request_bytes : int;
+  default_timeout : float option;
+  workers : int;
+}
+
+let default_config =
+  { max_request_bytes = 1 lsl 20; default_timeout = None; workers = 2 }
+
+(* A named session: the interpreter environment plus the mutex that
+   serializes requests into it.  Requests against different sessions run
+   concurrently; requests against the same session queue on [slock]. *)
+type session_entry = { slock : Mutex.t; sess : Interp.Session.t }
+
+type state = {
+  config : config;
+  stats : Stats.t;
+  reg_mutex : Mutex.t;  (** guards [sessions] *)
+  sessions : (string, session_entry) Hashtbl.t;
+  stop : bool Atomic.t;
+  conn_mutex : Mutex.t;  (** guards [conns] *)
+  mutable conns : Unix.file_descr list;
+}
+
+(* --- socket helpers ---------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let send_line fd line = write_all fd (line ^ "\n")
+
+(* Feed [on_line] every newline-terminated line.  Lines longer than
+   [max_bytes] are truncated to a [`Oversized] marker delivered once the
+   terminating newline (or EOF) arrives, so one hostile line cannot make
+   the daemon buffer unbounded input.  [on_line] returns [false] to close
+   the connection. *)
+let read_lines fd max_bytes on_line =
+  let buf = Buffer.create 512 in
+  let overflow = ref false in
+  let chunk = Bytes.create 8192 in
+  let continue_ = ref true in
+  while !continue_ do
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 | (exception Unix.Unix_error (_, _, _)) -> continue_ := false
+    | n ->
+        let i = ref 0 in
+        while !continue_ && !i < n do
+          (match Bytes.get chunk !i with
+          | '\n' ->
+              let line = Buffer.contents buf in
+              Buffer.clear buf;
+              let ov = !overflow in
+              overflow := false;
+              if not (on_line (if ov then Error `Oversized else Ok line)) then
+                continue_ := false
+          | c ->
+              if Buffer.length buf >= max_bytes then overflow := true
+              else Buffer.add_char buf c);
+          incr i
+        done
+  done
+
+(* --- sessions ----------------------------------------------------------- *)
+
+let get_session st name =
+  Mutex.protect st.reg_mutex (fun () ->
+      match Hashtbl.find_opt st.sessions name with
+      | Some e -> e
+      | None ->
+          let e = { slock = Mutex.create (); sess = Interp.Session.create () } in
+          Hashtbl.add st.sessions name e;
+          e)
+
+let session_count st =
+  Mutex.protect st.reg_mutex (fun () -> Hashtbl.length st.sessions)
+
+let with_session st session f =
+  match session with
+  | None ->
+      (* sessionless request: a throwaway environment, discarded after *)
+      f { slock = Mutex.create (); sess = Interp.Session.create () }
+  | Some name ->
+      let e = get_session st name in
+      Mutex.lock e.slock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock e.slock) (fun () -> f e)
+
+let deadline_of st timeout =
+  match (timeout, st.config.default_timeout) with
+  | Some s, _ | None, Some s -> Some (Unix.gettimeofday () +. s)
+  | None, None -> None
+
+(* --- request handlers --------------------------------------------------- *)
+
+let count_error_diags records =
+  List.length
+    (List.filter (fun r -> r.Diag.severity = Diag.Error) records)
+
+let handle_eval st ~id ~session ~src ~timeout =
+  with_session st session (fun e ->
+      let deadline = deadline_of st timeout in
+      let job =
+        Pool.submit ?deadline (fun () -> Interp.Session.eval e.sess src)
+      in
+      match Pool.await job with
+      | Ok (output, outcome) ->
+          let errs = count_error_diags outcome.Interp.diagnostics in
+          Stats.add_error_diagnostics st.stats errs;
+          ( outcome.Interp.failed_statements = 0,
+            Protocol.ok ~id
+              [ ("output", Json.Str output);
+                ( "failed_statements",
+                  Json.Num (float_of_int outcome.Interp.failed_statements) );
+                ( "diagnostics",
+                  Protocol.diagnostics_json outcome.Interp.diagnostics ) ] )
+      | Error (Deadline.Timed_out, _) ->
+          ( false,
+            Protocol.error ~id ~kind:"timeout"
+              ~extra:
+                [ ("partial_output", Json.Str (Interp.Session.pending_output e.sess)) ]
+              "request exceeded its deadline and was cancelled" )
+      | Error (exn, _) ->
+          ( false,
+            Protocol.error ~id ~kind:"internal" (Printexc.to_string exn) ))
+
+let handle_query st ~id ~session ~expr ~timeout =
+  with_session st (Some session) (fun e ->
+      let deadline = deadline_of st timeout in
+      let job =
+        Pool.submit ?deadline (fun () -> Interp.Session.query e.sess expr)
+      in
+      match Pool.await job with
+      | Ok (Ok v) -> (true, Protocol.ok ~id [ ("value", Json.Num v) ])
+      | Ok (Error msg) -> (false, Protocol.error ~id ~kind:"eval_error" msg)
+      | Error (Deadline.Timed_out, _) ->
+          ( false,
+            Protocol.error ~id ~kind:"timeout"
+              "request exceeded its deadline and was cancelled" )
+      | Error (exn, _) ->
+          ( false,
+            Protocol.error ~id ~kind:"internal" (Printexc.to_string exn) ))
+
+let handle_bind st ~id ~session ~name ~value =
+  with_session st (Some session) (fun e ->
+      Interp.Session.bind e.sess name value;
+      (true, Protocol.ok ~id [ ("bound", Json.Str name) ]))
+
+let handle_request st parsed =
+  let id = parsed.Protocol.id in
+  match parsed.Protocol.req with
+  | Error msg -> ("invalid", false, Protocol.error ~id ~kind:"bad_request" msg)
+  | Ok req -> (
+      let op = Protocol.op_name req in
+      match req with
+      | Protocol.Ping -> (op, true, Protocol.ok ~id [ ("pong", Json.Bool true) ])
+      | Protocol.Eval { session; src; timeout } ->
+          let ok, resp = handle_eval st ~id ~session ~src ~timeout in
+          (op, ok, resp)
+      | Protocol.Bind { session; name; value } ->
+          let ok, resp = handle_bind st ~id ~session ~name ~value in
+          (op, ok, resp)
+      | Protocol.Query { session; expr; timeout } ->
+          let ok, resp = handle_query st ~id ~session ~expr ~timeout in
+          (op, ok, resp)
+      | Protocol.Stats ->
+          Stats.set_sessions st.stats (session_count st);
+          (op, true, Protocol.ok ~id [ ("stats", Stats.to_json st.stats) ])
+      | Protocol.Shutdown ->
+          Atomic.set st.stop true;
+          (op, true, Protocol.ok ~id [ ("stopping", Json.Bool true) ]))
+
+(* --- connections -------------------------------------------------------- *)
+
+let track_conn st fd =
+  Mutex.protect st.conn_mutex (fun () -> st.conns <- fd :: st.conns)
+
+let untrack_conn st fd =
+  Mutex.protect st.conn_mutex (fun () ->
+      st.conns <- List.filter (fun c -> c != fd) st.conns)
+
+let handle_connection st fd =
+  let respond line =
+    match send_line fd line with
+    | () -> true
+    | exception Unix.Unix_error (_, _, _) -> false
+  in
+  (try
+     read_lines fd st.config.max_request_bytes (fun line ->
+         match line with
+         | Ok line when String.trim line = "" -> true
+         | Ok line ->
+             Stats.incr_in_flight st.stats;
+             let t0 = Unix.gettimeofday () in
+             let op, ok, resp =
+               handle_request st (Protocol.parse_request line)
+             in
+             Stats.decr_in_flight st.stats;
+             Stats.record st.stats ~op ~ok
+               ~seconds:(Unix.gettimeofday () -. t0);
+             respond resp && not (Atomic.get st.stop)
+         | Error `Oversized ->
+             Stats.record st.stats ~op:"invalid" ~ok:false ~seconds:0.0;
+             respond
+               (Protocol.error ~id:Json.Null ~kind:"oversized"
+                  (Printf.sprintf "request exceeds %d bytes"
+                     st.config.max_request_bytes)))
+   with _ -> ());
+  untrack_conn st fd;
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+
+(* --- the accept loop ---------------------------------------------------- *)
+
+let bind_socket = function
+  | `Unix path ->
+      (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind s (Unix.ADDR_UNIX path);
+      s
+  | `Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.bind s (Unix.ADDR_INET (addr, port));
+      s
+
+let serve ?(config = default_config) ?ready listen =
+  (* a client that disconnects mid-response must not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  Pool.ensure_workers (max 1 config.workers);
+  let st =
+    { config;
+      stats = Stats.create ();
+      reg_mutex = Mutex.create ();
+      sessions = Hashtbl.create 16;
+      stop = Atomic.make false;
+      conn_mutex = Mutex.create ();
+      conns = [] }
+  in
+  let sock = bind_socket listen in
+  Unix.listen sock 64;
+  (match ready with Some f -> f () | None -> ());
+  let threads = ref [] in
+  while not (Atomic.get st.stop) do
+    (* poll so a shutdown request is noticed without a wake-up connection *)
+    match Unix.select [ sock ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept sock with
+        | exception Unix.Unix_error (_, _, _) -> ()
+        | fd, _ ->
+            if Atomic.get st.stop then Unix.close fd
+            else begin
+              track_conn st fd;
+              threads :=
+                Thread.create (fun () -> handle_connection st fd) ()
+                :: !threads
+            end)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (try Unix.close sock with Unix.Unix_error (_, _, _) -> ());
+  (match listen with
+  | `Unix path -> ( try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | `Tcp _ -> ());
+  (* nudge idle connections: shutdown (not close) so each connection
+     thread sees EOF, finishes its current request, and closes its own fd *)
+  Mutex.protect st.conn_mutex (fun () ->
+      List.iter
+        (fun fd ->
+          try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error (_, _, _) -> ())
+        st.conns);
+  List.iter Thread.join !threads;
+  (* join the pool's worker domains too: the OCaml runtime waits for
+     every domain at process exit, so leaving them parked on the queue
+     would make the daemon hang after a clean shutdown.  The pool
+     restarts lazily if this process evaluates anything afterwards. *)
+  Pool.shutdown ()

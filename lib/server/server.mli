@@ -1,0 +1,29 @@
+(** The sharped evaluation daemon.
+
+    One thread per connection does the socket IO; every piece of
+    interpreter work (eval, query) is submitted to the shared
+    {!Sharpe_numerics.Pool} worker domains, one job at a time per domain,
+    so domain-local diagnostic sinks never interleave.  Named sessions
+    are created on first use and serialized by a per-session mutex;
+    concurrent requests against different sessions run in parallel. *)
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  max_request_bytes : int;
+      (** request lines longer than this are answered with an
+          ["oversized"] error and discarded (default 1 MiB) *)
+  default_timeout : float option;
+      (** per-request deadline in seconds applied when the request
+          carries none (default: no deadline) *)
+  workers : int;  (** worker domains to pre-warm (default 2) *)
+}
+
+val default_config : config
+
+val serve : ?config:config -> ?ready:(unit -> unit) -> listen -> unit
+(** Run the daemon: bind, listen, accept until a [shutdown] request
+    arrives, then drain connections and return.  [?ready] is invoked once
+    the socket is listening (tests and the in-process bench use it to
+    know when clients may connect).  A Unix-domain socket path is
+    unlinked on both startup (stale socket) and shutdown. *)

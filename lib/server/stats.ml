@@ -1,0 +1,119 @@
+module Structhash = Sharpe_numerics.Structhash
+
+(* Latency histogram: log-scale buckets over microseconds.  Bucket [i]
+   counts latencies in [2^i, 2^(i+1)) µs; bucket 0 also absorbs sub-µs
+   requests and the last bucket absorbs everything slower (~34 s). *)
+let buckets = 26
+
+type op_stats = {
+  mutable count : int;
+  mutable errors : int;
+  mutable total_seconds : float;
+  mutable max_seconds : float;
+  histogram : int array;
+}
+
+type t = {
+  mutex : Mutex.t;
+  ops : (string, op_stats) Hashtbl.t;
+  mutable in_flight : int;
+  mutable sessions : int;
+  mutable error_diagnostics : int;
+}
+
+let create () =
+  { mutex = Mutex.create ();
+    ops = Hashtbl.create 8;
+    in_flight = 0;
+    sessions = 0;
+    error_diagnostics = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bucket_of seconds =
+  let us = seconds *. 1e6 in
+  if us < 1.0 then 0
+  else min (buckets - 1) (int_of_float (Float.log2 us))
+
+let record t ~op ~ok ~seconds =
+  locked t (fun () ->
+      let s =
+        match Hashtbl.find_opt t.ops op with
+        | Some s -> s
+        | None ->
+            let s =
+              { count = 0;
+                errors = 0;
+                total_seconds = 0.0;
+                max_seconds = 0.0;
+                histogram = Array.make buckets 0 }
+            in
+            Hashtbl.add t.ops op s;
+            s
+      in
+      s.count <- s.count + 1;
+      if not ok then s.errors <- s.errors + 1;
+      s.total_seconds <- s.total_seconds +. seconds;
+      if seconds > s.max_seconds then s.max_seconds <- seconds;
+      let b = s.histogram.(bucket_of seconds) in
+      s.histogram.(bucket_of seconds) <- b + 1)
+
+let incr_in_flight t = locked t (fun () -> t.in_flight <- t.in_flight + 1)
+let decr_in_flight t = locked t (fun () -> t.in_flight <- t.in_flight - 1)
+
+let add_error_diagnostics t n =
+  locked t (fun () -> t.error_diagnostics <- t.error_diagnostics + n)
+
+let set_sessions t n = locked t (fun () -> t.sessions <- n)
+let error_diagnostics t = locked t (fun () -> t.error_diagnostics)
+
+let requests t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ s acc -> acc + s.count) t.ops 0)
+
+let op_json s =
+  (* trim trailing empty buckets so the JSON stays readable *)
+  let last = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then last := i) s.histogram;
+  let hist =
+    List.init (!last + 1) (fun i ->
+        Json.Num (float_of_int s.histogram.(i)))
+  in
+  Json.Obj
+    [ ("count", Json.Num (float_of_int s.count));
+      ("errors", Json.Num (float_of_int s.errors));
+      ( "mean_us",
+        if s.count = 0 then Json.Null
+        else Json.Num (s.total_seconds /. float_of_int s.count *. 1e6) );
+      ("max_us", Json.Num (s.max_seconds *. 1e6));
+      ("latency_log2_us", Json.List hist) ]
+
+let to_json t =
+  let ops, in_flight, sessions, error_diagnostics =
+    locked t (fun () ->
+        let ops =
+          Hashtbl.fold (fun op s acc -> (op, op_json s) :: acc) t.ops []
+        in
+        ( List.sort (fun (a, _) (b, _) -> compare a b) ops,
+          t.in_flight,
+          t.sessions,
+          t.error_diagnostics ))
+  in
+  let cache =
+    Json.List
+      (List.map
+         (fun s ->
+           Json.Obj
+             [ ("name", Json.Str s.Structhash.name);
+               ("hits", Json.Num (float_of_int s.Structhash.hits));
+               ("misses", Json.Num (float_of_int s.Structhash.misses)) ])
+         (Structhash.stats ()))
+  in
+  Json.Obj
+    [ ("ops", Json.Obj ops);
+      ("in_flight", Json.Num (float_of_int in_flight));
+      ("sessions", Json.Num (float_of_int sessions));
+      ("error_diagnostics", Json.Num (float_of_int error_diagnostics));
+      ("cache", cache) ]

@@ -1,0 +1,24 @@
+(** Daemon-wide counters: per-op request/error counts, log-scale latency
+    histograms, in-flight gauge, session gauge, and a cumulative count of
+    error-severity diagnostics produced by evals.  All operations are
+    thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> op:string -> ok:bool -> seconds:float -> unit
+(** Account one finished request: bumps the op's request counter, its
+    error counter when [ok] is false, and the op's latency histogram. *)
+
+val incr_in_flight : t -> unit
+val decr_in_flight : t -> unit
+val add_error_diagnostics : t -> int -> unit
+val set_sessions : t -> int -> unit
+
+val error_diagnostics : t -> int
+val requests : t -> int
+
+val to_json : t -> Json.t
+(** Snapshot, with [Sharpe_numerics.Structhash.stats] folded in as the
+    ["cache"] field so clients can watch structural-cache hits. *)

@@ -13,4 +13,5 @@ let () =
       ("more", Test_more.suite);
       ("expo-properties", Test_expo_prop.suite);
       ("sweep-engine", Test_sweep.suite);
+      ("server", Test_server.suite);
       ("golden", Test_golden.suite) ]

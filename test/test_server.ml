@@ -1,0 +1,334 @@
+(* Tests for the evaluation daemon: session isolation (in-process and
+   over the socket, concurrently), fresh-start equivalence of the
+   session-context refactor, protocol robustness against hostile input,
+   and cooperative per-request cancellation. *)
+
+module Interp = Sharpe_lang.Interp
+module Server = Sharpe_server.Server
+module Json = Sharpe_server.Json
+
+(* --- in-process session semantics ------------------------------------- *)
+
+let test_session_isolation_inprocess () =
+  let a = Interp.Session.create () and b = Interp.Session.create () in
+  let _ = Interp.Session.eval a "bind x 1" in
+  let _ = Interp.Session.eval b "bind x 2" in
+  (match Interp.Session.query a "x" with
+  | Ok v -> Alcotest.(check (float 0.0)) "a sees its own x" 1.0 v
+  | Error m -> Alcotest.failf "query a failed: %s" m);
+  (match Interp.Session.query b "x" with
+  | Ok v -> Alcotest.(check (float 0.0)) "b sees its own x" 2.0 v
+  | Error m -> Alcotest.failf "query b failed: %s" m);
+  (* a variable bound only in [a] must be invisible in [b] *)
+  let _ = Interp.Session.eval a "bind only_a 7" in
+  match Interp.Session.query b "only_a" with
+  | Ok v -> Alcotest.failf "b observed a's binding (got %g)" v
+  | Error _ -> ()
+
+let test_fresh_start_equivalence () =
+  (* no interpreter state is process-global: a session that changes the
+     print format, binds names and burns while-loop fuel must not change
+     what a subsequently created session prints for the same program *)
+  let prog =
+    "format 8\nbind q 0.25\nexpr q * 3\nexpr 1/3\nbind i 0\nwhile (i < 5)\n  bind i i + 1\nend\nexpr i"
+  in
+  let run_fresh () =
+    let s = Interp.Session.create () in
+    let out, outcome = Interp.Session.eval s prog in
+    Alcotest.(check int)
+      "fresh run has no failures" 0 outcome.Interp.failed_statements;
+    out
+  in
+  let before = run_fresh () in
+  (* pollute a different session as thoroughly as the language allows *)
+  let dirty = Interp.Session.create ~fuel_limit:3 () in
+  let _ = Interp.Session.eval dirty "format 2\nbind q 99\nbind i 42" in
+  let _ =
+    Interp.Session.eval dirty "bind k 0\nwhile (k < 100)\n  bind k k + 1\nend"
+  in
+  let after = run_fresh () in
+  Alcotest.(check string)
+    "fresh session output unchanged by other sessions" before after;
+  (* and identical to the one-shot batch entry point *)
+  let buf = Buffer.create 256 in
+  let _ = Interp.run_program ~print:(Buffer.add_string buf) prog in
+  Alcotest.(check string)
+    "session output identical to run_program" (Buffer.contents buf) before
+
+(* --- socket helpers ---------------------------------------------------- *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (* a wedged daemon must fail the test, not hang the suite *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  fd
+
+let send_line fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let recv_line fd =
+  let b = Buffer.create 256 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> Buffer.contents b
+    | _ ->
+        if Bytes.get one 0 = '\n' then Buffer.contents b
+        else begin
+          Buffer.add_char b (Bytes.get one 0);
+          go ()
+        end
+  in
+  go ()
+
+let roundtrip fd obj =
+  send_line fd (Json.to_string (Json.Obj obj));
+  match Json.parse (recv_line fd) with
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unparseable response: %s" m
+
+let is_ok resp = Json.member "ok" resp = Some (Json.Bool true)
+
+let error_kind resp =
+  match Json.member "error" resp with
+  | Some err -> Option.bind (Json.member "kind" err) Json.to_str
+  | None -> None
+
+let with_server ?config f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sharped_test_%d.sock" (Unix.getpid ()))
+  in
+  let ready_m = Mutex.create () in
+  let ready_c = Condition.create () in
+  let ready = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve ?config
+          ~ready:(fun () ->
+            Mutex.protect ready_m (fun () ->
+                ready := true;
+                Condition.signal ready_c))
+          (`Unix path))
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let fd = connect path in
+         ignore (roundtrip fd [ ("op", Json.Str "shutdown") ]);
+         Unix.close fd
+       with _ -> ());
+      Thread.join server)
+    (fun () -> f path)
+
+(* --- socket behaviour --------------------------------------------------- *)
+
+let test_socket_eval_and_sessionless_isolation () =
+  with_server (fun path ->
+      let fd = connect path in
+      let resp =
+        roundtrip fd
+          [ ("id", Json.Num 1.0); ("op", Json.Str "eval");
+            ("src", Json.Str "bind x 5\nexpr x * 2") ]
+      in
+      Alcotest.(check bool) "eval ok" true (is_ok resp);
+      (match Option.bind (Json.member "output" resp) Json.to_str with
+      | Some out ->
+          Alcotest.(check bool)
+            "output contains the result" true
+            (String.length out > 0)
+      | None -> Alcotest.fail "eval response lacks output");
+      (* sessionless requests use throwaway environments: x is gone *)
+      let resp2 =
+        roundtrip fd
+          [ ("id", Json.Num 2.0); ("op", Json.Str "eval");
+            ("src", Json.Str "expr x") ]
+      in
+      Alcotest.(check bool) "sessionless state does not persist" true
+        (Json.member "failed_statements" resp2 = Some (Json.Num 1.0));
+      Unix.close fd)
+
+let test_socket_concurrent_session_isolation () =
+  with_server (fun path ->
+      let nthreads = 8 and rounds = 25 in
+      let failures = ref [] in
+      let fmutex = Mutex.create () in
+      let worker i =
+        try
+          let fd = connect path in
+          let session = Printf.sprintf "s%d" i in
+          for k = 0 to rounds - 1 do
+            let v = float_of_int ((i * 1000) + k) in
+            (* every session binds the SAME name to a different value *)
+            let bound =
+              roundtrip fd
+                [ ("op", Json.Str "bind"); ("session", Json.Str session);
+                  ("name", Json.Str "x"); ("value", Json.Num v) ]
+            in
+            if not (is_ok bound) then failwith "bind failed";
+            let got =
+              roundtrip fd
+                [ ("op", Json.Str "query"); ("session", Json.Str session);
+                  ("expr", Json.Str "x + 0") ]
+            in
+            match Option.bind (Json.member "value" got) Json.to_float with
+            | Some v' when v' = v -> ()
+            | Some v' ->
+                failwith
+                  (Printf.sprintf "session %s bound %g but read %g" session v
+                     v')
+            | None -> failwith "query returned no value"
+          done;
+          Unix.close fd
+        with e ->
+          Mutex.protect fmutex (fun () ->
+              failures := Printexc.to_string e :: !failures)
+      in
+      let threads = List.init nthreads (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Alcotest.(check (list string))
+        "no cross-session observation" [] !failures)
+
+let test_socket_protocol_errors () =
+  with_server (fun path ->
+      let fd = connect path in
+      send_line fd "this is not json";
+      (match Json.parse (recv_line fd) with
+      | Ok resp ->
+          Alcotest.(check bool) "malformed json rejected" false (is_ok resp);
+          Alcotest.(check (option string))
+            "bad_request kind" (Some "bad_request") (error_kind resp)
+      | Error m -> Alcotest.failf "unparseable response: %s" m);
+      let resp =
+        roundtrip fd [ ("id", Json.Str "u1"); ("op", Json.Str "no_such_op") ]
+      in
+      Alcotest.(check bool) "unknown op rejected" false (is_ok resp);
+      Alcotest.(check (option string))
+        "unknown op is bad_request" (Some "bad_request") (error_kind resp);
+      Alcotest.(check bool) "id echoed on error" true
+        (Json.member "id" resp = Some (Json.Str "u1"));
+      send_line fd "[1,2,3]";
+      (match Json.parse (recv_line fd) with
+      | Ok resp ->
+          Alcotest.(check bool) "non-object rejected" false (is_ok resp)
+      | Error m -> Alcotest.failf "unparseable response: %s" m);
+      (* missing required field *)
+      let resp = roundtrip fd [ ("op", Json.Str "eval") ] in
+      Alcotest.(check (option string))
+        "missing src is bad_request" (Some "bad_request") (error_kind resp);
+      (* the daemon still serves after all that *)
+      let pong = roundtrip fd [ ("op", Json.Str "ping") ] in
+      Alcotest.(check bool) "daemon alive after garbage" true (is_ok pong);
+      Unix.close fd)
+
+let test_socket_oversized_payload () =
+  let config = { Server.default_config with max_request_bytes = 2048 } in
+  with_server ~config (fun path ->
+      let fd = connect path in
+      send_line fd (String.make 10_000 'a');
+      (match Json.parse (recv_line fd) with
+      | Ok resp ->
+          Alcotest.(check bool) "oversized rejected" false (is_ok resp);
+          Alcotest.(check (option string))
+            "oversized kind" (Some "oversized") (error_kind resp)
+      | Error m -> Alcotest.failf "unparseable response: %s" m);
+      let pong = roundtrip fd [ ("op", Json.Str "ping") ] in
+      Alcotest.(check bool) "daemon alive after oversized line" true
+        (is_ok pong);
+      Unix.close fd)
+
+let test_socket_timeout_cancels_and_daemon_continues () =
+  with_server (fun path ->
+      let fd = connect path in
+      (* effectively unbounded nested whiles: only the deadline stops it *)
+      let spin =
+        "bind i 0\nwhile (i < 1000000)\n  bind j 0\n  while (j < 1000000)\n    bind j j + 1\n  end\n  bind i i + 1\nend"
+      in
+      let t0 = Unix.gettimeofday () in
+      let resp =
+        roundtrip fd
+          [ ("id", Json.Num 1.0); ("op", Json.Str "eval");
+            ("src", Json.Str spin); ("timeout", Json.Num 0.2) ]
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "timed-out request not ok" false (is_ok resp);
+      Alcotest.(check (option string))
+        "timeout kind" (Some "timeout") (error_kind resp);
+      Alcotest.(check bool)
+        (Printf.sprintf "cancelled promptly (%.2fs)" elapsed)
+        true (elapsed < 10.0);
+      (* the worker that was cancelled keeps serving new requests *)
+      let resp2 =
+        roundtrip fd
+          [ ("id", Json.Num 2.0); ("op", Json.Str "eval");
+            ("src", Json.Str "expr 1 + 1") ]
+      in
+      Alcotest.(check bool) "daemon serves after a cancellation" true
+        (is_ok resp2);
+      Unix.close fd)
+
+(* --- fuzz: arbitrary bytes must never take the daemon down ------------- *)
+
+let prop_random_bytes_never_crash path =
+  QCheck.Test.make ~name:"random bytes never crash the daemon" ~count:60
+    QCheck.(string_of_size Gen.(int_bound 300))
+    (fun s ->
+      let line =
+        String.map (function '\n' | '\r' -> ' ' | c -> c) s
+      in
+      let fd = connect path in
+      let ok =
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            send_line fd line;
+            send_line fd (Json.to_string (Json.Obj [ ("op", Json.Str "ping"); ("id", Json.Str "fuzz") ]));
+            (* whitespace-only garbage draws no response; otherwise we get
+               an error line first.  Either way the ping must come back. *)
+            let first = recv_line fd in
+            let second =
+              match Json.parse first with
+              | Ok r when Json.member "id" r = Some (Json.Str "fuzz") -> first
+              | _ -> recv_line fd
+            in
+            match Json.parse second with
+            | Ok r -> is_ok r
+            | Error _ -> false)
+      in
+      ok)
+
+let test_socket_fuzz () =
+  with_server (fun path ->
+      QCheck.Test.check_exn (prop_random_bytes_never_crash path))
+
+let suite =
+  [ Alcotest.test_case "in-process session isolation" `Quick
+      test_session_isolation_inprocess;
+    Alcotest.test_case "fresh-start equivalence" `Quick
+      test_fresh_start_equivalence;
+    Alcotest.test_case "socket eval + sessionless isolation" `Quick
+      test_socket_eval_and_sessionless_isolation;
+    Alcotest.test_case "concurrent sessions never observe each other" `Quick
+      test_socket_concurrent_session_isolation;
+    Alcotest.test_case "protocol errors answered, daemon survives" `Quick
+      test_socket_protocol_errors;
+    Alcotest.test_case "oversized payload rejected" `Quick
+      test_socket_oversized_payload;
+    Alcotest.test_case "deadline cancels request, daemon continues" `Quick
+      test_socket_timeout_cancels_and_daemon_continues;
+    Alcotest.test_case "fuzz lines never crash the daemon" `Quick
+      test_socket_fuzz ]

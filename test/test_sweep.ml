@@ -212,25 +212,30 @@ let test_pool_results_in_order () =
 
 let test_while_fuel_exact_boundary () =
   (* a loop that terminates on exactly the last allowed iteration is NOT
-     an exhaustion: regression for the false positive *)
-  let saved = !Eval.while_fuel_limit in
-  Eval.while_fuel_limit := 50;
-  Fun.protect ~finally:(fun () -> Eval.while_fuel_limit := saved) (fun () ->
-      let out, failed =
-        run "bind i 0\nwhile (i < 50)\n  bind i i + 1\nend\nexpr i"
-      in
-      Alcotest.(check int) "loop of exactly the fuel limit succeeds" 0 failed;
-      Alcotest.(check string) "final value printed" "i: 50.000000\n"
-        (String.concat "\n"
-           (List.filter
-              (fun l -> String.length l > 1 && l.[0] = 'i' && l.[1] = ':')
-              (String.split_on_char '\n' out))
-        ^ "\n");
-      let _, failed =
-        run "bind i 0\nwhile (i < 51)\n  bind i i + 1\nend\nexpr i"
-      in
-      Alcotest.(check int) "one iteration beyond the fuel limit fails" 1
-        failed)
+     an exhaustion: regression for the false positive.  The fuel budget
+     is per-environment (session-context refactor), so it is passed to
+     the run instead of poked into a global. *)
+  let run_fueled program =
+    let buf = Buffer.create 1024 in
+    let outcome =
+      Interp.run_program ~fuel_limit:50 ~print:(Buffer.add_string buf) program
+    in
+    (Buffer.contents buf, outcome.Interp.failed_statements)
+  in
+  let out, failed =
+    run_fueled "bind i 0\nwhile (i < 50)\n  bind i i + 1\nend\nexpr i"
+  in
+  Alcotest.(check int) "loop of exactly the fuel limit succeeds" 0 failed;
+  Alcotest.(check string) "final value printed" "i: 50.000000\n"
+    (String.concat "\n"
+       (List.filter
+          (fun l -> String.length l > 1 && l.[0] = 'i' && l.[1] = ':')
+          (String.split_on_char '\n' out))
+    ^ "\n");
+  let _, failed =
+    run_fueled "bind i 0\nwhile (i < 51)\n  bind i i + 1\nend\nexpr i"
+  in
+  Alcotest.(check int) "one iteration beyond the fuel limit fails" 1 failed
 
 let suite =
   [ Alcotest.test_case "cache on/off output invariant" `Quick
