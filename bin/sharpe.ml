@@ -17,6 +17,7 @@ module Interp = Sharpe_lang.Interp
 module Pool = Sharpe_numerics.Pool
 module Structhash = Sharpe_numerics.Structhash
 module Server = Sharpe_server.Server
+module Check = Sharpe_check.Check
 
 let run_batch timeout files =
   let all = ref [] and failed = ref 0 in
@@ -90,23 +91,91 @@ let report strict diag_fmt cache_stats (records, failed, timed_out) =
   else if strict && worst_rank >= Diag.severity_rank Diag.Warning then 2
   else 0
 
-let run strict diag_fmt jobs no_cache cache_stats timeout serve files =
+(* --selfcheck: run the differential verification harness instead of
+   input files.  The per-pair summary goes to stderr; discrepancies and
+   engine errors are ordinary error-severity diagnostics, so the
+   reporting and exit-code logic of a batch run applies unchanged
+   (0 clean, 1 any discrepancy/error, 3 timeout). *)
+let run_selfcheck strict diag_fmt count seed inject bench timeout =
+  let t0 = Unix.gettimeofday () in
+  let result = ref None in
+  let execute () =
+    result := Some (Diag.capture (fun () -> Check.run ?inject ~seed ~count ()))
+  in
+  let timed_out = ref false in
+  (match timeout with
+  | None -> execute ()
+  | Some s -> (
+      try Deadline.with_timeout s execute
+      with Deadline.Timed_out -> timed_out := true));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  match !result with
+  | None ->
+      let records =
+        [ { Diag.severity = Diag.Error;
+            solver = "selfcheck";
+            context = [];
+            message =
+              Printf.sprintf "timeout: selfcheck cancelled after %g seconds"
+                (Option.value timeout ~default:0.0);
+            iterations = None;
+            residual = None;
+            tolerance = None } ]
+      in
+      report strict diag_fmt false (records, 0, true)
+  | Some (rep, records) ->
+      prerr_endline (Check.summary rep);
+      (match bench with
+      | None -> ()
+      | Some path ->
+          let comparisons =
+            List.fold_left
+              (fun acc p -> acc + p.Check.p_comparisons)
+              0 rep.Check.r_pairs
+          in
+          let oc = open_out path in
+          Printf.fprintf oc
+            "{\n\
+            \  \"experiment\": \"differential selfcheck, %d models per oracle pair, seed %d\",\n\
+            \  \"pairs\": %d,\n\
+            \  \"models\": %d,\n\
+            \  \"comparisons\": %d,\n\
+            \  \"discrepancies\": %d,\n\
+            \  \"errors\": %d,\n\
+            \  \"elapsed_s\": %.4f\n\
+             }\n"
+            count seed
+            (List.length rep.Check.r_pairs)
+            (Check.total_models rep) comparisons
+            (List.length rep.Check.r_discrepancies)
+            (Check.total_errors rep) elapsed;
+          close_out oc);
+      report strict diag_fmt false (records, 0, false)
+
+let run strict diag_fmt jobs no_cache cache_stats timeout serve selfcheck seed
+    inject bench files =
   Pool.set_jobs jobs;
   Structhash.set_enabled (not no_cache);
-  match serve with
-  | Some path ->
-      Server.serve
-        ~config:
-          { Server.default_config with
-            default_timeout = timeout;
-            workers = max Server.default_config.Server.workers jobs }
-        (`Unix path);
-      0
-  | None when files = [] ->
+  match (serve, selfcheck) with
+  | Some path, _ -> (
+      try
+        Server.serve
+          ~config:
+            { Server.default_config with
+              default_timeout = timeout;
+              workers = max Server.default_config.Server.workers jobs }
+          (`Unix path);
+        0
+      with Server.Bind_error msg ->
+        prerr_endline ("sharpe: " ^ msg);
+        1)
+  | None, Some count ->
+      run_selfcheck strict diag_fmt count seed inject bench timeout
+  | None, None when files = [] ->
       prerr_endline
-        "sharpe: no input files (expected FILE... or --serve SOCKET)";
+        "sharpe: no input files (expected FILE..., --serve SOCKET or --selfcheck)";
       Cmdliner.Cmd.Exit.cli_error
-  | None ->
+  | None, None ->
       report strict diag_fmt cache_stats (run_batch timeout files)
 
 open Cmdliner
@@ -184,6 +253,48 @@ let serve =
            also offers TCP and tuning options).  Runs until a client sends \
            a $(i,shutdown) request.")
 
+let selfcheck =
+  Arg.(
+    value
+    & opt ~vopt:(Some 200) (some int) None
+    & info [ "selfcheck" ] ~docv:"N"
+        ~doc:
+          "Do not run input files; run the differential self-check \
+           harness: $(docv) seeded random models per oracle pair (default \
+           200), each evaluated by two independent engines (symbolic vs \
+           uniformization, iterative vs direct solves, BDD vs \
+           enumeration, exponomial calculus vs quadrature).  Any \
+           disagreement beyond the 1e-6 relative tolerance is an error \
+           diagnostic carrying the reproducing seed, and the exit status \
+           is 1.")
+
+let seed =
+  Arg.(
+    value & opt int 2002
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "Master seed for $(b,--selfcheck) model generation.  Model \
+           seeds printed in discrepancy diagnostics derive from it \
+           deterministically.")
+
+let selfcheck_inject =
+  Arg.(
+    value
+    & opt (some (enum (List.map (fun n -> (n, n)) Check.pair_names))) None
+    & info [ "selfcheck-inject" ] ~docv:"PAIR"
+        ~doc:
+          "Deliberately perturb one engine of the named oracle pair \
+           (harness self-test: the run MUST fail and report the seed).")
+
+let selfcheck_bench =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "selfcheck-bench" ] ~docv:"FILE"
+        ~doc:
+          "Write harness runtime and counters as JSON to $(docv) \
+           (BENCH_check.json format).")
+
 let cmd =
   let doc = "Symbolic Hierarchical Automated Reliability and Performance Evaluator" in
   let man =
@@ -202,6 +313,6 @@ let cmd =
   Cmd.v (Cmd.info "sharpe" ~version:"2002-ocaml" ~doc ~man)
     Term.(
       const run $ strict $ diag_fmt $ jobs $ no_cache $ cache_stats $ timeout
-      $ serve $ files)
+      $ serve $ selfcheck $ seed $ selfcheck_inject $ selfcheck_bench $ files)
 
 let () = exit (Cmd.eval' cmd)

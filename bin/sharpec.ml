@@ -107,6 +107,27 @@ let run sock_path session timeout args =
             match Option.bind (Json.member "value" resp) Json.to_float with
             | Some v -> Printf.printf "%.10g\n" v
             | None -> () )
+    | "selfcheck" :: rest ->
+        let int_field label v =
+          match int_of_string_opt v with
+          | Some n -> (label, Json.Num (float_of_int n))
+          | None -> fail "selfcheck %s must be an integer, got %S" label v
+        in
+        let fields =
+          match rest with
+          | [] -> []
+          | [ n ] -> [ int_field "count" n ]
+          | [ n; s ] -> [ int_field "count" n; int_field "seed" s ]
+          | _ -> fail "usage: selfcheck [COUNT [SEED]]"
+        in
+        ( [ ("op", Json.Str "selfcheck") ] @ fields @ timeout_field,
+          fun resp ->
+            print_endline (Json.to_string resp);
+            match Json.member "clean" resp with
+            | Some (Json.Bool true) -> ()
+            | _ ->
+                prerr_endline "sharpec: selfcheck found discrepancies or errors";
+                exit 1 )
     | [ "bind"; name; var; value ] -> (
         match float_of_string_opt value with
         | None -> fail "bind VALUE must be a number, got %S" value
@@ -154,7 +175,8 @@ let args =
     & info [] ~docv:"CMD"
         ~doc:
           "One of: $(b,eval) FILE, $(b,query) SESSION EXPR, $(b,bind) \
-           SESSION NAME VALUE, $(b,ping), $(b,stats), $(b,shutdown).")
+           SESSION NAME VALUE, $(b,selfcheck) [COUNT [SEED]], $(b,ping), \
+           $(b,stats), $(b,shutdown).")
 
 let cmd =
   let doc = "client for the sharped evaluation daemon" in

@@ -20,12 +20,20 @@ let run socket port host workers timeout max_bytes =
   | None, None ->
       prerr_endline "sharped: one of --socket PATH or --port PORT is required";
       Cmdliner.Cmd.Exit.cli_error
-  | Some path, None ->
-      Server.serve ~config (`Unix path);
-      0
-  | None, Some port ->
-      Server.serve ~config (`Tcp (host, port));
-      0
+  | Some path, None -> (
+      try
+        Server.serve ~config (`Unix path);
+        0
+      with Server.Bind_error msg ->
+        prerr_endline ("sharped: " ^ msg);
+        1)
+  | None, Some port -> (
+      try
+        Server.serve ~config (`Tcp (host, port));
+        0
+      with Server.Bind_error msg ->
+        prerr_endline ("sharped: " ^ msg);
+        1)
 
 open Cmdliner
 

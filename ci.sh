@@ -43,6 +43,32 @@ else
   [ "$status" -eq 2 ] || { echo "ci: expected exit 2, got $status" >&2; exit 1; }
 fi
 
+echo "== differential selfcheck =="
+# fixed-seed sweep: 200 random models per oracle pair, every model
+# evaluated by two independent engines; any disagreement or engine error
+# is an error diagnostic and a nonzero exit.  Harness runtime and
+# counters land in BENCH_check.json.
+./_build/default/bin/sharpe.exe --selfcheck=200 --seed 1 \
+  --selfcheck-bench BENCH_check.json
+grep -q '"discrepancies": 0' BENCH_check.json || {
+  echo "ci: selfcheck bench reports discrepancies" >&2
+  exit 1
+}
+# the harness must also be able to FAIL: perturb one engine and demand a
+# nonzero exit plus a diagnostic carrying the reproducing seed
+if inject_out=$(./_build/default/bin/sharpe.exe --selfcheck=5 --seed 1 \
+  --selfcheck-inject acyclic-vs-uniformization --diagnostics json 2>/dev/null); then
+  echo "ci: expected injected selfcheck to fail" >&2
+  exit 1
+else
+  status=$?
+  [ "$status" -eq 1 ] || { echo "ci: expected exit 1, got $status" >&2; exit 1; }
+  echo "$inject_out" | grep -q 'seed=' || {
+    echo "ci: injected discrepancy lacks a reproducing seed" >&2
+    exit 1
+  }
+fi
+
 echo "== server smoke =="
 # start sharped on a temp socket, hit it with concurrent clients running
 # distinct examples, verify every output against the golden files, check
@@ -78,6 +104,13 @@ for ex in $examples; do
     exit 1
   fi
 done
+# the selfcheck request goes through the same worker pool; a clean run
+# reports clean:true (sharpec exits 1 otherwise) and leaves the daemon's
+# error-diagnostic counter at zero
+./_build/default/bin/sharpec.exe --socket "$sock" selfcheck 25 1 >/dev/null || {
+  echo "ci: daemon selfcheck failed" >&2
+  exit 1
+}
 stats=$(./_build/default/bin/sharpec.exe --socket "$sock" stats)
 echo "$stats" | grep -q '"error_diagnostics":0' || {
   echo "ci: daemon recorded error diagnostics: $stats" >&2

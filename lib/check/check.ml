@@ -1,0 +1,423 @@
+(* Differential self-check harness.
+
+   Every oracle pair evaluates a seeded random model two independent
+   ways — symbolic exponomials vs uniformization, iterative vs direct
+   linear solves, BDD vs brute-force enumeration, symbolic calculus vs
+   numeric quadrature — and any disagreement beyond the relative
+   tolerance is reported through the Diag sink together with the seed
+   that reproduces the model ([replay pair seed] rebuilds it exactly).
+
+   Tolerance rationale: each engine in a pair is individually accurate
+   to ~1e-8 on the generated model classes (generators deliberately
+   avoid regimes that are intrinsically ill-conditioned, see gen.ml), so
+   the default 1e-6 relative tolerance leaves two orders of magnitude of
+   headroom — a real bug produces errors far above it, a healthy pair
+   stays far below. *)
+
+open Sharpe_numerics
+module R = Srng
+module E = Sharpe_expo.Exponomial
+module Ctmc = Sharpe_markov.Ctmc
+module Acyclic = Sharpe_markov.Acyclic
+module F = Sharpe_bdd.Formula
+module Ftree = Sharpe_ftree.Ftree
+module Rbd = Sharpe_rbd.Rbd
+module Reach = Sharpe_petri.Reach
+
+(* A generated model that is legitimately outside an oracle's reach
+   (e.g. too many variables to enumerate); not an error. *)
+exception Skip of string
+
+type comparison = { what : string; a : float; b : float }
+
+(* Probabilities and means compare relative to max(1, |a|, |b|): for
+   values of order one this is a relative test, for tiny steady-state
+   components it degrades to an absolute one instead of amplifying
+   noise that no measure can observe. *)
+let rel_err a b =
+  Float.abs (a -. b) /. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+(* --- numeric quadrature (the independent side of the expo oracle) ---- *)
+
+(* Composite Simpson on [a, b] with n (even) subintervals. *)
+let simpson f a b n =
+  let n = if n land 1 = 1 then n + 1 else n in
+  let h = (b -. a) /. float_of_int n in
+  let s = ref (f a +. f b) in
+  for i = 1 to n - 1 do
+    let w = if i land 1 = 1 then 4.0 else 2.0 in
+    s := !s +. (w *. f (a +. (h *. float_of_int i)))
+  done;
+  !s *. h /. 3.0
+
+(* slowest decay rate of an exponomial: bounds how far its survival
+   function carries mass *)
+let min_decay f =
+  List.fold_left
+    (fun acc tm -> if tm.E.rate < 0.0 then Float.min acc (-.tm.E.rate) else acc)
+    infinity (E.terms f)
+
+(* --- oracle pairs ----------------------------------------------------- *)
+
+(* symbolic exponomial state probabilities vs uniformization *)
+let check_acyclic r =
+  let c, init = Gen.acyclic_ctmc r in
+  let n = Ctmc.n_states c in
+  let probs = Acyclic.state_probabilities c ~init in
+  let ts = [ 0.05; 0.3; 1.0; 3.0 ] in
+  let numeric = Ctmc.transient_many c ~init ts in
+  List.concat_map
+    (fun (t, v) ->
+      List.init n (fun i ->
+          { what = Printf.sprintf "P[state %d](t=%g)" i t;
+            a = E.eval probs.(i) t;
+            b = v.(i) }))
+    numeric
+
+(* clamp floating-point negatives and renormalize, mirroring what the
+   iterative path does to its accepted iterate *)
+let as_distribution x =
+  Array.iteri (fun i v -> if v < 0.0 then x.(i) <- 0.0) x;
+  let s = Array.fold_left ( +. ) 0.0 x in
+  if s <> 0.0 then Array.iteri (fun i v -> x.(i) <- v /. s) x;
+  x
+
+let steady_comparisons ~what q =
+  let iterative = Linsolve.ctmc_steady_state ~direct_threshold:0 q in
+  let direct = as_distribution (Linsolve.steady_state_direct q) in
+  Array.to_list
+    (Array.mapi
+       (fun i a -> { what = Printf.sprintf "%s[%d]" what i; a; b = direct.(i) })
+       iterative)
+
+(* Gauss-Seidel/SOR steady state vs direct Gaussian elimination *)
+let check_steady r =
+  let c = Gen.irreducible_ctmc r in
+  steady_comparisons ~what:"pi" (Ctmc.generator c)
+
+(* the same steady-state pair, on the tangible chain of a random SRN
+   (exercises reachability exploration and vanishing-marking removal) *)
+let check_srn r =
+  let net = Gen.srn r in
+  let g = Reach.build net in
+  steady_comparisons ~what:"srn pi" (Ctmc.generator (Reach.ctmc g))
+
+let rec truth bits = function
+  | F.True -> true
+  | F.False -> false
+  | F.Var v -> bits land (1 lsl v) <> 0
+  | F.Not f -> not (truth bits f)
+  | F.And fs -> List.for_all (truth bits) fs
+  | F.Or fs -> List.exists (truth bits) fs
+  | F.Kofn (k, fs) ->
+      List.length (List.filter (fun f -> truth bits f) fs) >= k
+
+(* total probability of the satisfying assignments, by enumeration *)
+let enum_prob nvars formula p =
+  let total = ref 0.0 in
+  for mask = 0 to (1 lsl nvars) - 1 do
+    if truth mask formula then begin
+      let w = ref 1.0 in
+      for v = 0 to nvars - 1 do
+        w := !w *. (if mask land (1 lsl v) <> 0 then p.(v) else 1.0 -. p.(v))
+      done;
+      total := !total +. !w
+    end
+  done;
+  !total
+
+(* fault-tree top event probability: BDD vs truth-table enumeration over
+   the SAME instantiated formula (instantiation replicates non-shared
+   events into independent variables; enumerating the name-resolved
+   structure instead would test a different model) *)
+let check_ftree r =
+  let t = Gen.fault_tree r in
+  let inst = Ftree.instantiate t (Ftree.top t) in
+  let nvars = inst.Ftree.nvars in
+  if nvars > 10 then
+    raise (Skip (Printf.sprintf "instantiated tree has %d variables" nvars));
+  List.map
+    (fun time ->
+      let p = Array.map (fun d -> E.eval d time) inst.Ftree.dists in
+      { what = Printf.sprintf "top event prob(t=%g)" time;
+        a = Ftree.prob_at t time;
+        b = enum_prob nvars inst.Ftree.formula p })
+    [ 0.5; 2.0 ]
+
+(* Component failure states of an RBD, enumerated in traversal order;
+   [leaves] and [fails] must walk the block identically so bit i of the
+   mask always refers to the same physical component (k-of-n replicates
+   its part into n independent copies). *)
+let rbd_leaves blk =
+  let acc = ref [] in
+  let rec go = function
+    | Rbd.Comp f -> acc := f :: !acc
+    | Rbd.Series l | Rbd.Parallel l | Rbd.Kofn_list (_, l) -> List.iter go l
+    | Rbd.Kofn (_, n, part) ->
+        for _ = 1 to n do
+          go part
+        done
+  in
+  go blk;
+  Array.of_list (List.rev !acc)
+
+let rec rbd_fails bits idx = function
+  | Rbd.Comp _ ->
+      let b = bits land (1 lsl !idx) <> 0 in
+      incr idx;
+      b
+  | Rbd.Series l ->
+      List.fold_left
+        (fun acc part ->
+          let f = rbd_fails bits idx part in
+          acc || f)
+        false l
+  | Rbd.Parallel l ->
+      List.fold_left
+        (fun acc part ->
+          let f = rbd_fails bits idx part in
+          acc && f)
+        true l
+  | Rbd.Kofn (k, n, part) ->
+      let failed = ref 0 in
+      for _ = 1 to n do
+        if rbd_fails bits idx part then incr failed
+      done;
+      !failed >= n - k + 1
+  | Rbd.Kofn_list (k, parts) ->
+      let failed =
+        List.fold_left
+          (fun acc part -> if rbd_fails bits idx part then acc + 1 else acc)
+          0 parts
+      in
+      failed >= List.length parts - k + 1
+
+(* RBD unreliability: symbolic series-parallel/k-of-n closed form vs
+   enumeration over component failure states *)
+let check_rbd r =
+  let blk = Gen.rbd r in
+  let leaves = rbd_leaves blk in
+  let n = Array.length leaves in
+  if n > 12 then raise (Skip (Printf.sprintf "block diagram has %d components" n));
+  let cdf = Rbd.failure_cdf blk in
+  List.map
+    (fun time ->
+      let p = Array.map (fun d -> E.eval d time) leaves in
+      let total = ref 0.0 in
+      for mask = 0 to (1 lsl n) - 1 do
+        if rbd_fails mask (ref 0) blk then begin
+          let w = ref 1.0 in
+          for v = 0 to n - 1 do
+            w := !w *. (if mask land (1 lsl v) <> 0 then p.(v) else 1.0 -. p.(v))
+          done;
+          total := !total +. !w
+        end
+      done;
+      { what = Printf.sprintf "unreliability(t=%g)" time;
+        a = E.eval cdf time;
+        b = !total })
+    [ 0.5; 2.0 ]
+
+(* exponomial calculus (convolve / integrate / mean) vs quadrature *)
+let check_expo r =
+  let f = Gen.cdf r and g = Gen.cdf r in
+  let ts = [ 0.4; 1.3; 3.1 ] in
+  let h = E.convolve f g in
+  let df = E.deriv f in
+  let f0 = E.mass_at_zero f in
+  let conv =
+    List.map
+      (fun t ->
+        let quad =
+          (f0 *. E.eval g t)
+          +. simpson (fun x -> E.eval df x *. E.eval g (t -. x)) 0.0 t 1024
+        in
+        { what = Printf.sprintf "convolve(t=%g)" t; a = E.eval h t; b = quad })
+      ts
+  in
+  let fint = E.integrate f in
+  let integ =
+    List.map
+      (fun t ->
+        { what = Printf.sprintf "integrate(t=%g)" t;
+          a = E.eval fint t;
+          b = simpson (fun x -> E.eval f x) 0.0 t 512 })
+      ts
+  in
+  let lam = min_decay f in
+  let mean =
+    if not (Float.is_finite lam) then []
+    else
+      let horizon = 30.0 /. lam in
+      let survival x = 1.0 -. E.eval f x in
+      [ { what = "mean";
+          a = E.mean f;
+          b = simpson survival 0.0 horizon 16384 } ]
+  in
+  conv @ integ @ mean
+
+let oracle_pairs =
+  [ ("acyclic-vs-uniformization", check_acyclic);
+    ("steady-gs-vs-direct", check_steady);
+    ("srn-gs-vs-direct", check_srn);
+    ("ftree-bdd-vs-enum", check_ftree);
+    ("rbd-vs-enum", check_rbd);
+    ("expo-vs-quadrature", check_expo) ]
+
+let pair_names = List.map fst oracle_pairs
+
+let oracle_of name =
+  match List.assoc_opt name oracle_pairs with
+  | Some o -> o
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Check: unknown oracle pair %S (known: %s)" name
+           (String.concat ", " pair_names))
+
+(* Rebuild and re-evaluate the single model behind a reported seed. *)
+let replay name seed = (oracle_of name) (R.make seed)
+
+(* --- harness ---------------------------------------------------------- *)
+
+type discrepancy = {
+  d_pair : string;
+  d_seed : int;
+  d_what : string;
+  d_a : float;
+  d_b : float;
+  d_err : float;
+}
+
+type pair_report = {
+  p_name : string;
+  mutable p_models : int; (* models fully evaluated by both engines *)
+  mutable p_comparisons : int;
+  mutable p_skipped : int;
+  mutable p_errors : int; (* error diagnostics + analysis failures *)
+  mutable p_worst : float; (* largest relative error seen *)
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;
+  r_tol : float;
+  r_pairs : pair_report list;
+  r_discrepancies : discrepancy list;
+}
+
+let total_models rep =
+  List.fold_left (fun acc p -> acc + p.p_models) 0 rep.r_pairs
+
+let total_errors rep =
+  List.fold_left (fun acc p -> acc + p.p_errors) 0 rep.r_pairs
+
+(* Deliberate fault injection for harness self-tests: nudge the second
+   engine's first answer by 1e-3 — three orders of magnitude above the
+   default tolerance — so a healthy harness MUST flag it. *)
+let perturb_first = function
+  | [] -> []
+  | c :: rest ->
+      { c with b = c.b +. (1e-3 *. Float.max 1.0 (Float.abs c.b)) } :: rest
+
+let run_model ~tol ~inject rep discs name oracle mseed =
+  let result, records =
+    Diag.capture (fun () ->
+        match oracle (R.make mseed) with
+        | comps -> `Ok comps
+        | exception Skip msg -> `Skip msg
+        | exception (Failure msg | Invalid_argument msg) -> `Fail msg
+        | exception Linsolve.Singular -> `Fail "singular linear system")
+  in
+  (* engine-internal error diagnostics count against the pair and are
+     replayed into the surrounding sink with the reproducing seed *)
+  let errs = List.filter (fun d -> d.Diag.severity = Diag.Error) records in
+  if errs <> [] then begin
+    rep.p_errors <- rep.p_errors + List.length errs;
+    Diag.with_context (Printf.sprintf "selfcheck %s seed=%d" name mseed)
+      (fun () -> List.iter Diag.emit_record errs)
+  end;
+  match result with
+  | `Skip _ ->
+      rep.p_skipped <- rep.p_skipped + 1;
+      false
+  | `Fail msg ->
+      rep.p_errors <- rep.p_errors + 1;
+      Diag.emitf Diag.Error ~solver:"selfcheck"
+        "pair %s seed=%d: analysis failed: %s" name mseed msg;
+      false
+  | `Ok comps ->
+      rep.p_models <- rep.p_models + 1;
+      let comps = if inject then perturb_first comps else comps in
+      List.iter
+        (fun c ->
+          rep.p_comparisons <- rep.p_comparisons + 1;
+          let e = rel_err c.a c.b in
+          if e > rep.p_worst then rep.p_worst <- e;
+          (* [not (e <= tol)] also catches NaN *)
+          if not (e <= tol) then begin
+            discs :=
+              { d_pair = name;
+                d_seed = mseed;
+                d_what = c.what;
+                d_a = c.a;
+                d_b = c.b;
+                d_err = e }
+              :: !discs;
+            Diag.emitf Diag.Error ~solver:"selfcheck"
+              "pair %s seed=%d: %s disagrees: %.12g vs %.12g (rel err %.3g, tol %.3g)"
+              name mseed c.what c.a c.b e tol
+          end)
+        comps;
+      true
+
+(* Run [count] models per selected oracle pair, deriving each model's
+   seed from the master [seed] and the pair name.  [inject] perturbs one
+   engine of the named pair, to prove the harness would catch a bug. *)
+let run ?(tol = 1e-6) ?inject ?(pairs = pair_names) ~seed ~count () =
+  let discs = ref [] in
+  let reports =
+    List.map
+      (fun name ->
+        let oracle = oracle_of name in
+        let inject = inject = Some name in
+        let rep =
+          { p_name = name;
+            p_models = 0;
+            p_comparisons = 0;
+            p_skipped = 0;
+            p_errors = 0;
+            p_worst = 0.0 }
+        in
+        (* draw fresh attempts past legitimate skips so every pair really
+           evaluates [count] models; the attempt cap keeps a degenerate
+           generator from spinning forever *)
+        let i = ref 0 in
+        let max_attempts = max (4 * count) (count + 16) in
+        while rep.p_models + rep.p_errors < count && !i < max_attempts do
+          Deadline.check ();
+          let mseed = R.derive seed name !i in
+          ignore (run_model ~tol ~inject rep discs name oracle mseed);
+          incr i
+        done;
+        rep)
+      pairs
+  in
+  { r_seed = seed;
+    r_count = count;
+    r_tol = tol;
+    r_pairs = reports;
+    r_discrepancies = List.rev !discs }
+
+let pair_summary p =
+  Printf.sprintf "%-28s %4d models  %5d comparisons  %3d skipped  %d errors  worst rel err %.3g"
+    p.p_name p.p_models p.p_comparisons p.p_skipped p.p_errors p.p_worst
+
+let summary rep =
+  let lines = List.map pair_summary rep.r_pairs in
+  let verdict =
+    Printf.sprintf "selfcheck: %d models, %d discrepancies, %d errors (seed %d, tol %.1g)"
+      (total_models rep)
+      (List.length rep.r_discrepancies)
+      (total_errors rep) rep.r_seed rep.r_tol
+  in
+  String.concat "\n" (lines @ [ verdict ])

@@ -1,0 +1,78 @@
+(** Differential self-check harness.
+
+    Each oracle pair evaluates a seeded random model two independent
+    ways — symbolic exponomials vs uniformization, iterative vs direct
+    linear solves, BDD vs truth-table enumeration, symbolic calculus vs
+    numeric quadrature — and any disagreement beyond the relative
+    tolerance is reported through the {!Sharpe_numerics.Diag} sink
+    together with the seed that reproduces the model. *)
+
+exception Skip of string
+(** Raised by an oracle when a generated model is legitimately outside
+    its reach (e.g. too many variables to enumerate); not an error. *)
+
+type comparison = { what : string; a : float; b : float }
+(** One quantity computed by both engines of a pair. *)
+
+val rel_err : float -> float -> float
+(** Relative difference against [max 1 (max |a| |b|)]: a relative test
+    for values of order one, degrading to an absolute one for tiny
+    probabilities. *)
+
+val pair_names : string list
+(** Names of all oracle pairs, in execution order. *)
+
+val replay : string -> int -> comparison list
+(** [replay pair seed] rebuilds the single model behind a reported seed
+    and re-evaluates it with both engines.  Raises [Invalid_argument]
+    for an unknown pair name and [Skip] if the model is outside the
+    oracle's reach. *)
+
+type discrepancy = {
+  d_pair : string;
+  d_seed : int;
+  d_what : string;
+  d_a : float;
+  d_b : float;
+  d_err : float;
+}
+
+type pair_report = {
+  p_name : string;
+  mutable p_models : int;  (** models fully evaluated by both engines *)
+  mutable p_comparisons : int;
+  mutable p_skipped : int;
+  mutable p_errors : int;  (** error diagnostics + analysis failures *)
+  mutable p_worst : float;  (** largest relative error seen *)
+}
+
+type report = {
+  r_seed : int;
+  r_count : int;
+  r_tol : float;
+  r_pairs : pair_report list;
+  r_discrepancies : discrepancy list;
+}
+
+val total_models : report -> int
+val total_errors : report -> int
+
+val run :
+  ?tol:float ->
+  ?inject:string ->
+  ?pairs:string list ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** Run [count] models per selected oracle pair (default: all pairs),
+    deriving each model's seed from the master [seed] and the pair name.
+    Discrepancies beyond [tol] (default 1e-6 relative) and engine errors
+    are emitted as error-severity diagnostics carrying the reproducing
+    seed.  [inject] perturbs one engine of the named pair — a harness
+    self-test that MUST produce discrepancies.  Checks the cooperative
+    {!Sharpe_numerics.Deadline} between models. *)
+
+val pair_summary : pair_report -> string
+val summary : report -> string
+(** Human-readable per-pair table plus a one-line verdict. *)

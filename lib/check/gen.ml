@@ -1,0 +1,220 @@
+(* Seeded random model generators for the differential self-check
+   harness.  Every generator is a pure function of its Srng state, so a
+   model is reproduced exactly by re-seeding with the value printed in a
+   discrepancy diagnostic.
+
+   Design constraints, per generator:
+
+   - acyclic CTMCs draw rates from a coarse grid.  The symbolic engine
+     integrates exponomials whose rates are *differences* of exit rates;
+     grid rates make those differences either exactly zero (handled by
+     the equal-rate closed form) or well separated, so the oracle
+     comparison tests the engines, not the intrinsic ill-conditioning of
+     nearly-confluent partial fractions.
+   - irreducible CTMCs contain a Hamiltonian ring plus random chords, so
+     irreducibility holds by construction and the steady-state solvers
+     are always comparing answers to the same well-posed question.
+   - fault trees mark every multiply-referenced event as shared
+     (SHARPE's `repeat`): a *basic* event referenced from two gates is by
+     definition replicated into independent copies, which is exactly the
+     semantics the BDD instantiation implements and the enumeration
+     oracle must see the same formula for.
+   - SRNs conserve tokens (every transition moves one token along a ring
+     or a chord), which bounds the reachability set a priori and keeps
+     the tangible chain irreducible. *)
+
+module R = Srng
+module E = Sharpe_expo.Exponomial
+module Dist = Sharpe_expo.Dist
+module Ctmc = Sharpe_markov.Ctmc
+module Ftree = Sharpe_ftree.Ftree
+module Rbd = Sharpe_rbd.Rbd
+module Net = Sharpe_petri.Net
+
+let grid_rate r = 0.5 *. float_of_int (1 + R.int r 8) (* 0.5 .. 4.0 *)
+
+(* Random proper CDF from SHARPE's built-in families, on the same coarse
+   rate grid (equal rates hit the exact equal-rate convolution path;
+   unequal ones are >= 0.5 apart, keeping partial fractions
+   well-conditioned). *)
+let cdf r =
+  match R.int r 4 with
+  | 0 -> Dist.exponential (grid_rate r)
+  | 1 -> Dist.erlang (1 + R.int r 3) (grid_rate r)
+  | 2 ->
+      let m1 = grid_rate r and m2 = grid_rate r in
+      if m1 = m2 then Dist.erlang 2 m1 else Dist.hypoexp m1 m2
+  | _ ->
+      let p = R.range r 0.05 0.95 in
+      Dist.hyperexp (grid_rate r) p (grid_rate r) (1.0 -. p)
+
+let _ = E.zero (* silence unused-module warnings when E is only used here *)
+
+(* --- acyclic CTMC --------------------------------------------------- *)
+
+(* states 0..n-1 in topological order; state n-1 absorbing *)
+let acyclic_ctmc r =
+  let n = 3 + R.int r 6 in
+  let rates = ref [] in
+  for i = 0 to n - 2 do
+    let absorbing = i > 0 && R.float r < 0.15 in
+    if not absorbing then begin
+      let span = n - 1 - i in
+      let deg = 1 + R.int r (min 3 span) in
+      (* claim [deg] distinct targets above i *)
+      let targets = Array.init span (fun k -> i + 1 + k) in
+      for k = 0 to deg - 1 do
+        let j = k + R.int r (span - k) in
+        let t = targets.(j) in
+        targets.(j) <- targets.(k);
+        targets.(k) <- t;
+        rates := (i, t, grid_rate r) :: !rates
+      done
+    end
+  done;
+  let c = Ctmc.make ~n !rates in
+  let init = Array.make n 0.0 in
+  if R.float r < 0.3 then begin
+    let p = 0.25 +. (0.5 *. R.float r) in
+    init.(0) <- p;
+    init.(1) <- 1.0 -. p
+  end
+  else init.(0) <- 1.0;
+  (c, init)
+
+(* --- irreducible CTMC ----------------------------------------------- *)
+
+let irreducible_ctmc r =
+  let n = 2 + R.int r 19 in
+  let rates = ref [] in
+  for i = 0 to n - 1 do
+    rates := (i, (i + 1) mod n, R.log_range r 0.01 100.0) :: !rates
+  done;
+  let chords = R.int r (2 * n) in
+  for _ = 1 to chords do
+    let i = R.int r n and j = R.int r n in
+    if i <> j then rates := (i, j, R.log_range r 0.01 100.0) :: !rates
+  done;
+  Ctmc.make ~n !rates
+
+(* --- fault tree ------------------------------------------------------ *)
+
+let fault_tree r =
+  let t = Ftree.create () in
+  let n_shared = 2 + R.int r 4 in
+  let shared =
+    Array.init n_shared (fun i ->
+        let name = Printf.sprintf "s%d" i in
+        Ftree.repeat t name (Dist.exponential (R.log_range r 0.05 2.0));
+        name)
+  in
+  let n_gates = 2 + R.int r 3 in
+  let basics = ref 0 in
+  let gates = ref [||] in
+  for gi = 0 to n_gates - 1 do
+    let arity = 2 + R.int r 2 in
+    let inputs =
+      List.init arity (fun _ ->
+          let choice = R.float r in
+          if choice < 0.4 then R.pick r shared
+          else if choice < 0.75 || Array.length !gates = 0 then begin
+            (* fresh basic event: referenced exactly once, so the
+               BDD instantiation never has to replicate it *)
+            incr basics;
+            let name = Printf.sprintf "b%d" !basics in
+            Ftree.basic t name (Dist.exponential (R.log_range r 0.05 2.0));
+            name
+          end
+          else R.pick r !gates)
+    in
+    let kind =
+      match R.int r 5 with
+      | 0 | 1 -> Ftree.And
+      | 2 | 3 -> Ftree.Or
+      | _ -> Ftree.Kofn 2
+    in
+    let name = Printf.sprintf "g%d" gi in
+    Ftree.gate t name kind inputs;
+    gates := Array.append !gates [| name |]
+  done;
+  t
+
+(* --- reliability block diagram --------------------------------------- *)
+
+let rec rbd_block r depth =
+  if depth = 0 || R.float r < 0.35 then
+    Rbd.Comp (Dist.exponential (R.log_range r 0.1 5.0))
+  else
+    let parts k = List.init k (fun _ -> rbd_block r (depth - 1)) in
+    match R.int r 4 with
+    | 0 -> Rbd.Series (parts (2 + R.int r 2))
+    | 1 -> Rbd.Parallel (parts (2 + R.int r 2))
+    | 2 ->
+        let n = 2 + R.int r 2 in
+        Rbd.Kofn (1 + R.int r n, n, rbd_block r (depth - 1))
+    | _ ->
+        let n = 2 + R.int r 2 in
+        Rbd.Kofn_list (1 + R.int r n, parts n)
+
+let rbd r = rbd_block r 2
+
+(* number of independent components, counting k-of-n replication *)
+let rec rbd_leaves = function
+  | Rbd.Comp _ -> 1
+  | Rbd.Series l | Rbd.Parallel l | Rbd.Kofn_list (_, l) ->
+      List.fold_left (fun a b -> a + rbd_leaves b) 0 l
+  | Rbd.Kofn (_, n, b) -> n * rbd_leaves b
+
+(* --- stochastic Petri net -------------------------------------------- *)
+
+let srn r =
+  let k = 2 + R.int r 3 in
+  let tokens = 1 + R.int r 3 in
+  let places =
+    List.init k (fun i -> (Printf.sprintf "p%d" i, if i = 0 then tokens else 0))
+  in
+  let timed name src dst =
+    let c = R.log_range r 0.05 20.0 in
+    let rate =
+      if R.bool r then fun (m : Net.marking) -> c *. float_of_int m.(src)
+      else fun _ -> c
+    in
+    { Net.t_name = name;
+      kind = Net.Timed;
+      rate;
+      guard = (fun _ -> true);
+      priority = 0;
+      inputs = [ (src, fun _ -> 1) ];
+      outputs = [ (dst, fun _ -> 1) ];
+      inhibitors = [] }
+  in
+  let trans = ref [] in
+  for i = 0 to k - 1 do
+    trans := timed (Printf.sprintf "ring%d" i) i ((i + 1) mod k) :: !trans
+  done;
+  let chords = R.int r k in
+  for c = 1 to chords do
+    let src = R.int r k and dst = R.int r k in
+    if src <> dst then
+      trans := timed (Printf.sprintf "chord%d" c) src dst :: !trans
+  done;
+  (* optionally a single immediate transition out of a non-initial place:
+     its source place becomes vanishing-emptied, exercising the
+     vanishing-marking elimination without ever creating vanishing loops *)
+  if k > 1 && R.float r < 0.35 then begin
+    let src = 1 + R.int r (k - 1) in
+    let dst = (src + 1 + R.int r (k - 1)) mod k in
+    if dst <> src then
+      let w = R.range r 0.5 2.0 in
+      trans :=
+        { Net.t_name = "imm";
+          kind = Net.Immediate;
+          rate = (fun _ -> w);
+          guard = (fun _ -> true);
+          priority = 1;
+          inputs = [ (src, fun _ -> 1) ];
+          outputs = [ (dst, fun _ -> 1) ];
+          inhibitors = [] }
+        :: !trans
+  end;
+  Net.build ~places ~transitions:(List.rev !trans)

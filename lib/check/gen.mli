@@ -1,0 +1,40 @@
+(** Seeded random model generators for the differential self-check
+    harness.
+
+    Every generator is a pure function of its [Srng] state, so a model
+    is rebuilt exactly by re-seeding with the value printed in a
+    discrepancy diagnostic.  Generators deliberately avoid regimes that
+    are intrinsically ill-conditioned (see the rationale comments in the
+    implementation): the harness hunts engine disagreement, not
+    conditioning folklore. *)
+
+val cdf : Srng.t -> Sharpe_expo.Exponomial.t
+(** A random proper CDF from SHARPE's built-in families (exponential,
+    erlang, hypoexponential, hyperexponential) over a coarse rate grid:
+    rates are either exactly equal or at least 0.5 apart. *)
+
+val acyclic_ctmc : Srng.t -> Sharpe_markov.Ctmc.t * float array
+(** An acyclic CTMC (3–8 states in topological order, some absorbing,
+    grid rates) together with its initial probability vector. *)
+
+val irreducible_ctmc : Srng.t -> Sharpe_markov.Ctmc.t
+(** An irreducible CTMC: a Hamiltonian ring (irreducibility by
+    construction) plus random chords, 2–20 states, rates log-uniform
+    over [0.01, 100]. *)
+
+val fault_tree : Srng.t -> Sharpe_ftree.Ftree.t
+(** A fault tree of and/or/2-of-n gates over shared ([repeat]) basic
+    events and fresh single-reference basic events. *)
+
+val rbd : Srng.t -> Sharpe_rbd.Rbd.t
+(** A reliability block diagram of depth <= 2 mixing series, parallel
+    and both k-of-n forms over exponential components. *)
+
+val rbd_leaves : Sharpe_rbd.Rbd.t -> int
+(** Number of independent components of a block, counting k-of-n
+    replication. *)
+
+val srn : Srng.t -> Sharpe_petri.Net.t
+(** A token-conserving stochastic Petri net (ring plus chords, optional
+    marking-dependent rates, optionally one immediate transition that
+    exercises vanishing-marking elimination). *)

@@ -1,0 +1,50 @@
+(* Deterministic seeded PRNG for the differential self-check harness
+   (SplitMix64).  The harness must reproduce a failing model from the
+   seed printed in its diagnostic, on any platform and regardless of the
+   stdlib Random implementation, so the generator is spelled out here:
+   64-bit state, one constant-time mixing step per draw. *)
+
+type t = { mutable state : int64 }
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let make seed = { state = mix64 (Int64.of_int seed) }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+(* uniform in [0, 1) with 53 random bits *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+(* uniform in {0, ..., n-1}; the modulo bias over a 62-bit range is far
+   below anything a few thousand draws can observe *)
+let int t n =
+  if n <= 0 then invalid_arg "Srng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 2) (Int64.of_int n))
+
+let bool t = Int64.logand (next t) 1L = 1L
+let range t lo hi = lo +. ((hi -. lo) *. float t)
+let log_range t lo hi = exp (range t (log lo) (log hi))
+let pick t arr = arr.(int t (Array.length arr))
+
+(* Derive the seed of model [i] of oracle pair [name] from the master
+   seed: mixing the pair name in keeps the streams of different pairs
+   independent even though they share one master seed. *)
+let derive master name i =
+  let h =
+    String.fold_left
+      (fun acc c -> Int64.add (Int64.mul acc 31L) (Int64.of_int (Char.code c)))
+      7L name
+  in
+  let z = mix64 (Int64.logxor (Int64.of_int master) (Int64.mul h golden)) in
+  let z = mix64 (Int64.add z (Int64.of_int i)) in
+  (* a nonnegative OCaml int, convenient to print and re-parse *)
+  Int64.to_int (Int64.shift_right_logical z 2)

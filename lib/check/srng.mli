@@ -1,0 +1,39 @@
+(** Deterministic seeded PRNG for the differential self-check harness.
+
+    SplitMix64, spelled out in full so that a model seed printed in a
+    discrepancy diagnostic reproduces the identical model on any
+    platform and OCaml version, independent of the stdlib [Random]
+    implementation. *)
+
+type t
+
+val make : int -> t
+(** Fresh generator from an integer seed (the seed is mixed, so small
+    consecutive seeds give uncorrelated streams). *)
+
+val next : t -> int64
+(** Next raw 64-bit draw. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53 random bits. *)
+
+val int : t -> int -> int
+(** [int r n] is uniform in [{0, ..., n-1}]; raises [Invalid_argument]
+    when [n <= 0]. *)
+
+val bool : t -> bool
+
+val range : t -> float -> float -> float
+(** [range r lo hi] is uniform in [[lo, hi)]. *)
+
+val log_range : t -> float -> float -> float
+(** Log-uniform in [[lo, hi)]: each decade equally likely. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val derive : int -> string -> int -> int
+(** [derive master pair i] is the seed of model [i] of oracle pair
+    [pair] under [master]: a nonnegative int, deterministic in all three
+    arguments, with the pair name mixed in so different pairs see
+    independent streams of the same master seed. *)

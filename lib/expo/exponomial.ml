@@ -58,9 +58,17 @@ let complement a = sub one a
 let sum l = List.fold_left add zero l
 let prod l = List.fold_left mul one l
 
+(* Equality within [eps] RELATIVE to the largest coefficient magnitude of
+   the operands.  An absolute epsilon gets both extremes wrong: 1e-8-scale
+   exponomials that differ by 100% still pass (every difference sits below
+   the epsilon), while 1e8-scale ones that differ only in rounding noise
+   fail.  Two zero exponomials have no terms and compare equal vacuously. *)
 let equal ?(eps = 1e-9) a b =
   let d = sub a b in
-  List.for_all (fun t -> Float.abs t.coeff <= eps) d
+  let scale =
+    List.fold_left (fun m t -> Float.max m (Float.abs t.coeff)) 0.0 (a @ b)
+  in
+  List.for_all (fun t -> Float.abs t.coeff <= eps *. scale) d
 
 let eval f t =
   List.fold_left
@@ -143,15 +151,30 @@ let limit_at_inf f =
 
 let mass_at_zero f = eval f 0.0
 
+(* Rates within this RELATIVE distance are convolved through the
+   equal-rate closed form.  The partial-fraction branch divides by powers
+   of gamma = alpha - beta, amplifying coefficient roundoff by
+   eps_machine / |gamma_rel| across terms that almost cancel; below 1e-8
+   relative separation that amplified noise (~1e-8) exceeds the error of
+   simply merging the rates (O(|gamma| t) ~ 1e-8 over unit horizons), so
+   merging is the more accurate branch — and it cannot blow up. *)
+let conv_rate_eps = 1e-8
+
+let near_rate b1 b2 =
+  Float.abs (b1 -. b2)
+  <= conv_rate_eps *. Float.max 1.0 (Float.max (Float.abs b1) (Float.abs b2))
+
 (* contribution of density term (a, m, alpha) against CDF term (c, n, beta):
    a*c * integral over (0,t] of x^m e^(alpha x) (t-x)^n e^(beta (t-x)) dx *)
 let conv_pair (a, m, alpha) (c, n, beta) =
   let w0 = a *. c in
-  if same_rate alpha beta then
-    (* e^(beta t) * m! n! / (m+n+1)! * t^(m+n+1) *)
+  if near_rate alpha beta then
+    (* e^(beta t) * m! n! / (m+n+1)! * t^(m+n+1); for nearly-equal rates
+       split the (tiny) difference symmetrically between the operands *)
+    let rate = if alpha = beta then beta else 0.5 *. (alpha +. beta) in
     [ { coeff = w0 *. factorial m *. factorial n /. factorial (m + n + 1);
         power = m + n + 1;
-        rate = beta } ]
+        rate } ]
   else begin
     let gamma = alpha -. beta in
     let acc = ref [] in

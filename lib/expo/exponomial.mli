@@ -25,7 +25,13 @@ val of_terms : term list -> t
 val terms : t -> term list
 
 val is_zero : t -> bool
+
 val equal : ?eps:float -> t -> t -> bool
+(** Coefficient-wise comparison of canonicalized term lists, relative to
+    the largest coefficient magnitude across both operands: exponomials
+    of order 1e-8 and of order 1e8 are both compared meaningfully.
+    [eps] (default 1e-9) is the allowed relative difference; two empty
+    (zero) exponomials are equal. *)
 
 val add : t -> t -> t
 val sub : t -> t -> t

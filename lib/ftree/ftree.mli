@@ -37,6 +37,24 @@ val gate : t -> string -> gate_kind -> string list -> unit
 val top : t -> string
 (** The default analysis target: the last gate defined. *)
 
+type instance = {
+  nvars : int;
+  dists : Sharpe_expo.Exponomial.t array;  (** var -> distribution *)
+  names : string array;  (** var -> display name *)
+  by_name : (string, int list) Hashtbl.t;  (** event name -> vars *)
+  formula : int Sharpe_bdd.Formula.t;
+}
+(** The instantiated view of a gate: the boolean formula over independent
+    variables that the BDD is actually built from, with [basic] events
+    replicated into fresh variables per appearance and [repeat] events
+    shared.  This is the ground truth an independent oracle (e.g. the
+    self-check harness' truth-table enumeration) must evaluate — the
+    name-level {!structure} view treats every event as shared and is a
+    different model whenever a basic event appears twice. *)
+
+val instantiate : t -> string -> instance
+(** [instantiate t gate] resolves [gate] to its instantiated formula. *)
+
 val cdf : ?gate:string -> t -> Sharpe_expo.Exponomial.t
 (** Symbolic CDF of the gate (default top) being true as a function of t. *)
 

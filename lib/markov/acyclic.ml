@@ -27,26 +27,42 @@ let is_acyclic c = topo_order c <> None
 let shift_rate b f =
   E.of_terms (List.map (fun t -> { t with E.rate = t.E.rate +. b }) (E.terms f))
 
+(* Predecessor adjacency of a generator in ONE sparse pass: preds.(j) is
+   the list of (i, q_ij) with i <> j and q_ij > 0.  A negative
+   off-diagonal entry means the matrix is not a CTMC generator at all; it
+   is rejected loudly (Diag error + Invalid_argument) instead of being
+   silently filtered out of the inflow sums. *)
+let predecessors q =
+  let preds = Array.make (Sparse.cols q) [] in
+  Sparse.iter q (fun i j r ->
+      if i <> j then
+        if r < 0.0 then begin
+          Diag.emitf Diag.Error ~solver:"acyclic" ~residual:r
+            "negative off-diagonal rate %.6g on transition %d -> %d: not a generator"
+            r i j;
+          invalid_arg "Acyclic: negative off-diagonal rate in generator"
+        end
+        else if r > 0.0 then preds.(j) <- (i, r) :: preds.(j));
+  preds
+
 let state_probabilities c ~init =
   match topo_order c with
   | None -> invalid_arg "Acyclic: chain has a cycle"
   | Some order ->
       let n = Ctmc.n_states c in
       if Array.length init <> n then invalid_arg "Acyclic: init length";
-      let q = Ctmc.generator c in
+      let preds = predecessors (Ctmc.generator c) in
       let probs = Array.make n E.zero in
       List.iter
         (fun i ->
           let d = Ctmc.exit_rate c i in
           (* inflow_i(s) = sum over predecessors j of P_j(s) q_(j,i) *)
-          let inflow = ref E.zero in
-          List.iter
-            (fun j ->
-              if j <> i then
-                let r = Sparse.get q j i in
-                if r > 0.0 then inflow := E.add !inflow (E.scale r probs.(j)))
-            order;
-          let integrand = shift_rate d !inflow in
+          let inflow =
+            List.fold_left
+              (fun acc (j, r) -> E.add acc (E.scale r probs.(j)))
+              E.zero preds.(i)
+          in
+          let integrand = shift_rate d inflow in
           let integral = E.integrate integrand in
           probs.(i) <- shift_rate (-.d) (E.add (E.const init.(i)) integral))
         order;

@@ -10,6 +10,15 @@
 
 val is_acyclic : Ctmc.t -> bool
 
+val predecessors :
+  Sharpe_numerics.Sparse.t -> (int * float) list array
+(** [predecessors q] builds the predecessor adjacency of a generator in a
+    single sparse pass: entry [j] lists [(i, q_ij)] for the positive
+    off-diagonal entries of column [j].  A negative off-diagonal entry is
+    rejected with a {!Sharpe_numerics.Diag.Error} diagnostic and
+    [Invalid_argument] — such a matrix is not a CTMC generator, and
+    silently ignoring the entry would corrupt every downstream inflow. *)
+
 val state_probabilities :
   Ctmc.t -> init:float array -> Sharpe_expo.Exponomial.t array
 (** [state_probabilities c ~init] returns P_i(t) for every state as an

@@ -58,6 +58,14 @@ val solve : ?max_iter:int -> ?tol:float -> Sparse.t -> float array -> float arra
     verified against [||a x - b||_inf].
     @raise Singular if even the direct solve finds no unique solution. *)
 
+val steady_state_direct : Sparse.t -> float array
+(** [steady_state_direct q] solves [pi Q = 0] with the last balance
+    equation replaced by [sum pi = 1], by Gaussian elimination.  This is
+    the direct path of {!ctmc_steady_state}, exported on its own so the
+    differential self-check harness can confront it with the iterative
+    path.  The result is NOT clamped or renormalized.
+    @raise Singular on reducible generators. *)
+
 val ctmc_steady_state :
   ?max_iter:int -> ?tol:float -> ?direct_threshold:int ->
   Sparse.t -> float array

@@ -24,24 +24,49 @@ let window ?(eps = 1e-12) m =
   if m = 0.0 then { left = 0; right = 0; weights = [| 1.0 |] }
   else begin
     let mode = int_of_float (Float.floor m) in
-    (* expand left from the mode until tail < eps/2, likewise right *)
+    (* Expand left from the mode until the CUMULATIVE tail mass outside
+       the boundary is below eps/2, likewise right.  Truncating where the
+       individual pmf drops below eps/2 is not enough: for large means the
+       tail contains O(sqrt m) comparable terms, so the discarded mass can
+       exceed eps by orders of magnitude.  The cumulative mass is bounded
+       geometrically — ratios p_{k-1}/p_k = k/m below the mode are at most
+       q = (L-1)/m < 1, so sum_{k<L} p_k <= p_{L-1} / (1 - q), and
+       symmetrically above with q = m/(R+2). *)
     let p_mode = log_pmf m mode in
-    (* Walk down with the ratio recurrence p_{k-1} = p_k * k / m (in linear
+    (* Walk with the ratio recurrence p_{k-1} = p_k * k / m (in linear
        space relative to the mode value to avoid under/overflow). *)
     let half = eps /. 2.0 in
     let rel_floor = half *. exp (-.p_mode) in
-    (* left boundary *)
+    (* left boundary: stop at L once p_{L-1} / (1 - (L-1)/m) is small
+       enough; L <= mode <= m guarantees the ratio bound q < 1 *)
     let left = ref mode and rel = ref 1.0 in
-    while !left > 0 && !rel > rel_floor do
-      rel := !rel *. float_of_int !left /. m;
-      decr left
+    let stop = ref (!left = 0) in
+    while not !stop do
+      let l = !left in
+      let rel_prev = !rel *. float_of_int l /. m in
+      let q = float_of_int (l - 1) /. m in
+      if rel_prev <= rel_floor *. (1.0 -. q) then stop := true
+      else begin
+        rel := rel_prev;
+        decr left;
+        if !left = 0 then stop := true
+      end
     done;
-    (* right boundary *)
+    (* right boundary: stop at R once p_{R+1} / (1 - m/(R+2)) is small
+       enough (only meaningful past the mode, where the ratio q < 1) *)
     let right = ref mode in
     rel := 1.0;
-    while !rel > rel_floor || !right < mode + 2 do
-      incr right;
-      rel := !rel *. m /. float_of_int !right
+    stop := false;
+    while not !stop do
+      let r = !right in
+      let rel_next = !rel *. m /. float_of_int (r + 1) in
+      let q = m /. float_of_int (r + 2) in
+      if r >= mode + 2 && q < 1.0 && rel_next <= rel_floor *. (1.0 -. q) then
+        stop := true
+      else begin
+        right := r + 1;
+        rel := rel_next
+      end
     done;
     let l = !left and r = !right in
     let weights = Array.init (r - l + 1) (fun i -> exp (log_pmf m (l + i))) in

@@ -31,6 +31,18 @@ let tangible_marking g i = Array.copy g.tangibles.(i)
 let ctmc g = g.ctmc
 let initial_distribution g = Array.copy g.init
 
+(* Resource-limit and malformed-net failures surface as a structured
+   Diag error BEFORE the exception, so a daemon or batch run that
+   recovers from the exception still reports the cause through
+   [--diagnostics]; the exception message carries the same text for
+   direct callers. *)
+let limit_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Diag.emit Diag.Error ~solver:"reach" msg;
+      failwith ("Reach: " ^ msg))
+    fmt
+
 module MarkingTbl = Hashtbl.Make (struct
   type t = int array
 
@@ -55,7 +67,8 @@ let explore_skeleton ?(max_markings = 200_000) n =
     | Some i -> i
     | None ->
         if !count >= max_markings then
-          failwith "Reach: reachability set exceeds the marking limit";
+          limit_error "reachability set exceeds the marking limit (%d)"
+            max_markings;
         let i = !count in
         incr count;
         MarkingTbl.add ids m i;
@@ -115,7 +128,7 @@ let vanishing_absorption raw tangible_id =
           on_stack.(v) <- true;
           let total = Array.fold_left (fun a (_, w) -> a +. w) 0.0 raw.succs.(v) in
           if total <= 0.0 then
-            failwith "Reach: vanishing marking with no enabled weight";
+            limit_error "vanishing marking %d has no enabled weight" v;
           let acc = Hashtbl.create 8 in
           Array.iter
             (fun (dst, w) ->
@@ -145,7 +158,9 @@ let vanishing_absorption raw tangible_id =
     (* general case: solve (I - P_VV) X = P_VT by dense elimination *)
     let vs = Array.of_list vanishing_ids in
     let nv = Array.length vs in
-    if nv > 1500 then failwith "Reach: vanishing loop too large for direct solve";
+    if nv > 1500 then
+      limit_error "vanishing loop of %d markings too large for direct solve (limit 1500)"
+        nv;
     let vidx = Hashtbl.create 64 in
     Array.iteri (fun k v -> Hashtbl.add vidx v k) vs;
     let a = Matrix.identity nv in

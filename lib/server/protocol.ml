@@ -5,6 +5,7 @@ type request =
   | Eval of { session : string option; src : string; timeout : float option }
   | Bind of { session : string; name : string; value : float }
   | Query of { session : string; expr : string; timeout : float option }
+  | Selfcheck of { count : int option; seed : int option; timeout : float option }
   | Stats
   | Shutdown
 
@@ -13,6 +14,7 @@ let op_name = function
   | Eval _ -> "eval"
   | Bind _ -> "bind"
   | Query _ -> "query"
+  | Selfcheck _ -> "selfcheck"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
@@ -35,6 +37,12 @@ let num_field obj name =
   | Some (Json.Num x) -> Ok x
   | Some _ -> Error (Printf.sprintf "field %S must be a number" name)
   | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_int_field obj name =
+  match Json.member name obj with
+  | Some (Json.Num x) when Float.is_integer x -> Ok (Some (int_of_float x))
+  | Some Json.Null | None -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
 
 let opt_timeout obj =
   match Json.member "timeout" obj with
@@ -69,6 +77,11 @@ let parse_request line =
             let* expr = str_field obj "expr" in
             let* timeout = opt_timeout obj in
             Ok (Query { session; expr; timeout })
+        | "selfcheck" ->
+            let* count = opt_int_field obj "count" in
+            let* seed = opt_int_field obj "seed" in
+            let* timeout = opt_timeout obj in
+            Ok (Selfcheck { count; seed; timeout })
         | "stats" -> Ok Stats
         | "shutdown" -> Ok Shutdown
         | op -> Error (Printf.sprintf "unknown op %S" op)

@@ -7,6 +7,10 @@ type request =
   | Eval of { session : string option; src : string; timeout : float option }
   | Bind of { session : string; name : string; value : float }
   | Query of { session : string; expr : string; timeout : float option }
+  | Selfcheck of { count : int option; seed : int option; timeout : float option }
+      (** run the differential self-check harness inside the live daemon:
+          [count] models per oracle pair (default 200, capped) from
+          [seed] (default 2002) *)
   | Stats
   | Shutdown
 

@@ -2,8 +2,21 @@ module Pool = Sharpe_numerics.Pool
 module Deadline = Sharpe_numerics.Deadline
 module Diag = Sharpe_numerics.Diag
 module Interp = Sharpe_lang.Interp
+module Check = Sharpe_check.Check
 
 type listen = [ `Unix of string | `Tcp of string * int ]
+
+exception Bind_error of string
+(* Socket setup failures (unresolvable host, port in use, bad path) are
+   configuration errors, not crashes: they carry a structured Diag error
+   and this dedicated exception so launchers print one clean line. *)
+
+let bind_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Diag.emit Diag.Error ~solver:"server" msg;
+      raise (Bind_error msg))
+    fmt
 
 type config = {
   max_request_bytes : int;
@@ -151,6 +164,64 @@ let handle_query st ~id ~session ~expr ~timeout =
           ( false,
             Protocol.error ~id ~kind:"internal" (Printexc.to_string exn) ))
 
+(* A live daemon can be audited without restarting it: run the
+   differential harness on a pool worker (cancellable by deadline like
+   any other request) and return the per-pair summary plus every
+   diagnostic the run produced.  The model cap bounds one request's CPU
+   time; the response's [clean] flag is the audit verdict. *)
+let selfcheck_max_count = 10_000
+
+let handle_selfcheck st ~id ~count ~seed ~timeout =
+  let count = Option.value count ~default:200 in
+  let seed = Option.value seed ~default:2002 in
+  if count < 1 || count > selfcheck_max_count then
+    ( false,
+      Protocol.error ~id ~kind:"bad_request"
+        (Printf.sprintf "count must be between 1 and %d" selfcheck_max_count) )
+  else begin
+    let deadline = deadline_of st timeout in
+    let job =
+      Pool.submit ?deadline (fun () ->
+          Diag.capture (fun () -> Check.run ~seed ~count ()))
+    in
+    match Pool.await job with
+    | Ok (rep, records) ->
+        let errs = count_error_diags records in
+        Stats.add_error_diagnostics st.stats errs;
+        let ndisc = List.length rep.Check.r_discrepancies in
+        let clean = ndisc = 0 && errs = 0 in
+        let pairs =
+          Json.List
+            (List.map
+               (fun p ->
+                 Json.Obj
+                   [ ("name", Json.Str p.Check.p_name);
+                     ("models", Json.Num (float_of_int p.Check.p_models));
+                     ( "comparisons",
+                       Json.Num (float_of_int p.Check.p_comparisons) );
+                     ("skipped", Json.Num (float_of_int p.Check.p_skipped));
+                     ("errors", Json.Num (float_of_int p.Check.p_errors));
+                     ("worst_rel_err", Json.Num p.Check.p_worst) ])
+               rep.Check.r_pairs)
+        in
+        ( clean,
+          Protocol.ok ~id
+            [ ("seed", Json.Num (float_of_int seed));
+              ("tolerance", Json.Num rep.Check.r_tol);
+              ("models", Json.Num (float_of_int (Check.total_models rep)));
+              ("discrepancies", Json.Num (float_of_int ndisc));
+              ("errors", Json.Num (float_of_int errs));
+              ("clean", Json.Bool clean);
+              ("pairs", pairs);
+              ("diagnostics", Protocol.diagnostics_json records) ] )
+    | Error (Deadline.Timed_out, _) ->
+        ( false,
+          Protocol.error ~id ~kind:"timeout"
+            "selfcheck exceeded its deadline and was cancelled" )
+    | Error (exn, _) ->
+        (false, Protocol.error ~id ~kind:"internal" (Printexc.to_string exn))
+  end
+
 let handle_bind st ~id ~session ~name ~value =
   with_session st (Some session) (fun e ->
       Interp.Session.bind e.sess name value;
@@ -172,6 +243,9 @@ let handle_request st parsed =
           (op, ok, resp)
       | Protocol.Query { session; expr; timeout } ->
           let ok, resp = handle_query st ~id ~session ~expr ~timeout in
+          (op, ok, resp)
+      | Protocol.Selfcheck { count; seed; timeout } ->
+          let ok, resp = handle_selfcheck st ~id ~count ~seed ~timeout in
           (op, ok, resp)
       | Protocol.Stats ->
           Stats.set_sessions st.stats (session_count st);
@@ -222,23 +296,32 @@ let handle_connection st fd =
 (* --- the accept loop ---------------------------------------------------- *)
 
 let bind_socket = function
-  | `Unix path ->
+  | `Unix path -> (
       (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
       let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.bind s (Unix.ADDR_UNIX path);
-      s
-  | `Tcp (host, port) ->
+      try
+        Unix.bind s (Unix.ADDR_UNIX path);
+        s
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close s with Unix.Unix_error (_, _, _) -> ());
+        bind_error "cannot bind unix socket %S: %s" path (Unix.error_message e))
+  | `Tcp (host, port) -> (
       let addr =
         try Unix.inet_addr_of_string host
         with Failure _ -> (
           match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
           | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
-          | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+          | _ | (exception Not_found) ->
+              bind_error "cannot resolve host %S" host)
       in
       let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt s Unix.SO_REUSEADDR true;
-      Unix.bind s (Unix.ADDR_INET (addr, port));
-      s
+      try
+        Unix.bind s (Unix.ADDR_INET (addr, port));
+        s
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close s with Unix.Unix_error (_, _, _) -> ());
+        bind_error "cannot bind %s:%d: %s" host port (Unix.error_message e))
 
 let serve ?(config = default_config) ?ready listen =
   (* a client that disconnects mid-response must not kill the daemon *)

@@ -9,6 +9,12 @@
 
 type listen = [ `Unix of string | `Tcp of string * int ]
 
+exception Bind_error of string
+(** Socket setup failed (unresolvable host, address in use, bad socket
+    path).  Raised by {!serve} after recording a
+    {!Sharpe_numerics.Diag.Error}; launchers catch it to exit with one
+    clean message instead of a backtrace. *)
+
 type config = {
   max_request_bytes : int;
       (** request lines longer than this are answered with an

@@ -163,6 +163,44 @@ let test_pp () =
   Alcotest.(check bool) "mentions exp" true
     (String.length s > 0 && String.contains s 'e')
 
+let test_equal_relative_small_scale () =
+  (* coefficients of order 1e-8: a 50% relative difference is material
+     and must not be absorbed by an absolute epsilon *)
+  let f = E.term ~coeff:1e-8 ~power:0 ~rate:(-1.0) in
+  let g = E.term ~coeff:2e-8 ~power:0 ~rate:(-1.0) in
+  Alcotest.(check bool) "materially different tiny exponomials differ" false
+    (E.equal f g);
+  let h = E.term ~coeff:(1e-8 +. 1e-20) ~power:0 ~rate:(-1.0) in
+  Alcotest.(check bool) "rounding-level difference is equality" true
+    (E.equal f h)
+
+let test_equal_relative_large_scale () =
+  (* coefficients of order 1e8: a 1e-12 relative difference is noise and
+     must compare equal even though it is huge in absolute terms *)
+  let f = E.term ~coeff:1e8 ~power:1 ~rate:(-2.0) in
+  let g = E.term ~coeff:(1e8 *. (1.0 +. 1e-12)) ~power:1 ~rate:(-2.0) in
+  Alcotest.(check bool) "1e-12 relative noise at 1e8 scale is equality" true
+    (E.equal f g);
+  let h = E.term ~coeff:(1e8 *. (1.0 +. 1e-5)) ~power:1 ~rate:(-2.0) in
+  Alcotest.(check bool) "1e-5 relative difference at 1e8 scale differs" false
+    (E.equal f h);
+  Alcotest.(check bool) "zero equals zero" true (E.equal E.zero E.zero)
+
+let test_convolve_near_equal_rates () =
+  (* rates a hair apart (within the convolution's near-rate guard but
+     beyond exact equality) must follow the merged equal-rate path
+     instead of amplifying 1/(b1-b2) partial fractions *)
+  let l = 3.0 in
+  let l' = l *. (1.0 +. 1e-9) in
+  let h = E.convolve (Dist.exponential l) (Dist.exponential l') in
+  let er = Dist.erlang 2 l in
+  List.iter
+    (fun t -> checkf6 (Printf.sprintf "t=%g" t) (E.eval er t) (E.eval h t))
+    [ 0.0; 0.2; 1.0; 4.0 ];
+  checkf6 "mean additive" (1.0 /. l +. 1.0 /. l') (E.mean h);
+  Alcotest.(check bool) "coefficients stay of order one" true
+    (List.for_all (fun tm -> Float.abs tm.E.coeff < 1e3) (E.terms h))
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 
@@ -238,6 +276,9 @@ let suite =
     ("gen distribution", `Quick, test_gen);
     ("weibull numeric", `Quick, test_weibull);
     ("pretty printing", `Quick, test_pp);
+    ("equal is relative at 1e-8 scale", `Quick, test_equal_relative_small_scale);
+    ("equal is relative at 1e8 scale", `Quick, test_equal_relative_large_scale);
+    ("conv near-equal rates", `Quick, test_convolve_near_equal_rates);
     QCheck_alcotest.to_alcotest prop_cdf_monotone;
     QCheck_alcotest.to_alcotest prop_conv_mean_additive;
     QCheck_alcotest.to_alcotest prop_conv_commutative;

@@ -113,6 +113,62 @@ let prop_mixture_weights =
                ((p *. E.eval f t) +. ((1.0 -. p) *. E.eval g t)))
            sample_ts)
 
+(* Extreme rate separation: exponential pairs with rates spread over
+   twelve decades (1e-6 .. 1e6), plus near-equal pairs within twice the
+   canonicalization rate epsilon (1e-12 relative) — the regime where the
+   convolution's 1/(b1 - b2) partial fractions would explode without the
+   near-rate merge.  Evaluation grids scale with 1/rate so each operand
+   is probed where it actually carries mass. *)
+let extreme_pair_gen =
+  QCheck.Gen.(
+    let lograte =
+      map (fun u -> Float.pow 10.0 u) (float_range (-6.0) 6.0)
+    in
+    oneof
+      [ pair lograte lograte;
+        map2
+          (fun l d -> (l, l *. (1.0 +. (d *. 2e-12))))
+          lograte (float_range (-1.0) 1.0) ])
+
+let extreme_pair_arb =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "(%.17g, %.17g)" a b)
+    extreme_pair_gen
+
+let scaled_ts a b =
+  let slow = Float.min a b in
+  List.map (fun c -> c /. slow) [ 0.2; 1.0; 3.0; 8.0 ]
+
+let prop_extreme_convolve_commutes =
+  QCheck.Test.make
+    ~name:"convolution commutes under extreme rate separation" ~count:300
+    extreme_pair_arb (fun (a, b) ->
+      let f = D.exponential a and g = D.exponential b in
+      let fg = E.convolve f g and gf = E.convolve g f in
+      List.for_all
+        (fun t -> close (E.eval fg t) (E.eval gf t))
+        (scaled_ts a b))
+
+let prop_extreme_convolve_mass =
+  QCheck.Test.make
+    ~name:"convolution preserves total mass under extreme rate separation"
+    ~count:300 extreme_pair_arb (fun (a, b) ->
+      let h = E.convolve (D.exponential a) (D.exponential b) in
+      close (E.limit_at_inf h) 1.0
+      && List.for_all
+           (fun t ->
+             let v = E.eval h t in
+             v >= -1e-9 && v <= 1.0 +. 1e-9)
+           (scaled_ts a b))
+
+let prop_extreme_convolve_mean_adds =
+  QCheck.Test.make
+    ~name:"convolution adds means under extreme rate separation" ~count:300
+    extreme_pair_arb (fun (a, b) ->
+      let h = E.convolve (D.exponential a) (D.exponential b) in
+      let expected = (1.0 /. a) +. (1.0 /. b) in
+      Float.abs (E.mean h -. expected) <= 1e-9 *. expected)
+
 let prop_mass_at_zero =
   QCheck.Test.make
     ~name:"convolution atom at zero is the product of the atoms" ~count:200
@@ -127,4 +183,5 @@ let suite =
     [ prop_convolve_commutes; prop_convolve_assoc; prop_convolve_mean_adds;
       prop_deriv_integrate; prop_integrate_deriv; prop_cdf_monotone;
       prop_cdf_limit; prop_complement; prop_mixture_weights;
-      prop_mass_at_zero ]
+      prop_mass_at_zero; prop_extreme_convolve_commutes;
+      prop_extreme_convolve_mass; prop_extreme_convolve_mean_adds ]

@@ -13,5 +13,6 @@ let () =
       ("more", Test_more.suite);
       ("expo-properties", Test_expo_prop.suite);
       ("sweep-engine", Test_sweep.suite);
+      ("differential", Test_differential.suite);
       ("server", Test_server.suite);
       ("golden", Test_golden.suite) ]

@@ -158,6 +158,42 @@ let test_mttf_fast_close_to_exact () =
 
 (* --- properties ---------------------------------------------------- *)
 
+let test_acyclic_negative_rate_rejected () =
+  (* a malformed "generator" with a negative off-diagonal cannot come
+     from Ctmc.make, but Acyclic.predecessors takes a raw sparse matrix:
+     it must refuse it loudly (Invalid_argument + an error diagnostic)
+     rather than silently produce negative symbolic probabilities *)
+  let module S = Sharpe_numerics.Sparse in
+  let module Diag = Sharpe_numerics.Diag in
+  let q =
+    S.of_triplets ~rows:2 ~cols:2 [ (0, 0, 1.0); (0, 1, -1.0); (1, 1, 0.0) ]
+  in
+  let outcome, records =
+    Diag.capture (fun () ->
+        match Acyclic.predecessors q with
+        | _ -> `No_raise
+        | exception Invalid_argument _ -> `Raised)
+  in
+  Alcotest.(check bool) "raises Invalid_argument" true (outcome = `Raised);
+  Alcotest.(check bool) "emits an error diagnostic" true
+    (List.exists (fun r -> r.Diag.severity = Diag.Error) records)
+
+let test_acyclic_predecessors_adjacency () =
+  (* the one-pass predecessor lists index incoming transitions: for the
+     chain 0 -> 1 -> 2, state 2's only predecessor is 1 with rate mu *)
+  let module S = Sharpe_numerics.Sparse in
+  let l = 2.0 and m = 3.0 in
+  let q =
+    S.of_triplets ~rows:3 ~cols:3
+      [ (0, 0, -.l); (0, 1, l); (1, 1, -.m); (1, 2, m) ]
+  in
+  let preds = Acyclic.predecessors q in
+  Alcotest.(check int) "state 0 has no predecessors" 0 (List.length preds.(0));
+  Alcotest.(check (list (pair int (float 1e-12)))) "state 1" [ (0, l) ]
+    preds.(1);
+  Alcotest.(check (list (pair int (float 1e-12)))) "state 2" [ (1, m) ]
+    preds.(2)
+
 let prop_transient_is_distribution =
   QCheck.Test.make ~name:"transient vector is a distribution" ~count:50
     QCheck.(triple (float_range 0.1 3.0) (float_range 0.1 3.0) (float_range 0.0 10.0))
@@ -195,5 +231,7 @@ let suite =
     ("absorption cdf mean = mtta", `Quick, test_absorption_cdf_mean_is_mtta);
     ("mttf exact 2-unit", `Quick, test_mttf_exact);
     ("fast mttf close to exact", `Quick, test_mttf_fast_close_to_exact);
+    ("acyclic rejects negative rates", `Quick, test_acyclic_negative_rate_rejected);
+    ("acyclic predecessor adjacency", `Quick, test_acyclic_predecessors_adjacency);
     QCheck_alcotest.to_alcotest prop_transient_is_distribution;
     QCheck_alcotest.to_alcotest prop_steady_is_fixed_point ]

@@ -178,6 +178,27 @@ let test_poisson_window_covers_mode () =
   Alcotest.(check bool) "left <= 50" true (w.Poisson.left <= 50);
   Alcotest.(check bool) "right >= 50" true (w.Poisson.right >= 50)
 
+let test_poisson_window_tail_mass () =
+  (* the truncation contract: the mass OUTSIDE [left, right] is at most
+     eps.  Sum exact (unrenormalized) pmf values over the window and
+     check the complement, for a small, a moderate and a stiff mean —
+     truncating on individual pmf values instead of cumulative tail
+     mass violates this for large m, where thousands of terms each
+     below eps/2 add up to far more than eps. *)
+  let eps = 1e-12 in
+  List.iter
+    (fun m ->
+      let w = Poisson.window ~eps m in
+      let s = ref 0.0 in
+      for k = w.Poisson.left to w.Poisson.right do
+        s := !s +. Poisson.pmf m k
+      done;
+      Alcotest.(check bool)
+        (Printf.sprintf "tail mass m=%g (left %.3g)" m (1.0 -. !s))
+        true
+        (1.0 -. !s <= eps))
+    [ 0.5; 50.0; 5000.0 ]
+
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 
@@ -238,5 +259,6 @@ let suite =
     ("poisson sums to one", `Quick, test_poisson_sums_to_one);
     ("poisson small pmf", `Quick, test_poisson_pmf_small);
     ("poisson window covers mode", `Quick, test_poisson_window_covers_mode);
+    ("poisson window tail mass", `Quick, test_poisson_window_tail_mass);
     QCheck_alcotest.to_alcotest prop_gauss_solves;
     QCheck_alcotest.to_alcotest prop_sparse_dense_agree ]

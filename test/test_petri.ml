@@ -209,7 +209,7 @@ let test_unbounded_detected () =
   let places = [ ("p", 0) ] in
   let transitions = [ timed "gen" (const 1.0) ~ins:[] ~outs:[ (0, one_) ] () ] in
   Alcotest.check_raises "unbounded"
-    (Failure "Reach: reachability set exceeds the marking limit") (fun () ->
+    (Failure "Reach: reachability set exceeds the marking limit (50)") (fun () ->
       ignore (Srn.solve ~max_markings:50 (Net.build ~places ~transitions)))
 
 let prop_mmmb_matches_queueing_formula =
