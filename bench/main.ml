@@ -664,20 +664,36 @@ let s2 () =
   let per_client i =
     (n_evals / clients) + if i < n_evals mod clients then 1 else 0
   in
+  let lat_mutex = Mutex.create () in
+  let latencies = ref [] in
   let t0 = Unix.gettimeofday () in
   let ts =
     List.init clients (fun i ->
         Thread.create
           (fun () ->
             let fd = connect () in
+            let mine = ref [] in
             for _ = 1 to per_client i do
-              if not (eval_ok fd) then Atomic.incr failures
+              let t = Unix.gettimeofday () in
+              if not (eval_ok fd) then Atomic.incr failures;
+              mine := (Unix.gettimeofday () -. t) :: !mine
             done;
-            Unix.close fd)
+            Unix.close fd;
+            Mutex.protect lat_mutex (fun () ->
+                latencies := !mine @ !latencies))
           ())
   in
   List.iter Thread.join ts;
   let t_warm = Unix.gettimeofday () -. t0 in
+  (* exact client-observed p99 (the daemon's own histogram is log-bucketed) *)
+  let p99_latency_us =
+    let a = Array.of_list !latencies in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then 0.0
+    else a.(min (n - 1) (int_of_float (ceil (0.99 *. float_of_int n)) - 1))
+         *. 1e6
+  in
   (* daemon-side statistics, then shutdown *)
   let fd = connect () in
   send_line fd (Json.to_string (Json.Obj [ ("op", Json.Str "stats") ]));
@@ -686,6 +702,110 @@ let s2 () =
   ignore (recv_line fd);
   Unix.close fd;
   Thread.join server;
+  (* --- overload + churn: a deliberately under-provisioned daemon -------- *)
+  (* Same workload, but behind an admission limit of 2 and a 4-session cap
+     with a 50 ms TTL: 16 clients provoke load shedding and session
+     eviction, measuring the shed rate and eviction count instead of
+     failing.  Every rejection must still be a structured response. *)
+  let stressed =
+    { Server.default_config with
+      workers = 2;
+      max_concurrent = 2;
+      max_sessions = 4;
+      session_ttl = Some 0.05;
+      retry_after_ms = 5 }
+  in
+  let sock2 = sock ^ ".ovl" in
+  let ready2 = ref false in
+  let server2 =
+    Thread.create
+      (fun () ->
+        Server.serve ~config:stressed
+          ~ready:(fun () ->
+            Mutex.protect ready_m (fun () ->
+                ready2 := true;
+                Condition.signal ready_c))
+          (`Unix sock2))
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready2 do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let connect2 () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock2);
+    fd
+  in
+  let n_stress = if !quick_mode then 64 else 512 in
+  let stress_clients = 16 in
+  let n_ok = Atomic.make 0
+  and n_shed = Atomic.make 0
+  and n_other = Atomic.make 0
+  and n_garbled = Atomic.make 0 in
+  let stress_ts =
+    List.init stress_clients (fun i ->
+        Thread.create
+          (fun () ->
+            let fd = connect2 () in
+            for k = 1 to n_stress / stress_clients do
+              let session =
+                Printf.sprintf "churn%d" (((i * 31) + k) mod 8)
+              in
+              send_line fd
+                (Json.to_string
+                   (Json.Obj
+                      [ ("op", Json.Str "eval");
+                        ("session", Json.Str session);
+                        ("src", Json.Str server_model) ]));
+              match Json.parse (recv_line fd) with
+              | Error _ -> Atomic.incr n_garbled
+              | Ok r -> (
+                  if Json.member "ok" r = Some (Json.Bool true) then
+                    Atomic.incr n_ok
+                  else
+                    match
+                      Option.bind (Json.member "error" r) (fun e ->
+                          Option.bind (Json.member "kind" e) Json.to_str)
+                    with
+                    | Some "overloaded" -> Atomic.incr n_shed
+                    | _ -> Atomic.incr n_other)
+            done;
+            Unix.close fd)
+          ())
+  in
+  List.iter Thread.join stress_ts;
+  let fd2 = connect2 () in
+  send_line fd2 (Json.to_string (Json.Obj [ ("op", Json.Str "stats") ]));
+  let stress_stats = recv_line fd2 in
+  send_line fd2 (Json.to_string (Json.Obj [ ("op", Json.Str "shutdown") ]));
+  ignore (recv_line fd2);
+  Unix.close fd2;
+  Thread.join server2;
+  let stress_stat name =
+    match Json.parse stress_stats with
+    | Error _ -> -1.0
+    | Ok resp -> (
+        match
+          Option.bind
+            (Option.bind (Json.member "stats" resp) (Json.member name))
+            Json.to_float
+        with
+        | Some x -> x
+        | None -> -1.0)
+  in
+  let n_stress_sent =
+    Atomic.get n_ok + Atomic.get n_shed + Atomic.get n_other
+    + Atomic.get n_garbled
+  in
+  let shed_rate =
+    if n_stress_sent = 0 then 0.0
+    else float_of_int (Atomic.get n_shed) /. float_of_int n_stress_sent
+  in
+  let evictions = stress_stat "evictions" in
+  if Atomic.get n_garbled > 0 then
+    failwith "S2: unparseable response under overload";
   let cache_stat name =
     match Json.parse stats_resp with
     | Error _ -> (0, 0)
@@ -731,6 +851,12 @@ let s2 () =
     skel_hits skel_misses inst_hits inst_misses;
   printf "  daemon error diagnostics: %d, failed client evals: %d\n"
     error_diags (Atomic.get failures);
+  printf "  warm p99 latency: %.0f us\n" p99_latency_us;
+  printf
+    "  overload phase (max_concurrent=2, 4-session cap, 50 ms TTL, %d \
+     clients): %d ok, %d shed (%.0f%%), %d other, %.0f evictions\n"
+    stress_clients (Atomic.get n_ok) (Atomic.get n_shed)
+    (shed_rate *. 100.0) (Atomic.get n_other) evictions;
   if Atomic.get failures > 0 then failwith "S2: some daemon evals failed";
   if skel_hits = 0 then
     failwith "S2: expected structural-cache hits on a warm daemon";
@@ -747,9 +873,12 @@ let s2 () =
         \  \"srn_skeleton_misses\": %d,\n\
         \  \"srn_instance_hits\": %d,\n\
         \  \"srn_instance_misses\": %d,\n\
-        \  \"daemon_error_diagnostics\": %d\n}\n"
+        \  \"daemon_error_diagnostics\": %d,\n\
+        \  \"p99_latency_us\": %.1f,\n\
+        \  \"shed_rate\": %.4f,\n\
+        \  \"evictions\": %.0f\n}\n"
         n_evals clients t_cold t_warm speedup clients skel_hits skel_misses
-        inst_hits inst_misses error_diags
+        inst_hits inst_misses error_diags p99_latency_us shed_rate evictions
     in
     let path = Filename.concat repo_root "BENCH_server.json" in
     let oc = open_out path in
@@ -760,6 +889,353 @@ let s2 () =
 
 let () =
   register "S2" "server mode - warm daemon vs one process per evaluation" s2
+
+(* ====================================================================== *)
+(* --chaos: fault-injection soak for the daemon                           *)
+(* ====================================================================== *)
+
+(* `bench --chaos [--seconds S] [--clients N] [--seed K]` runs an
+   in-process sharped under deliberately hostile conditions — injected
+   worker-job crashes and slowdowns, malformed frames, mid-request
+   disconnects, and session churn against a small session cap with a
+   short TTL — while N concurrent clients replay the golden S2 workload.
+
+   Pass criteria: the daemon never crashes (it still answers at the
+   end), every successful eval's output is byte-identical to the golden
+   output computed in-process, every failure is a parseable structured
+   response with a known error kind, the session count stays within its
+   cap, and process RSS stays bounded. *)
+
+let chaos_allowed_kinds =
+  [ "bad_request"; "oversized"; "overloaded"; "timeout"; "internal_error";
+    "session_expired"; "quota_exhausted"; "eval_error" ]
+
+let rss_bytes () =
+  try
+    let ic = open_in "/proc/self/statm" in
+    let line = input_line ic in
+    close_in ic;
+    match String.split_on_char ' ' line with
+    | _ :: resident :: _ -> Some (int_of_string resident * 4096)
+    | _ -> None
+  with Sys_error _ | End_of_file | Failure _ -> None
+
+let chaos_main ~seconds ~clients ~seed =
+  let module Server = Sharpe_server.Server in
+  let module Client = Sharpe_server.Client in
+  let module Json = Sharpe_server.Json in
+  let module Srng = Sharpe_check.Srng in
+  let module Interp = Sharpe_lang.Interp in
+  (* the golden answer, computed once without any daemon in the way *)
+  let expected_output, expected_outcome =
+    Interp.Session.eval (Interp.Session.create ()) server_model
+  in
+  if expected_outcome.Interp.failed_statements <> 0 then
+    failwith "chaos: golden model fails outside the daemon";
+  (* the fault injector runs on pool worker domains concurrently, so it
+     derives per-call determinism from an atomic call counter rather
+     than shared PRNG state *)
+  let inj_calls = Atomic.make 0 in
+  let inject _op =
+    let k = Atomic.fetch_and_add inj_calls 1 in
+    let r = Srng.make ((seed * 1_000_003) + k) in
+    let x = Srng.float r in
+    if x < 0.05 then failwith "chaos: injected worker fault"
+    else if x < 0.10 then Thread.delay 0.05
+  in
+  let config =
+    { Server.default_config with
+      workers = 4;
+      max_concurrent = 8;
+      max_sessions = 8;
+      session_ttl = Some 0.2;
+      default_timeout = Some 2.0;
+      retry_after_ms = 5;
+      inject = Some inject }
+  in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sharpe_chaos_%d.sock" (Unix.getpid ()))
+  in
+  let ready_m = Mutex.create () and ready_c = Condition.create () in
+  let ready = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve ~config
+          ~ready:(fun () ->
+            Mutex.protect ready_m (fun () ->
+                ready := true;
+                Condition.signal ready_c))
+          (`Unix sock))
+      ()
+  in
+  Mutex.lock ready_m;
+  while not !ready do
+    Condition.wait ready_c ready_m
+  done;
+  Mutex.unlock ready_m;
+  let n_ok = Atomic.make 0
+  and n_failed = Atomic.make 0
+  and n_replayed_retries = Atomic.make 0
+  and mismatches = Atomic.make 0
+  and violations = Atomic.make 0 in
+  let vmutex = Mutex.create () in
+  let violation_msgs = ref [] in
+  let violate fmt =
+    Printf.ksprintf
+      (fun m ->
+        Atomic.incr violations;
+        Mutex.protect vmutex (fun () -> violation_msgs := m :: !violation_msgs))
+      fmt
+  in
+  let check_response = function
+    | Error e ->
+        (* transport-level failure AFTER bounded client retry: under
+           injected faults the response can be lost, that is not a
+           protocol violation — but it must stay the exception *)
+        Atomic.incr n_failed;
+        ignore (Client.error_to_string e)
+    | Ok resp -> (
+        if Json.member "ok" resp = Some (Json.Bool true) then begin
+          Atomic.incr n_ok;
+          match Option.bind (Json.member "output" resp) Json.to_str with
+          | Some out when out <> expected_output ->
+              Atomic.incr mismatches;
+              violate "eval output diverged from golden: %S (want %S)"
+                (String.sub out 0 (min 120 (String.length out)))
+                (String.sub expected_output 0
+                   (min 120 (String.length expected_output)))
+          | _ -> ()
+        end
+        else begin
+          Atomic.incr n_failed;
+          match
+            Option.bind (Json.member "error" resp) (fun e ->
+                Option.bind (Json.member "kind" e) Json.to_str)
+          with
+          | Some k when List.mem k chaos_allowed_kinds -> ()
+          | Some k -> violate "unknown error kind %S" k
+          | None -> violate "failure response without structured error"
+        end)
+  in
+  let deadline = Unix.gettimeofday () +. seconds in
+  let policy =
+    { Client.attempts = 3; base_delay = 0.01; max_delay = 0.2; jitter = 0.5 }
+  in
+  let worker i =
+    let r = Srng.make ((seed * 31) + i) in
+    let rng = Random.State.make [| seed; i |] in
+    let k = ref 0 in
+    while Unix.gettimeofday () < deadline do
+      incr k;
+      let x = Srng.float r in
+      if x < 0.60 then begin
+        (* well-behaved golden eval, idempotent via request_id *)
+        let rid = Printf.sprintf "chaos-%d-%d-%d" seed i !k in
+        check_response
+          (Client.request ~policy ~rng (`Unix sock)
+             (Json.Obj
+                [ ("id", Json.Str rid); ("op", Json.Str "eval");
+                  ("src", Json.Str server_model);
+                  ("request_id", Json.Str rid) ]))
+      end
+      else if x < 0.75 then begin
+        (* session churn: bind then read back a thread-private name in a
+           shared 16x3-name space that overflows the 8-session cap *)
+        let session = Printf.sprintf "chaos-%d-%d" i (Srng.int r 3) in
+        let v = float_of_int !k in
+        (match
+           Client.request ~policy ~rng (`Unix sock)
+             (Json.Obj
+                [ ("op", Json.Str "bind"); ("session", Json.Str session);
+                  ("name", Json.Str "x"); ("value", Json.Num v) ])
+         with
+        | Error _ -> Atomic.incr n_failed
+        | Ok bound ->
+            if Json.member "ok" bound = Some (Json.Bool true) then begin
+              match
+                Client.request ~policy ~rng (`Unix sock)
+                  (Json.Obj
+                     [ ("op", Json.Str "query");
+                       ("session", Json.Str session);
+                       ("expr", Json.Str "x + 0") ])
+              with
+              | Error _ -> Atomic.incr n_failed
+              | Ok got -> (
+                  match
+                    Option.bind (Json.member "value" got) Json.to_float
+                  with
+                  | Some v' when v' = v -> Atomic.incr n_ok
+                  | Some v' ->
+                      (* the session is private to this thread: a value
+                         is either ours or the session was rebound fresh
+                         — never someone else's *)
+                      violate "session churn read %g after binding %g" v' v
+                  | None -> check_response (Ok got))
+            end
+            else check_response (Ok bound))
+      end
+      else if x < 0.85 then begin
+        (* malformed frame: the daemon must answer structured JSON *)
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect fd (Unix.ADDR_UNIX sock);
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+           let garbage =
+             match Srng.int r 3 with
+             | 0 -> "{\"op\": \"eval\", truncated"
+             | 1 -> "[1,2,3]"
+             | _ -> "\x00\x01\xfe binary trash"
+           in
+           let b = Bytes.of_string (garbage ^ "\n") in
+           ignore (Unix.write fd b 0 (Bytes.length b));
+           let buf = Buffer.create 256 in
+           let one = Bytes.create 1 in
+           let rec go () =
+             match Unix.read fd one 0 1 with
+             | 0 -> ()
+             | _ ->
+                 if Bytes.get one 0 <> '\n' then begin
+                   Buffer.add_char buf (Bytes.get one 0);
+                   go ()
+                 end
+           in
+           go ();
+           (match Json.parse (Buffer.contents buf) with
+           | Ok _ -> Atomic.incr n_failed
+           | Error _ -> violate "malformed frame drew unparseable reply");
+           Unix.close fd
+         with Unix.Unix_error (_, _, _) -> (
+           try Unix.close fd with Unix.Unix_error (_, _, _) -> ()))
+      end
+      else if x < 0.95 then begin
+        (* mid-request disconnect: half a request, then vanish *)
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect fd (Unix.ADDR_UNIX sock);
+           let half = "{\"op\": \"eval\", \"src\": \"expr 1 +" in
+           let b = Bytes.of_string half in
+           ignore (Unix.write fd b 0 (Bytes.length b));
+           Unix.close fd
+         with Unix.Unix_error (_, _, _) -> (
+           try Unix.close fd with Unix.Unix_error (_, _, _) -> ()))
+      end
+      else begin
+        (* duplicate request_id: the retry must replay, not re-execute *)
+        let rid = Printf.sprintf "chaos-dup-%d-%d-%d" seed i !k in
+        let req =
+          Json.Obj
+            [ ("op", Json.Str "eval"); ("src", Json.Str "expr 6 * 7");
+              ("request_id", Json.Str rid) ]
+        in
+        let is_ok r = Json.member "ok" r = Some (Json.Bool true) in
+        match
+          ( Client.request ~policy ~rng (`Unix sock) req,
+            Client.request ~policy ~rng (`Unix sock) req )
+        with
+        | Ok a, Ok b when is_ok a && is_ok b ->
+            (* load-shed rejections are deliberately not remembered and
+               timeout retries switch keys, so the two calls only have to
+               agree when both ultimately succeeded: the evaluation ran
+               at most once per key, so successful outputs are equal *)
+            Atomic.incr n_ok;
+            Atomic.incr n_replayed_retries;
+            if
+              Option.bind (Json.member "output" a) Json.to_str
+              <> Option.bind (Json.member "output" b) Json.to_str
+            then violate "duplicate request_id drew two different outputs"
+        | Ok a, Ok b ->
+            (* one side succeeded, the other was shed or timed out:
+               kind-check only the failure (the success's output is
+               "expr 6 * 7"'s, not the golden model's) *)
+            List.iter
+              (fun r ->
+                if is_ok r then Atomic.incr n_ok else check_response (Ok r))
+              [ a; b ]
+        | _ -> Atomic.incr n_failed
+      end
+    done
+  in
+  let ts = List.init clients (fun i -> Thread.create worker i) in
+  List.iter Thread.join ts;
+  (* --- verdict ---------------------------------------------------------- *)
+  let alive_resp =
+    Client.request
+      ~policy:{ policy with attempts = 8; base_delay = 0.05 }
+      (`Unix sock)
+      (Json.Obj [ ("op", Json.Str "ping") ])
+  in
+  let alive =
+    match alive_resp with
+    | Ok r -> Json.member "ok" r = Some (Json.Bool true)
+    | Error _ -> false
+  in
+  let stats =
+    match
+      Client.request ~policy (`Unix sock)
+        (Json.Obj [ ("op", Json.Str "stats") ])
+    with
+    | Ok r -> Option.value (Json.member "stats" r) ~default:Json.Null
+    | Error _ -> Json.Null
+  in
+  let gauge name =
+    match Option.bind (Json.member name stats) Json.to_float with
+    | Some x -> x
+    | None -> -1.0
+  in
+  ignore
+    (Client.request ~policy (`Unix sock)
+       (Json.Obj [ ("op", Json.Str "shutdown") ]));
+  Thread.join server;
+  let sessions = gauge "sessions" in
+  let rss = rss_bytes () in
+  printf "== chaos soak: %.0fs, %d clients, seed %d ==\n" seconds clients seed;
+  printf "  injected faults offered: %d pooled jobs\n" (Atomic.get inj_calls);
+  printf "  ok: %d  structured/lost failures: %d  replay checks: %d\n"
+    (Atomic.get n_ok) (Atomic.get n_failed)
+    (Atomic.get n_replayed_retries);
+  printf "  daemon evictions: %.0f  shed: %.0f  replays: %.0f  sessions: %.0f\n"
+    (gauge "evictions") (gauge "shed") (gauge "replays") sessions;
+  (match rss with
+  | Some b -> printf "  final RSS: %.1f MB\n" (float_of_int b /. 1048576.0)
+  | None -> printf "  final RSS: unavailable\n");
+  let failed = ref false in
+  let fail_if cond fmt =
+    Printf.ksprintf
+      (fun m ->
+        if cond then begin
+          failed := true;
+          printf "  FAIL: %s\n" m
+        end)
+      fmt
+  in
+  fail_if (not alive) "daemon did not answer ping after the soak";
+  fail_if (Atomic.get n_ok = 0) "no request ever succeeded";
+  fail_if
+    (Atomic.get mismatches > 0)
+    "%d successful evals diverged from the golden output"
+    (Atomic.get mismatches);
+  fail_if
+    (Atomic.get violations > 0)
+    "%d protocol violations" (Atomic.get violations);
+  Mutex.protect vmutex (fun () ->
+      List.iter (fun m -> printf "    violation: %s\n" m)
+        (List.sort_uniq compare !violation_msgs));
+  fail_if
+    (sessions > float_of_int config.Server.max_sessions)
+    "session count %.0f exceeds the cap %d" sessions
+    config.Server.max_sessions;
+  (match rss with
+  | Some b ->
+      fail_if (b > 2_000_000_000) "RSS %.1f MB exceeds the 2 GB bound"
+        (float_of_int b /. 1048576.0)
+  | None -> ());
+  if !failed then 1
+  else begin
+    printf "  chaos soak passed\n";
+    0
+  end
 
 (* ====================================================================== *)
 (* Bechamel timing suite                                                  *)
@@ -836,6 +1312,23 @@ let timing_tests () =
 
 let () =
   let args = Array.to_list Sys.argv in
+  let flag_arg name ~default ~conv =
+    let rec find = function
+      | f :: v :: _ when f = name -> (
+          match conv v with
+          | Some x -> x
+          | None -> failwith (Printf.sprintf "bench: bad value for %s" name))
+      | _ :: rest -> find rest
+      | [] -> default
+    in
+    find args
+  in
+  if List.mem "--chaos" args then
+    exit
+      (chaos_main
+         ~seconds:(flag_arg "--seconds" ~default:5.0 ~conv:float_of_string_opt)
+         ~clients:(flag_arg "--clients" ~default:16 ~conv:int_of_string_opt)
+         ~seed:(flag_arg "--seed" ~default:1 ~conv:int_of_string_opt));
   let quick = List.mem "--quick" args in
   quick_mode := quick;
   let no_time = List.mem "--no-time" args in

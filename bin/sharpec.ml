@@ -7,81 +7,74 @@
      sharpec --socket /tmp/s bind NAME var 3.5
      sharpec --socket /tmp/s ping | stats | shutdown
 
+   Requests ride on Sharpe_server.Client, so connection failures and
+   overloaded rejections are retried with exponential backoff
+   (--retries, --retry-base-ms).  Evaluating requests carry a generated
+   request_id, making those retries idempotent on the daemon side.
+
    For eval, the model's printed output goes to stdout exactly as the
    batch CLI would print it (so outputs can be diffed against goldens);
    stats prints the raw JSON response.  Exit status: 0 ok, 1 the server
-   answered with ok=false or failed statements, 2 transport/usage error. *)
+   answered with ok=false or failed statements, 2 usage/protocol error,
+   4 could not connect to the daemon (after retries).  Failures print
+   one structured JSON diagnostic line to stderr. *)
 
 module Json = Sharpe_server.Json
+module Client = Sharpe_server.Client
 
-let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("sharpec: " ^ m); exit 2) fmt
+(* Structured diagnostic to stderr, one JSON line, then exit. *)
+let die code kind fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline
+        (Json.to_string
+           (Json.Obj
+              [ ("tool", Json.Str "sharpec");
+                ("kind", Json.Str kind);
+                ("message", Json.Str m) ]));
+      exit code)
+    fmt
 
-let request sock_path line =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX sock_path)
-   with Unix.Unix_error (e, _, _) ->
-     fail "cannot connect to %s: %s" sock_path (Unix.error_message e));
-  let b = Bytes.of_string (line ^ "\n") in
-  let len = Bytes.length b in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write fd b !off (len - !off)
-  done;
-  (* read one newline-terminated response *)
-  let buf = Buffer.create 1024 in
-  let chunk = Bytes.create 8192 in
-  let rec go () =
-    match Unix.read fd chunk 0 (Bytes.length chunk) with
-    | 0 -> ()
-    | n -> (
-        match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
-        | Some i -> Buffer.add_subbytes buf chunk 0 i
-        | None ->
-            Buffer.add_subbytes buf chunk 0 n;
-            go ())
-    | exception Unix.Unix_error (e, _, _) ->
-        fail "read error: %s" (Unix.error_message e)
-  in
-  go ();
-  Unix.close fd;
-  if Buffer.length buf = 0 then fail "server closed the connection without replying";
-  match Json.parse (Buffer.contents buf) with
-  | Ok v -> v
-  | Error msg -> fail "unparseable response: %s" msg
+let usage_error fmt = die 2 "usage" fmt
 
 let read_file path =
-  let ic = try open_in_bin path with Sys_error m -> fail "%s" m in
+  let ic = try open_in_bin path with Sys_error m -> usage_error "%s" m in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let is_ok resp = Json.member "ok" resp = Some (Json.Bool true)
 
-let error_message resp =
-  match Json.member "error" resp with
-  | Some err -> (
-      match Option.bind (Json.member "message" err) Json.to_str with
-      | Some m -> m
-      | None -> "unknown error")
-  | None -> "unknown error"
+let error_field resp name =
+  Option.bind (Json.member "error" resp) (fun e ->
+      Option.bind (Json.member name e) Json.to_str)
 
-let run sock_path session timeout args =
+(* A key unique across processes and invocations: daemon-side retry
+   dedup must never collide between two distinct sharpec runs. *)
+let fresh_request_id () =
+  Printf.sprintf "sharpec-%d-%.6f-%04x" (Unix.getpid ())
+    (Unix.gettimeofday ())
+    (Random.self_init ();
+     Random.int 0x10000)
+
+let run sock_path session timeout retries retry_base_ms args =
   let base = [ ("id", Json.Str "sharpec") ] in
   let timeout_field =
     match timeout with Some s -> [ ("timeout", Json.Num s) ] | None -> []
   in
-  let req, print_result =
+  let req, idempotent, print_result =
     match args with
     | [ "ping" ] ->
-        ( [ ("op", Json.Str "ping") ],
-          fun _ -> print_endline "pong" )
+        ([ ("op", Json.Str "ping") ], false, fun _ -> print_endline "pong")
     | [ "stats" ] ->
         ( [ ("op", Json.Str "stats") ],
+          false,
           fun resp ->
             print_endline
               (Json.to_string
-                 (Option.value (Json.member "stats" resp) ~default:Json.Null)) )
-    | [ "shutdown" ] -> ([ ("op", Json.Str "shutdown") ], fun _ -> ())
+                 (Option.value (Json.member "stats" resp) ~default:Json.Null))
+        )
+    | [ "shutdown" ] -> ([ ("op", Json.Str "shutdown") ], false, fun _ -> ())
     | [ "eval"; path ] ->
         let session_field =
           match session with
@@ -90,19 +83,22 @@ let run sock_path session timeout args =
         in
         ( [ ("op", Json.Str "eval"); ("src", Json.Str (read_file path)) ]
           @ session_field @ timeout_field,
+          true,
           fun resp ->
             (match Option.bind (Json.member "output" resp) Json.to_str with
             | Some out -> print_string out
             | None -> ());
-            match Option.bind (Json.member "failed_statements" resp) Json.to_float with
+            match
+              Option.bind (Json.member "failed_statements" resp) Json.to_float
+            with
             | Some f when f > 0.0 ->
-                Printf.eprintf "sharpec: %g statement(s) failed\n" f;
-                exit 1
+                die 1 "failed_statements" "%g statement(s) failed" f
             | _ -> () )
     | [ "query"; name; expr ] ->
         ( [ ("op", Json.Str "query"); ("session", Json.Str name);
             ("expr", Json.Str expr) ]
           @ timeout_field,
+          true,
           fun resp ->
             match Option.bind (Json.member "value" resp) Json.to_float with
             | Some v -> Printf.printf "%.10g\n" v
@@ -111,42 +107,61 @@ let run sock_path session timeout args =
         let int_field label v =
           match int_of_string_opt v with
           | Some n -> (label, Json.Num (float_of_int n))
-          | None -> fail "selfcheck %s must be an integer, got %S" label v
+          | None -> usage_error "selfcheck %s must be an integer, got %S" label v
         in
         let fields =
           match rest with
           | [] -> []
           | [ n ] -> [ int_field "count" n ]
           | [ n; s ] -> [ int_field "count" n; int_field "seed" s ]
-          | _ -> fail "usage: selfcheck [COUNT [SEED]]"
+          | _ -> usage_error "usage: selfcheck [COUNT [SEED]]"
         in
         ( [ ("op", Json.Str "selfcheck") ] @ fields @ timeout_field,
+          true,
           fun resp ->
             print_endline (Json.to_string resp);
             match Json.member "clean" resp with
             | Some (Json.Bool true) -> ()
-            | _ ->
-                prerr_endline "sharpec: selfcheck found discrepancies or errors";
-                exit 1 )
+            | _ -> die 1 "selfcheck" "selfcheck found discrepancies or errors"
+        )
     | [ "bind"; name; var; value ] -> (
         match float_of_string_opt value with
-        | None -> fail "bind VALUE must be a number, got %S" value
+        | None -> usage_error "bind VALUE must be a number, got %S" value
         | Some v ->
             ( [ ("op", Json.Str "bind"); ("session", Json.Str name);
                 ("name", Json.Str var); ("value", Json.Num v) ],
+              true,
               fun _ -> () ))
-    | cmd :: _ -> fail "unknown or malformed command %S" cmd
-    | [] -> fail "missing command (eval|query|bind|ping|stats|shutdown)"
+    | cmd :: _ -> usage_error "unknown or malformed command %S" cmd
+    | [] ->
+        usage_error
+          "missing command (eval|query|bind|selfcheck|ping|stats|shutdown)"
   in
-  let resp = request sock_path (Json.to_string (Json.Obj (base @ req))) in
-  if is_ok resp then begin
-    print_result resp;
-    0
-  end
-  else begin
-    Printf.eprintf "sharpec: server error: %s\n" (error_message resp);
-    1
-  end
+  let rid_field =
+    if idempotent then [ ("request_id", Json.Str (fresh_request_id ())) ]
+    else []
+  in
+  let policy =
+    { Client.default_policy with
+      attempts = max 1 retries;
+      base_delay = float_of_int (max 1 retry_base_ms) /. 1000.0 }
+  in
+  let payload = Json.Obj (base @ rid_field @ req) in
+  match Client.request ~policy (`Unix sock_path) payload with
+  | Error (Client.Connect_failed msg) -> die 4 "connect_failed" "%s" msg
+  | Error (Client.Transport msg) -> die 2 "transport" "%s" msg
+  | Ok resp ->
+      if is_ok resp then begin
+        print_result resp;
+        0
+      end
+      else begin
+        let kind = Option.value (error_field resp "kind") ~default:"error" in
+        let msg =
+          Option.value (error_field resp "message") ~default:"unknown error"
+        in
+        die 1 kind "server error: %s" msg
+      end
 
 open Cmdliner
 
@@ -169,6 +184,23 @@ let timeout =
     & opt (some float) None
     & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request deadline.")
 
+let retries =
+  Arg.(
+    value
+    & opt int Sharpe_server.Client.default_policy.Sharpe_server.Client.attempts
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Total attempts (first try included) for connection failures and \
+           $(i,overloaded) rejections.")
+
+let retry_base_ms =
+  Arg.(
+    value & opt int 50
+    & info [ "retry-base-ms" ] ~docv:"MS"
+        ~doc:
+          "Base backoff before the first retry; doubles per attempt, with \
+           jitter, honoring the server's $(i,retry_after_ms) hint.")
+
 let args =
   Arg.(
     value & pos_all string []
@@ -181,6 +213,7 @@ let args =
 let cmd =
   let doc = "client for the sharped evaluation daemon" in
   Cmd.v (Cmd.info "sharpec" ~version:"2002-ocaml" ~doc)
-    Term.(const run $ socket $ session $ timeout $ args)
+    Term.(
+      const run $ socket $ session $ timeout $ retries $ retry_base_ms $ args)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,11 +7,19 @@
 
 module Server = Sharpe_server.Server
 
-let run socket port host workers timeout max_bytes =
+let run socket port host workers timeout max_bytes max_concurrent
+    max_sessions session_ttl session_quota memory_budget_mb =
   let config =
-    { Server.max_request_bytes = max_bytes;
+    { Server.default_config with
+      Server.max_request_bytes = max_bytes;
       default_timeout = timeout;
-      workers = max 1 workers }
+      workers = max 1 workers;
+      max_concurrent = max 1 max_concurrent;
+      max_sessions = max 1 max_sessions;
+      session_ttl;
+      session_quota;
+      memory_budget =
+        Option.map (fun mb -> max 1 mb * 1024 * 1024) memory_budget_mb }
   in
   match (socket, port) with
   | Some _, Some _ ->
@@ -84,6 +92,54 @@ let max_bytes =
           "Reject request lines longer than $(docv) with an \
            $(i,oversized) error response.")
 
+let max_concurrent =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_concurrent
+    & info [ "max-concurrent" ] ~docv:"N"
+        ~doc:
+          "Admission limit: at most $(docv) evaluating requests run at \
+           once; beyond it requests are rejected immediately with a \
+           structured $(i,overloaded) error and a retry hint.")
+
+let max_sessions =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.max_sessions
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:
+          "Cap on live named sessions; past it the least-recently-used \
+           idle session is evicted to make room.")
+
+let session_ttl =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "session-ttl" ] ~docv:"SECONDS"
+        ~doc:
+          "Evict sessions idle longer than $(docv) seconds (default: \
+           never).")
+
+let session_quota =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "session-quota" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-session cumulative evaluation-time budget; exhausted \
+           sessions answer $(i,quota_exhausted) until evicted (default: \
+           unlimited).")
+
+let memory_budget_mb =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "memory-budget-mb" ] ~docv:"MB"
+        ~doc:
+          "Global budget for the summed approximate footprint of all \
+           sessions; past it solve caches are trimmed and idle sessions \
+           evicted, least recently used first (default: unlimited).")
+
 let cmd =
   let doc = "SHARPE evaluation daemon" in
   let man =
@@ -99,6 +155,8 @@ let cmd =
   in
   Cmd.v (Cmd.info "sharped" ~version:"2002-ocaml" ~doc ~man)
     Term.(
-      const run $ socket $ port $ host $ workers $ timeout $ max_bytes)
+      const run $ socket $ port $ host $ workers $ timeout $ max_bytes
+      $ max_concurrent $ max_sessions $ session_ttl $ session_quota
+      $ memory_budget_mb)
 
 let () = exit (Cmd.eval' cmd)

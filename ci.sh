@@ -127,4 +127,13 @@ wait $daemon 2>/dev/null || true
 trap - EXIT
 rm -rf "$smokedir" "$sock"
 
+echo "== chaos soak =="
+# fixed-seed fault-injection soak: 16 concurrent clients replay the
+# golden workload against an in-process daemon with injected worker
+# crashes and slowdowns, malformed frames, mid-request disconnects and
+# session churn.  The harness exits nonzero on any daemon crash,
+# non-structured failure, non-golden successful output, session-cap
+# overflow or unbounded RSS.
+./_build/default/bench/main.exe --chaos --seconds 5 --clients 16 --seed 1
+
 echo "ci: OK"

@@ -122,6 +122,14 @@ module Session = struct
   let pending_output t = Buffer.contents !(t.sbuf)
   let eval_count t = t.evals
 
+  (* Everything a session retains between requests — env bindings, model
+     definitions, the per-env instance cache, buffered output — is
+     reachable from [t], so one traversal prices the whole session.  The
+     evaluation server feeds these into its global memory budget; the
+     walk is proportional to the session's own heap, which per-session
+     caps keep modest. *)
+  let approx_bytes t = Obj.reachable_words (Obj.repr t) * (Sys.word_size / 8)
+
   let eval t src =
     t.sbuf := Buffer.create 1024;
     t.evals <- t.evals + 1;

@@ -74,4 +74,11 @@ module Session : sig
       output after a timeout. *)
 
   val eval_count : t -> int
+
+  val approx_bytes : t -> int
+  (** Approximate heap footprint of everything the session retains
+      between requests (bindings, model definitions, the instance cache,
+      buffered output), measured by one [Obj.reachable_words] traversal.
+      The evaluation server sums these against its global memory budget
+      to decide when to trim caches and evict idle sessions. *)
 end

@@ -45,8 +45,18 @@ let jobs_ref = Atomic.make 1
    [~clamp:false] keeps the requested value (tests use it to exercise
    the parallel machinery regardless of the host). *)
 let set_jobs ?(clamp = true) n =
-  let n = if clamp then min n (Domain.recommended_domain_count ()) else n in
-  Atomic.set jobs_ref (max 1 n)
+  let eff = if clamp then min n (Domain.recommended_domain_count ()) else n in
+  (* A parallelism request that collapses to 1 effective domain silently
+     turns every sweep serial (the regression recorded as
+     jobs4_effective_domains: 1 in BENCH_sweep.json) — make it a visible
+     diagnostic instead of a benchmark-only observation. *)
+  if clamp && n > 1 && eff <= 1 then
+    Diag.emitf Diag.Warning ~solver:"pool"
+      "requested %d parallel jobs but the host recommends %d domain(s); \
+       effective domains clamped to 1, running serially"
+      n
+      (Domain.recommended_domain_count ());
+  Atomic.set jobs_ref (max 1 eff)
 
 let jobs () = Atomic.get jobs_ref
 

@@ -20,7 +20,10 @@ val set_jobs : ?clamp:bool -> int -> unit
     [Domain.recommended_domain_count ()] — oversubscribing domains is
     strictly slower than serial because every minor collection
     synchronizes all of them.  [~clamp:false] keeps the requested value
-    (tests use it to exercise the parallel path on any host). *)
+    (tests use it to exercise the parallel path on any host).  When a
+    request for more than one job is clamped down to 1, a
+    {!Diag.Warning} is emitted — a silently-serial sweep is a
+    performance regression worth surfacing. *)
 
 val jobs : unit -> int
 

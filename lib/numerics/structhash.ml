@@ -71,6 +71,15 @@ type stat = { name : string; hits : int; misses : int }
 let registry : (string * int Atomic.t * int Atomic.t) list ref = ref []
 let registry_mutex = Mutex.create ()
 
+(* One trim closure per table, registered at creation.  [trim_all] is the
+   memory-pressure valve the evaluation server pulls when its session
+   budget overflows: shared tables drop about half their entries in
+   place, domain-local tables are cleared lazily (their epoch bumps and
+   each domain rebuilds on next access — other domains' DLS state cannot
+   be touched directly). *)
+let trimmers : (unit -> int) list ref = ref [] (* guarded by registry_mutex *)
+let trim_count = Atomic.make 0
+
 let stats () =
   Mutex.protect registry_mutex (fun () ->
       List.rev_map
@@ -112,26 +121,22 @@ module Table = struct
     | Local of (int * (string, 'a) Hashtbl.t) ref Domain.DLS.key
     | Shared of Mutex.t * (int * (string, 'a) Hashtbl.t) ref
 
-  type 'a t = { hits : int Atomic.t; misses : int Atomic.t; store : 'a store }
+  type 'a t = {
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+    epoch : int Atomic.t; (* per-table trim epoch for lazy Local clears *)
+    store : 'a store;
+  }
 
-  let create ?(shared = false) name =
-    let hits = Atomic.make 0 and misses = Atomic.make 0 in
-    Mutex.protect registry_mutex (fun () ->
-        registry := (name, hits, misses) :: !registry);
-    let store =
-      if shared then
-        Shared (Mutex.create (), ref (Atomic.get generation, Hashtbl.create 64))
-      else
-        Local
-          (Domain.DLS.new_key (fun () ->
-               ref (Atomic.get generation, Hashtbl.create 64)))
-    in
-    { hits; misses; store }
+  (* A store is valid while its stamp matches [generation + epoch]: both
+     counters only grow, so bumping either (global clear, per-table trim)
+     invalidates every existing store exactly once. *)
+  let stamp epoch = Atomic.get generation + Atomic.get epoch
 
   (* The caller must hold the table's mutex when the store is [Shared]. *)
-  let table_of_ref r =
+  let table_of_ref epoch r =
     let gen, tbl = !r in
-    let cur = Atomic.get generation in
+    let cur = stamp epoch in
     if gen = cur then tbl
     else begin
       let tbl = Hashtbl.create 64 in
@@ -139,12 +144,50 @@ module Table = struct
       tbl
     end
 
+  let trim_table t =
+    match t.store with
+    | Shared (m, r) ->
+        Mutex.protect m (fun () ->
+            let tbl = table_of_ref t.epoch r in
+            (* drop roughly every other entry in place; survivors keep
+               serving hits while the working set halves *)
+            let keep = ref false in
+            let victims =
+              Hashtbl.fold
+                (fun k _ acc ->
+                  keep := not !keep;
+                  if !keep then k :: acc else acc)
+                tbl []
+            in
+            List.iter (Hashtbl.remove tbl) victims;
+            List.length victims)
+    | Local _ ->
+        (* other domains' DLS stores are unreachable from here: bump the
+           epoch so each domain drops its whole table on next access *)
+        Atomic.incr t.epoch;
+        0
+
+  let create ?(shared = false) name =
+    let hits = Atomic.make 0 and misses = Atomic.make 0 in
+    let epoch = Atomic.make 0 in
+    let store =
+      if shared then
+        Shared (Mutex.create (), ref (stamp epoch, Hashtbl.create 64))
+      else
+        Local (Domain.DLS.new_key (fun () -> ref (stamp epoch, Hashtbl.create 64)))
+    in
+    let t = { hits; misses; epoch; store } in
+    Mutex.protect registry_mutex (fun () ->
+        registry := (name, hits, misses) :: !registry;
+        trimmers := (fun () -> trim_table t) :: !trimmers);
+    t
+
   let find_or_add t key compute =
     if not (enabled ()) then compute ()
     else
       match t.store with
       | Local slot -> (
-          let tbl = table_of_ref (Domain.DLS.get slot) in
+          let tbl = table_of_ref t.epoch (Domain.DLS.get slot) in
           match Hashtbl.find_opt tbl key with
           | Some v ->
               Atomic.incr t.hits;
@@ -157,7 +200,7 @@ module Table = struct
       | Shared (m, r) -> (
           let found =
             Mutex.protect m (fun () ->
-                Hashtbl.find_opt (table_of_ref r) key)
+                Hashtbl.find_opt (table_of_ref t.epoch r) key)
           in
           match found with
           | Some v ->
@@ -172,14 +215,23 @@ module Table = struct
                  harmless (one redundant solve, never a wrong one). *)
               let v = compute () in
               Mutex.protect m (fun () ->
-                  Hashtbl.replace (table_of_ref r) key v);
+                  Hashtbl.replace (table_of_ref t.epoch r) key v);
               v)
 
   let find_opt t key =
     if not (enabled ()) then None
     else
       match t.store with
-      | Local slot -> Hashtbl.find_opt (table_of_ref (Domain.DLS.get slot)) key
+      | Local slot ->
+          Hashtbl.find_opt (table_of_ref t.epoch (Domain.DLS.get slot)) key
       | Shared (m, r) ->
-          Mutex.protect m (fun () -> Hashtbl.find_opt (table_of_ref r) key)
+          Mutex.protect m (fun () ->
+              Hashtbl.find_opt (table_of_ref t.epoch r) key)
 end
+
+let trim_all () =
+  let ts = Mutex.protect registry_mutex (fun () -> !trimmers) in
+  Atomic.incr trim_count;
+  List.fold_left (fun acc trim -> acc + trim ()) 0 ts
+
+let trims () = Atomic.get trim_count

@@ -52,6 +52,17 @@ val enabled : unit -> bool
 val clear_all : unit -> unit
 (** Invalidate every table in every domain (lazily, on next access). *)
 
+val trim_all : unit -> int
+(** Shrink every table under memory pressure without emptying the caches
+    wholesale: shared tables drop about half their entries in place
+    (returning the number dropped); domain-local tables are cleared
+    lazily on each domain's next access (their drops are not counted).
+    The evaluation server calls this when its session-memory budget
+    overflows, before evicting sessions. *)
+
+val trims : unit -> int
+(** Number of {!trim_all} calls since startup (exposed in daemon stats). *)
+
 type stat = { name : string; hits : int; misses : int }
 
 val stats : unit -> stat list

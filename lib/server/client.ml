@@ -1,0 +1,171 @@
+(* A resilient client for the sharped protocol: one connection per
+   request, with bounded retry.  Transport failures (connect refused,
+   server closed the connection before replying) and structured
+   load-shed rejections ([overloaded], which carries a retry_after_ms
+   hint) are retried with exponential backoff and jitter; a server-side
+   [timeout] is retried only when the request carries a request_id, and
+   then under a fresh key — the original WAS executed and remembered, so
+   replaying the same key would only return the cached timeout. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type policy = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default_policy =
+  { attempts = 4; base_delay = 0.05; max_delay = 2.0; jitter = 0.5 }
+
+type error = Connect_failed of string | Transport of string
+
+let error_to_string = function
+  | Connect_failed msg -> "cannot connect: " ^ msg
+  | Transport msg -> "transport error: " ^ msg
+
+(* --- one connection, one request, one response line ---------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let connect_addr = function
+  | `Unix path -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        Ok fd
+      with Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+  | `Tcp (host, port) -> (
+      match
+        try Ok (Unix.inet_addr_of_string host)
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> Ok a
+          | _ | (exception Not_found) ->
+              Error (Printf.sprintf "cannot resolve host %S" host))
+      with
+      | Error msg -> Error msg
+      | Ok inet -> (
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          try
+            Unix.connect fd (Unix.ADDR_INET (inet, port));
+            Ok fd
+          with Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+            Error
+              (Printf.sprintf "%s:%d: %s" host port (Unix.error_message e))))
+
+let once addr line =
+  match connect_addr addr with
+  | Error msg -> Error (Connect_failed msg)
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+        (fun () ->
+          match write_all fd (line ^ "\n") with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Transport ("write: " ^ Unix.error_message e))
+          | () -> (
+              let buf = Buffer.create 1024 in
+              let chunk = Bytes.create 8192 in
+              let rec read_line () =
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> ()
+                | n -> (
+                    match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+                    | Some i -> Buffer.add_subbytes buf chunk 0 i
+                    | None ->
+                        Buffer.add_subbytes buf chunk 0 n;
+                        read_line ())
+                | exception Unix.Unix_error (e, _, _) ->
+                    raise
+                      (Failure ("read: " ^ Unix.error_message e))
+              in
+              match read_line () with
+              | exception Failure msg -> Error (Transport msg)
+              | () ->
+                  if Buffer.length buf = 0 then
+                    Error
+                      (Transport
+                         "server closed the connection without replying")
+                  else (
+                    match Json.parse (Buffer.contents buf) with
+                    | Ok v -> Ok v
+                    | Error msg ->
+                        Error (Transport ("unparseable response: " ^ msg)))))
+
+(* --- retry loop ---------------------------------------------------------- *)
+
+let error_kind resp =
+  Option.bind (Json.member "error" resp) (fun e ->
+      Option.bind (Json.member "kind" e) Json.to_str)
+
+let retry_after resp =
+  Option.bind (Json.member "retry_after_ms" resp) Json.to_float
+
+let request_id_of = function
+  | Json.Obj fields -> (
+      match List.assoc_opt "request_id" fields with
+      | Some (Json.Str s) -> Some s
+      | _ -> None)
+  | _ -> None
+
+(* Retrying a timed-out request must use a FRESH idempotency key: the
+   daemon remembers the original attempt's timeout response under the
+   old one. *)
+let with_fresh_request_id attempt json =
+  match json with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (n, v) ->
+             match (n, v) with
+             | "request_id", Json.Str s ->
+                 (n, Json.Str (Printf.sprintf "%s~r%d" s attempt))
+             | _ -> (n, v))
+           fields)
+  | _ -> json
+
+let backoff policy rng ~attempt ~hint_ms =
+  let d = policy.base_delay *. Float.pow 2.0 (float_of_int attempt) in
+  let d = Float.min policy.max_delay d in
+  let d = match hint_ms with Some ms -> Float.max d (ms /. 1000.0) | None -> d in
+  d +. (d *. policy.jitter *. Random.State.float rng 1.0)
+
+let request ?(policy = default_policy) ?rng addr json =
+  let rng =
+    match rng with Some r -> r | None -> Random.State.make_self_init ()
+  in
+  let sleep ~attempt ~hint_ms =
+    Unix.sleepf (backoff policy rng ~attempt ~hint_ms)
+  in
+  let rec go attempt json =
+    let last = attempt + 1 >= policy.attempts in
+    match once addr (Json.to_string json) with
+    | Error e ->
+        if last then Error e
+        else begin
+          sleep ~attempt ~hint_ms:None;
+          go (attempt + 1) json
+        end
+    | Ok resp -> (
+        match error_kind resp with
+        | Some "overloaded" when not last ->
+            sleep ~attempt ~hint_ms:(retry_after resp);
+            go (attempt + 1) json
+        | Some "timeout" when (not last) && request_id_of json <> None ->
+            sleep ~attempt ~hint_ms:None;
+            go (attempt + 1) (with_fresh_request_id (attempt + 1) json)
+        | _ -> Ok resp)
+  in
+  go 0 json

@@ -1,0 +1,53 @@
+(** Resilient client for the sharped protocol.
+
+    One TCP/Unix connection per request.  Failures that make sense to
+    retry are retried with exponential backoff and jitter, bounded by
+    {!policy.attempts} total attempts:
+
+    - connect failures and transport errors (server closed the
+      connection before replying);
+    - structured ["overloaded"] rejections — the server's
+      [retry_after_ms] hint, when present, is a lower bound on the wait;
+    - structured ["timeout"] responses, but only when the request
+      carries a [request_id], and then under a fresh derived key
+      ([<id>~r<attempt>]): the original attempt {e was} executed and its
+      timeout response is remembered by the daemon's idempotency cache,
+      so replaying the same key could never succeed.
+
+    Any other server response — including structured errors like
+    [session_expired] or [eval_error] — is returned to the caller as
+    [Ok response]; retry only covers conditions where a later attempt
+    can genuinely turn out differently. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type policy = {
+  attempts : int;  (** total attempts, first try included (default 4) *)
+  base_delay : float;  (** seconds before the first retry (default 0.05) *)
+  max_delay : float;  (** backoff ceiling in seconds (default 2.0) *)
+  jitter : float;
+      (** each wait is stretched by a uniform random factor in
+          [0, jitter] of itself (default 0.5) *)
+}
+
+val default_policy : policy
+
+type error =
+  | Connect_failed of string
+      (** no attempt reached the server (connection refused, bad socket
+          path, unresolvable host) *)
+  | Transport of string
+      (** the connection was established but died before a complete
+          response arrived, or the response was not valid JSON *)
+
+val error_to_string : error -> string
+
+val request :
+  ?policy:policy ->
+  ?rng:Random.State.t ->
+  addr ->
+  Json.t ->
+  (Json.t, error) result
+(** Send one request object, return the server's response object.
+    [?rng] seeds the jitter (defaults to a self-initialized state);
+    pass an explicit state for reproducible harnesses. *)

@@ -18,7 +18,11 @@ let op_name = function
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
-type parsed = { id : Json.t; req : (request, string) result }
+type parsed = {
+  id : Json.t;
+  request_id : string option;
+  req : (request, string) result;
+}
 
 let str_field obj name =
   match Json.member name obj with
@@ -55,10 +59,26 @@ let ( let* ) = Result.bind
 
 let parse_request line =
   match Json.parse line with
-  | Error msg -> { id = Json.Null; req = Error ("malformed JSON: " ^ msg) }
+  | Error msg ->
+      { id = Json.Null;
+        request_id = None;
+        req = Error ("malformed JSON: " ^ msg) }
   | Ok (Json.Obj _ as obj) ->
       let id = Option.value (Json.member "id" obj) ~default:Json.Null in
+      let request_id =
+        match Json.member "request_id" obj with
+        | Some (Json.Str s) when s <> "" -> Some s
+        | _ -> None
+      in
       let req =
+        (* a present-but-ill-typed request_id must fail loudly: silently
+           ignoring it would disable the idempotency the client asked for *)
+        let* () =
+          match Json.member "request_id" obj with
+          | None -> Ok ()
+          | Some (Json.Str s) when s <> "" -> Ok ()
+          | Some _ -> Error "field \"request_id\" must be a non-empty string"
+        in
         let* op = str_field obj "op" in
         match op with
         | "ping" -> Ok Ping
@@ -86,8 +106,11 @@ let parse_request line =
         | "shutdown" -> Ok Shutdown
         | op -> Error (Printf.sprintf "unknown op %S" op)
       in
-      { id; req }
-  | Ok _ -> { id = Json.Null; req = Error "request must be a JSON object" }
+      { id; request_id; req }
+  | Ok _ ->
+      { id = Json.Null;
+        request_id = None;
+        req = Error "request must be a JSON object" }
 
 let ok ~id fields =
   Json.to_string (Json.Obj (("id", id) :: ("ok", Json.Bool true) :: fields))

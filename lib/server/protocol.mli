@@ -20,6 +20,10 @@ val op_name : request -> string
 
 type parsed = {
   id : Json.t;  (** echoed verbatim in the response; [Null] when absent *)
+  request_id : string option;
+      (** the client's idempotency key: a daemon remembers recently
+          completed [request_id]s and replays the stored response for a
+          duplicate instead of re-executing (see PROTOCOL.md) *)
   req : (request, string) result;
 }
 

@@ -1,6 +1,7 @@
 module Pool = Sharpe_numerics.Pool
 module Deadline = Sharpe_numerics.Deadline
 module Diag = Sharpe_numerics.Diag
+module Structhash = Sharpe_numerics.Structhash
 module Interp = Sharpe_lang.Interp
 module Check = Sharpe_check.Check
 
@@ -22,21 +23,133 @@ type config = {
   max_request_bytes : int;
   default_timeout : float option;
   workers : int;
+  max_concurrent : int;
+  max_sessions : int;
+  session_ttl : float option;
+  session_quota : float option;
+  memory_budget : int option;
+  retry_after_ms : int;
+  inject : (string -> unit) option;
 }
 
 let default_config =
-  { max_request_bytes = 1 lsl 20; default_timeout = None; workers = 2 }
+  { max_request_bytes = 1 lsl 20;
+    default_timeout = None;
+    workers = 2;
+    max_concurrent = 64;
+    max_sessions = 64;
+    session_ttl = None;
+    session_quota = None;
+    memory_budget = None;
+    retry_after_ms = 50;
+    inject = None }
 
-(* A named session: the interpreter environment plus the mutex that
-   serializes requests into it.  Requests against different sessions run
-   concurrently; requests against the same session queue on [slock]. *)
-type session_entry = { slock : Mutex.t; sess : Interp.Session.t }
+(* --- idempotency: the replay cache -------------------------------------- *)
+
+(* A client that retries a request after losing the response must not
+   make the daemon execute it twice.  Requests carrying a [request_id]
+   are remembered: the first arrival executes and stores its response
+   line; duplicates replay the stored line, and a duplicate that arrives
+   while the original is still executing waits for it instead of racing
+   a second evaluation.  The cache holds the most recent [cap] completed
+   keys (FIFO). *)
+module Replay = struct
+  type outcome = { r_ok : bool; r_line : string }
+  type entry = Pending of Mutex.t * Condition.t | Done of outcome
+
+  type t = {
+    mutex : Mutex.t;  (** guards [tbl] and [order] *)
+    tbl : (string, entry ref) Hashtbl.t;
+    order : string Queue.t;  (** completed-and-kept keys, oldest first *)
+    cap : int;
+  }
+
+  let create cap =
+    { mutex = Mutex.create ();
+      tbl = Hashtbl.create 64;
+      order = Queue.create ();
+      cap }
+
+  let claim t key =
+    let found =
+      Mutex.protect t.mutex (fun () ->
+          match Hashtbl.find_opt t.tbl key with
+          | Some r -> `Existing r
+          | None ->
+              Hashtbl.add t.tbl key
+                (ref (Pending (Mutex.create (), Condition.create ())));
+              `Fresh)
+    in
+    match found with
+    | `Fresh -> `Execute
+    | `Existing r -> (
+        match !r with
+        | Done o -> `Replay o
+        | Pending (m, c) ->
+            Mutex.lock m;
+            let rec wait () =
+              match !r with
+              | Pending _ ->
+                  Condition.wait c m;
+                  wait ()
+              | Done o -> o
+            in
+            let o = wait () in
+            Mutex.unlock m;
+            `Replay o)
+
+  (* [keep:false] wakes any duplicates with this outcome but forgets the
+     key immediately, so a later retry executes fresh — used for
+     load-shed rejections, where the whole point of the retry is that
+     the next attempt might be admitted. *)
+  let complete t key ~keep outcome =
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> ()
+        | Some r ->
+            (match !r with
+            | Pending (m, c) ->
+                Mutex.lock m;
+                r := Done outcome;
+                Condition.broadcast c;
+                Mutex.unlock m
+            | Done _ -> r := Done outcome);
+            if keep then begin
+              Queue.add key t.order;
+              while Queue.length t.order > t.cap do
+                Hashtbl.remove t.tbl (Queue.pop t.order)
+              done
+            end
+            else Hashtbl.remove t.tbl key)
+end
+
+(* --- state --------------------------------------------------------------- *)
+
+(* A named session: the interpreter environment, the mutex that
+   serializes requests into it, and the lifecycle accounting that feeds
+   eviction (idle TTL, LRU under the session cap, memory pressure) and
+   the per-session time quota. *)
+type session_entry = {
+  slock : Mutex.t;
+  sess : Interp.Session.t;
+  sname : string;
+  mutable last_used : float;  (** guarded by slock *)
+  mutable busy_seconds : float;  (** guarded by slock *)
+  mutable approx_bytes : int;  (** guarded by slock *)
+}
 
 type state = {
   config : config;
   stats : Stats.t;
-  reg_mutex : Mutex.t;  (** guards [sessions] *)
+  reg_mutex : Mutex.t;  (** guards [sessions], [expired], [last_maintenance] *)
   sessions : (string, session_entry) Hashtbl.t;
+  expired : (string, unit) Hashtbl.t;
+      (** tombstones of evicted names: the next request naming one gets a
+          structured [session_expired] (consuming the tombstone), the one
+          after that rebinds fresh *)
+  admitted : int Atomic.t;  (** pool-using requests currently admitted *)
+  replay : Replay.t;
+  mutable last_maintenance : float;
   stop : bool Atomic.t;
   conn_mutex : Mutex.t;  (** guards [conns] *)
   mutable conns : Unix.file_descr list;
@@ -85,29 +198,234 @@ let read_lines fd max_bytes on_line =
         done
   done
 
+(* --- structured rejections ---------------------------------------------- *)
+
+let overloaded st ~id msg =
+  Stats.incr_shed st.stats;
+  ( false,
+    Protocol.error ~id ~kind:"overloaded"
+      ~extra:
+        [ ( "retry_after_ms",
+            Json.Num (float_of_int st.config.retry_after_ms) ) ]
+      msg )
+
+let session_expired ~id name =
+  ( false,
+    Protocol.error ~id ~kind:"session_expired"
+      ~extra:[ ("session", Json.Str name) ]
+      (Printf.sprintf
+         "session %S was evicted (idle TTL, session cap or memory \
+          pressure); re-create it by re-sending its state"
+         name) )
+
+(* --- admission control --------------------------------------------------- *)
+
+(* Bounded concurrency: at most [max_concurrent] pool-using requests
+   (eval/query/selfcheck) execute or queue at once; beyond that, new ones
+   are rejected immediately with a structured [overloaded] error carrying
+   a retry hint instead of queuing unboundedly.  Low-priority work (the
+   selfcheck audit class) only gets 3/4 of the budget, so under sustained
+   overload it is shed first and interactive evaluation degrades last. *)
+let try_admit st ~low_priority =
+  let limit = st.config.max_concurrent in
+  let limit = if low_priority then max 1 (limit * 3 / 4) else limit in
+  let rec go () =
+    let cur = Atomic.get st.admitted in
+    if cur >= limit then false
+    else if Atomic.compare_and_set st.admitted cur (cur + 1) then true
+    else go ()
+  in
+  go ()
+
+let admitted st ~id ~low_priority f =
+  if not (try_admit st ~low_priority) then
+    let ok, resp =
+      overloaded st ~id
+        "server is at its concurrency limit; retry after retry_after_ms"
+    in
+    (ok, resp, false)
+  else
+    Fun.protect ~finally:(fun () -> Atomic.decr st.admitted) f
+
 (* --- sessions ----------------------------------------------------------- *)
+
+(* Caller holds reg_mutex and e.slock. *)
+let evict_locked st e =
+  Hashtbl.remove st.sessions e.sname;
+  (* tombstones are bounded too: under pathological churn the whole set
+     resets, at worst downgrading a session_expired reply into a silent
+     fresh rebind *)
+  if Hashtbl.length st.expired >= 4 * st.config.max_sessions then
+    Hashtbl.reset st.expired;
+  Hashtbl.replace st.expired e.sname ();
+  Stats.incr_evictions st.stats
+
+(* Caller holds reg_mutex.  Returns true when a session was evicted. *)
+let lru_evict_locked st =
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) st.sessions [] in
+  let entries =
+    List.sort (fun a b -> compare a.last_used b.last_used) entries
+  in
+  List.exists
+    (fun e ->
+      (* a busy session (slock held) is by definition not LRU — skip it *)
+      if Mutex.try_lock e.slock then begin
+        evict_locked st e;
+        Mutex.unlock e.slock;
+        true
+      end
+      else false)
+    entries
+
+let fresh_entry name =
+  { slock = Mutex.create ();
+    sess = Interp.Session.create ();
+    sname = name;
+    last_used = Unix.gettimeofday ();
+    busy_seconds = 0.0;
+    approx_bytes = 0 }
 
 let get_session st name =
   Mutex.protect st.reg_mutex (fun () ->
       match Hashtbl.find_opt st.sessions name with
-      | Some e -> e
+      | Some e -> `Live e
       | None ->
-          let e = { slock = Mutex.create (); sess = Interp.Session.create () } in
-          Hashtbl.add st.sessions name e;
-          e)
+          if Hashtbl.mem st.expired name then begin
+            Hashtbl.remove st.expired name;
+            `Expired
+          end
+          else begin
+            if Hashtbl.length st.sessions >= st.config.max_sessions then
+              ignore (lru_evict_locked st);
+            if Hashtbl.length st.sessions >= st.config.max_sessions then `Full
+            else begin
+              let e = fresh_entry name in
+              Hashtbl.add st.sessions name e;
+              `Live e
+            end
+          end)
 
 let session_count st =
   Mutex.protect st.reg_mutex (fun () -> Hashtbl.length st.sessions)
 
-let with_session st session f =
+(* Resolve, lock and account one session around [f].  [f] returns
+   [(ok, response)]; the third component of the result says whether the
+   response may be stored in the idempotency cache (load-shed rejections
+   must not be: the whole point of retrying them is a fresh attempt). *)
+let with_session st ~id ?(mutates = false) session f =
   match session with
   | None ->
       (* sessionless request: a throwaway environment, discarded after *)
-      f { slock = Mutex.create (); sess = Interp.Session.create () }
-  | Some name ->
-      let e = get_session st name in
-      Mutex.lock e.slock;
-      Fun.protect ~finally:(fun () -> Mutex.unlock e.slock) (fun () -> f e)
+      let ok, resp = f (fresh_entry "") in
+      (ok, resp, true)
+  | Some name -> (
+      match get_session st name with
+      | `Expired ->
+          let ok, resp = session_expired ~id name in
+          (ok, resp, true)
+      | `Full ->
+          let ok, resp =
+            overloaded st ~id
+              "session table is full of busy sessions; retry after \
+               retry_after_ms"
+          in
+          (ok, resp, false)
+      | `Live e ->
+          Mutex.lock e.slock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock e.slock)
+            (fun () ->
+              (* the entry may have been evicted between registry lookup
+                 and lock acquisition: answer session_expired, consuming
+                 the tombstone so the very next request rebinds *)
+              let still_live =
+                Mutex.protect st.reg_mutex (fun () ->
+                    match Hashtbl.find_opt st.sessions name with
+                    | Some e' when e' == e -> true
+                    | _ ->
+                        Hashtbl.remove st.expired name;
+                        false)
+              in
+              if not still_live then
+                let ok, resp = session_expired ~id name in
+                (ok, resp, true)
+              else
+                match st.config.session_quota with
+                | Some q when e.busy_seconds >= q ->
+                    Stats.incr_quota_rejections st.stats;
+                    ( false,
+                      Protocol.error ~id ~kind:"quota_exhausted"
+                        ~extra:[ ("session", Json.Str name) ]
+                        (Printf.sprintf
+                           "session %S has used %.3fs of its %.3fs \
+                            cumulative time quota"
+                           name e.busy_seconds q),
+                      true )
+                | _ ->
+                    let t0 = Unix.gettimeofday () in
+                    let ok, resp = f e in
+                    let t1 = Unix.gettimeofday () in
+                    e.busy_seconds <- e.busy_seconds +. (t1 -. t0);
+                    e.last_used <- t1;
+                    if mutates then
+                      e.approx_bytes <- Interp.Session.approx_bytes e.sess;
+                    (ok, resp, true)))
+
+(* --- maintenance: eviction and the memory budget ------------------------ *)
+
+(* Runs from the accept loop (at most every 50 ms): idle-TTL eviction,
+   then the global memory budget — when the summed per-session footprint
+   overflows, first trim the structural solve caches, then evict
+   least-recently-used sessions until the account fits again.  Busy
+   sessions are never evicted (try_lock skips them), so the daemon sheds
+   memory without poisoning a lock or a request in flight. *)
+let maintenance st =
+  let t = Unix.gettimeofday () in
+  Mutex.protect st.reg_mutex (fun () ->
+      if t -. st.last_maintenance >= 0.05 then begin
+        st.last_maintenance <- t;
+        (match st.config.session_ttl with
+        | Some ttl ->
+            let victims =
+              Hashtbl.fold
+                (fun _ e acc ->
+                  if t -. e.last_used > ttl then e :: acc else acc)
+                st.sessions []
+            in
+            List.iter
+              (fun e ->
+                if Mutex.try_lock e.slock then begin
+                  (* recheck under the lock: the session may have served
+                     a request since the scan *)
+                  if t -. e.last_used > ttl then evict_locked st e;
+                  Mutex.unlock e.slock
+                end)
+              victims
+        | None -> ());
+        let total =
+          Hashtbl.fold (fun _ e acc -> acc + e.approx_bytes) st.sessions 0
+        in
+        Stats.set_session_bytes st.stats total;
+        match st.config.memory_budget with
+        | Some budget when total > budget ->
+            ignore (Structhash.trim_all ());
+            let entries =
+              Hashtbl.fold (fun _ e acc -> e :: acc) st.sessions []
+            in
+            let entries =
+              List.sort (fun a b -> compare a.last_used b.last_used) entries
+            in
+            let excess = ref (total - budget) in
+            List.iter
+              (fun e ->
+                if !excess > 0 && Mutex.try_lock e.slock then begin
+                  evict_locked st e;
+                  excess := !excess - e.approx_bytes;
+                  Mutex.unlock e.slock
+                end)
+              entries
+        | _ -> ()
+      end)
 
 let deadline_of st timeout =
   match (timeout, st.config.default_timeout) with
@@ -116,15 +434,20 @@ let deadline_of st timeout =
 
 (* --- request handlers --------------------------------------------------- *)
 
+let inject st op =
+  match st.config.inject with Some f -> f op | None -> ()
+
 let count_error_diags records =
   List.length
     (List.filter (fun r -> r.Diag.severity = Diag.Error) records)
 
 let handle_eval st ~id ~session ~src ~timeout =
-  with_session st session (fun e ->
+  with_session st ~id ~mutates:true session (fun e ->
       let deadline = deadline_of st timeout in
       let job =
-        Pool.submit ?deadline (fun () -> Interp.Session.eval e.sess src)
+        Pool.submit ?deadline (fun () ->
+            inject st "eval";
+            Interp.Session.eval e.sess src)
       in
       match Pool.await job with
       | Ok (output, outcome) ->
@@ -145,13 +468,15 @@ let handle_eval st ~id ~session ~src ~timeout =
               "request exceeded its deadline and was cancelled" )
       | Error (exn, _) ->
           ( false,
-            Protocol.error ~id ~kind:"internal" (Printexc.to_string exn) ))
+            Protocol.error ~id ~kind:"internal_error" (Printexc.to_string exn) ))
 
 let handle_query st ~id ~session ~expr ~timeout =
-  with_session st (Some session) (fun e ->
+  with_session st ~id (Some session) (fun e ->
       let deadline = deadline_of st timeout in
       let job =
-        Pool.submit ?deadline (fun () -> Interp.Session.query e.sess expr)
+        Pool.submit ?deadline (fun () ->
+            inject st "query";
+            Interp.Session.query e.sess expr)
       in
       match Pool.await job with
       | Ok (Ok v) -> (true, Protocol.ok ~id [ ("value", Json.Num v) ])
@@ -162,7 +487,7 @@ let handle_query st ~id ~session ~expr ~timeout =
               "request exceeded its deadline and was cancelled" )
       | Error (exn, _) ->
           ( false,
-            Protocol.error ~id ~kind:"internal" (Printexc.to_string exn) ))
+            Protocol.error ~id ~kind:"internal_error" (Printexc.to_string exn) ))
 
 (* A live daemon can be audited without restarting it: run the
    differential harness on a pool worker (cancellable by deadline like
@@ -177,11 +502,13 @@ let handle_selfcheck st ~id ~count ~seed ~timeout =
   if count < 1 || count > selfcheck_max_count then
     ( false,
       Protocol.error ~id ~kind:"bad_request"
-        (Printf.sprintf "count must be between 1 and %d" selfcheck_max_count) )
+        (Printf.sprintf "count must be between 1 and %d" selfcheck_max_count),
+      true )
   else begin
     let deadline = deadline_of st timeout in
     let job =
       Pool.submit ?deadline (fun () ->
+          inject st "selfcheck";
           Diag.capture (fun () -> Check.run ~seed ~count ()))
     in
     match Pool.await job with
@@ -213,19 +540,44 @@ let handle_selfcheck st ~id ~count ~seed ~timeout =
               ("errors", Json.Num (float_of_int errs));
               ("clean", Json.Bool clean);
               ("pairs", pairs);
-              ("diagnostics", Protocol.diagnostics_json records) ] )
+              ("diagnostics", Protocol.diagnostics_json records) ],
+          true )
     | Error (Deadline.Timed_out, _) ->
         ( false,
           Protocol.error ~id ~kind:"timeout"
-            "selfcheck exceeded its deadline and was cancelled" )
+            "selfcheck exceeded its deadline and was cancelled",
+          true )
     | Error (exn, _) ->
-        (false, Protocol.error ~id ~kind:"internal" (Printexc.to_string exn))
+        ( false,
+          Protocol.error ~id ~kind:"internal_error" (Printexc.to_string exn),
+          true )
   end
 
 let handle_bind st ~id ~session ~name ~value =
-  with_session st (Some session) (fun e ->
+  with_session st ~id ~mutates:true (Some session) (fun e ->
       Interp.Session.bind e.sess name value;
       (true, Protocol.ok ~id [ ("bound", Json.Str name) ]))
+
+let dispatch st ~id req =
+  match req with
+  | Protocol.Ping -> (true, Protocol.ok ~id [ ("pong", Json.Bool true) ], true)
+  | Protocol.Eval { session; src; timeout } ->
+      admitted st ~id ~low_priority:false (fun () ->
+          handle_eval st ~id ~session ~src ~timeout)
+  | Protocol.Bind { session; name; value } ->
+      handle_bind st ~id ~session ~name ~value
+  | Protocol.Query { session; expr; timeout } ->
+      admitted st ~id ~low_priority:false (fun () ->
+          handle_query st ~id ~session ~expr ~timeout)
+  | Protocol.Selfcheck { count; seed; timeout } ->
+      admitted st ~id ~low_priority:true (fun () ->
+          handle_selfcheck st ~id ~count ~seed ~timeout)
+  | Protocol.Stats ->
+      Stats.set_sessions st.stats (session_count st);
+      (true, Protocol.ok ~id [ ("stats", Stats.to_json st.stats) ], true)
+  | Protocol.Shutdown ->
+      Atomic.set st.stop true;
+      (true, Protocol.ok ~id [ ("stopping", Json.Bool true) ], true)
 
 let handle_request st parsed =
   let id = parsed.Protocol.id in
@@ -233,26 +585,39 @@ let handle_request st parsed =
   | Error msg -> ("invalid", false, Protocol.error ~id ~kind:"bad_request" msg)
   | Ok req -> (
       let op = Protocol.op_name req in
-      match req with
-      | Protocol.Ping -> (op, true, Protocol.ok ~id [ ("pong", Json.Bool true) ])
-      | Protocol.Eval { session; src; timeout } ->
-          let ok, resp = handle_eval st ~id ~session ~src ~timeout in
+      let exec () =
+        (* panic barrier: ANY exception escaping a handler — a crashing
+           worker job, an interpreter bug, an unexpected unwind — becomes
+           a structured internal_error response and a healthy daemon, not
+           a dead connection or a poisoned pool *)
+        try dispatch st ~id req
+        with exn ->
+          ( false,
+            Protocol.error ~id ~kind:"internal_error"
+              ("unexpected exception: " ^ Printexc.to_string exn),
+            true )
+      in
+      let replay_key =
+        match req with
+        | Protocol.Eval _ | Protocol.Bind _ | Protocol.Query _
+        | Protocol.Selfcheck _ ->
+            parsed.Protocol.request_id
+        | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> None
+      in
+      match replay_key with
+      | None ->
+          let ok, resp, _keep = exec () in
           (op, ok, resp)
-      | Protocol.Bind { session; name; value } ->
-          let ok, resp = handle_bind st ~id ~session ~name ~value in
-          (op, ok, resp)
-      | Protocol.Query { session; expr; timeout } ->
-          let ok, resp = handle_query st ~id ~session ~expr ~timeout in
-          (op, ok, resp)
-      | Protocol.Selfcheck { count; seed; timeout } ->
-          let ok, resp = handle_selfcheck st ~id ~count ~seed ~timeout in
-          (op, ok, resp)
-      | Protocol.Stats ->
-          Stats.set_sessions st.stats (session_count st);
-          (op, true, Protocol.ok ~id [ ("stats", Stats.to_json st.stats) ])
-      | Protocol.Shutdown ->
-          Atomic.set st.stop true;
-          (op, true, Protocol.ok ~id [ ("stopping", Json.Bool true) ]))
+      | Some key -> (
+          match Replay.claim st.replay key with
+          | `Replay o ->
+              Stats.incr_replays st.stats;
+              (op, o.Replay.r_ok, o.Replay.r_line)
+          | `Execute ->
+              let ok, resp, keep = exec () in
+              Replay.complete st.replay key ~keep
+                { Replay.r_ok = ok; r_line = resp };
+              (op, ok, resp)))
 
 (* --- connections -------------------------------------------------------- *)
 
@@ -333,6 +698,10 @@ let serve ?(config = default_config) ?ready listen =
       stats = Stats.create ();
       reg_mutex = Mutex.create ();
       sessions = Hashtbl.create 16;
+      expired = Hashtbl.create 16;
+      admitted = Atomic.make 0;
+      replay = Replay.create 512;
+      last_maintenance = 0.0;
       stop = Atomic.make false;
       conn_mutex = Mutex.create ();
       conns = [] }
@@ -342,7 +711,9 @@ let serve ?(config = default_config) ?ready listen =
   (match ready with Some f -> f () | None -> ());
   let threads = ref [] in
   while not (Atomic.get st.stop) do
-    (* poll so a shutdown request is noticed without a wake-up connection *)
+    (* poll so a shutdown request is noticed without a wake-up connection,
+       and so session maintenance runs on an idle daemon too *)
+    maintenance st;
     match Unix.select [ sock ] [] [] 0.1 with
     | [], _, _ -> ()
     | _ :: _, _, _ -> (

@@ -19,6 +19,11 @@ type t = {
   mutable in_flight : int;
   mutable sessions : int;
   mutable error_diagnostics : int;
+  mutable shed : int;
+  mutable evictions : int;
+  mutable replays : int;
+  mutable quota_rejections : int;
+  mutable session_bytes : int;
 }
 
 let create () =
@@ -26,7 +31,12 @@ let create () =
     ops = Hashtbl.create 8;
     in_flight = 0;
     sessions = 0;
-    error_diagnostics = 0 }
+    error_diagnostics = 0;
+    shed = 0;
+    evictions = 0;
+    replays = 0;
+    quota_rejections = 0;
+    session_bytes = 0 }
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -67,11 +77,39 @@ let add_error_diagnostics t n =
   locked t (fun () -> t.error_diagnostics <- t.error_diagnostics + n)
 
 let set_sessions t n = locked t (fun () -> t.sessions <- n)
+let set_session_bytes t n = locked t (fun () -> t.session_bytes <- n)
+let incr_shed t = locked t (fun () -> t.shed <- t.shed + 1)
+let incr_evictions t = locked t (fun () -> t.evictions <- t.evictions + 1)
+let incr_replays t = locked t (fun () -> t.replays <- t.replays + 1)
+
+let incr_quota_rejections t =
+  locked t (fun () -> t.quota_rejections <- t.quota_rejections + 1)
+
 let error_diagnostics t = locked t (fun () -> t.error_diagnostics)
+let shed t = locked t (fun () -> t.shed)
+let evictions t = locked t (fun () -> t.evictions)
 
 let requests t =
   locked t (fun () ->
       Hashtbl.fold (fun _ s acc -> acc + s.count) t.ops 0)
+
+(* Upper bound of the bucket where the cumulative count crosses the
+   percentile — log-bucket resolution, so an estimate within a factor 2,
+   continuously exported without storing raw samples. *)
+let percentile_us s q =
+  if s.count = 0 then None
+  else begin
+    let need = int_of_float (ceil (q *. float_of_int s.count)) in
+    let acc = ref 0 and found = ref None in
+    Array.iteri
+      (fun i c ->
+        acc := !acc + c;
+        if !found = None && !acc >= need then found := Some i)
+      s.histogram;
+    match !found with
+    | Some i -> Some (Float.pow 2.0 (float_of_int (i + 1)))
+    | None -> None
+  end
 
 let op_json s =
   (* trim trailing empty buckets so the JSON stays readable *)
@@ -88,18 +126,37 @@ let op_json s =
         if s.count = 0 then Json.Null
         else Json.Num (s.total_seconds /. float_of_int s.count *. 1e6) );
       ("max_us", Json.Num (s.max_seconds *. 1e6));
+      ( "p99_us",
+        match percentile_us s 0.99 with
+        | Some x -> Json.Num x
+        | None -> Json.Null );
       ("latency_log2_us", Json.List hist) ]
 
 let to_json t =
-  let ops, in_flight, sessions, error_diagnostics =
+  let ops, gauges =
     locked t (fun () ->
         let ops =
           Hashtbl.fold (fun op s acc -> (op, op_json s) :: acc) t.ops []
         in
         ( List.sort (fun (a, _) (b, _) -> compare a b) ops,
-          t.in_flight,
-          t.sessions,
-          t.error_diagnostics ))
+          ( t.in_flight,
+            t.sessions,
+            t.error_diagnostics,
+            t.shed,
+            t.evictions,
+            t.replays,
+            t.quota_rejections,
+            t.session_bytes ) ))
+  in
+  let ( in_flight,
+        sessions,
+        error_diagnostics,
+        shed,
+        evictions,
+        replays,
+        quota_rejections,
+        session_bytes ) =
+    gauges
   in
   let cache =
     Json.List
@@ -115,5 +172,11 @@ let to_json t =
     [ ("ops", Json.Obj ops);
       ("in_flight", Json.Num (float_of_int in_flight));
       ("sessions", Json.Num (float_of_int sessions));
+      ("session_bytes", Json.Num (float_of_int session_bytes));
       ("error_diagnostics", Json.Num (float_of_int error_diagnostics));
+      ("shed", Json.Num (float_of_int shed));
+      ("evictions", Json.Num (float_of_int evictions));
+      ("replays", Json.Num (float_of_int replays));
+      ("quota_rejections", Json.Num (float_of_int quota_rejections));
+      ("cache_trims", Json.Num (float_of_int (Structhash.trims ())));
       ("cache", cache) ]

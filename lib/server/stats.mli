@@ -16,7 +16,25 @@ val decr_in_flight : t -> unit
 val add_error_diagnostics : t -> int -> unit
 val set_sessions : t -> int -> unit
 
+val set_session_bytes : t -> int -> unit
+(** Gauge: summed approximate heap bytes of all live sessions, refreshed
+    by the daemon's maintenance sweep. *)
+
+val incr_shed : t -> unit
+(** One request rejected by admission control (["overloaded"]). *)
+
+val incr_evictions : t -> unit
+(** One session evicted (idle TTL, LRU cap, or memory pressure). *)
+
+val incr_replays : t -> unit
+(** One duplicate request answered from the idempotency cache. *)
+
+val incr_quota_rejections : t -> unit
+(** One request rejected because its session exhausted its time quota. *)
+
 val error_diagnostics : t -> int
+val shed : t -> int
+val evictions : t -> int
 val requests : t -> int
 
 val to_json : t -> Json.t

@@ -315,6 +315,257 @@ let test_socket_fuzz () =
   with_server (fun path ->
       QCheck.Test.check_exn (prop_random_bytes_never_crash path))
 
+(* --- overload, eviction, quotas, idempotency, panics ------------------- *)
+
+module Client = Sharpe_server.Client
+
+let spin_src =
+  "bind i 0\nwhile (i < 1000000)\n  bind j 0\n  while (j < 1000000)\n    bind j j + 1\n  end\n  bind i i + 1\nend"
+
+let test_overload_shedding_and_client_retry () =
+  let config =
+    { Server.default_config with workers = 1; max_concurrent = 1 }
+  in
+  with_server ~config (fun path ->
+      (* occupy the single admission slot with a deadline-bounded spin *)
+      let occupant =
+        Thread.create
+          (fun () ->
+            let fd = connect path in
+            ignore
+              (roundtrip fd
+                 [ ("op", Json.Str "eval"); ("src", Json.Str spin_src);
+                   ("timeout", Json.Num 1.0) ]);
+            Unix.close fd)
+          ()
+      in
+      Thread.delay 0.2;
+      let fd = connect path in
+      let resp =
+        roundtrip fd [ ("op", Json.Str "eval"); ("src", Json.Str "expr 1") ]
+      in
+      Alcotest.(check (option string))
+        "saturated daemon sheds with overloaded" (Some "overloaded")
+        (error_kind resp);
+      Alcotest.(check bool) "overloaded carries retry_after_ms" true
+        (Option.bind (Json.member "retry_after_ms" resp) Json.to_float
+        <> None);
+      (* ... but admission rejection keeps the daemon responsive ... *)
+      Alcotest.(check bool) "ping is never shed" true
+        (is_ok (roundtrip fd [ ("op", Json.Str "ping") ]));
+      Unix.close fd;
+      (* ... and a retrying client rides out the overload window *)
+      let policy =
+        { Client.default_policy with attempts = 12; base_delay = 0.15 }
+      in
+      (match
+         Client.request ~policy
+           ~rng:(Random.State.make [| 42 |])
+           (`Unix path)
+           (Json.Obj
+              [ ("op", Json.Str "eval"); ("src", Json.Str "expr 2 + 2") ])
+       with
+      | Ok resp ->
+          Alcotest.(check bool) "client retry eventually admitted" true
+            (is_ok resp)
+      | Error e -> Alcotest.failf "client gave up: %s" (Client.error_to_string e));
+      Thread.join occupant)
+
+let test_ttl_eviction_expired_then_rebind_16way () =
+  let config = { Server.default_config with session_ttl = Some 0.15 } in
+  with_server ~config (fun path ->
+      let failures = ref [] in
+      let fmutex = Mutex.create () in
+      let worker i =
+        try
+          let fd = connect path in
+          let session = Printf.sprintf "ttl%d" i in
+          let bound =
+            roundtrip fd
+              [ ("op", Json.Str "bind"); ("session", Json.Str session);
+                ("name", Json.Str "x"); ("value", Json.Num (float_of_int i)) ]
+          in
+          if not (is_ok bound) then failwith "initial bind failed";
+          (* idle past the TTL: the maintenance sweep evicts the session *)
+          Thread.delay 0.5;
+          let q () =
+            roundtrip fd
+              [ ("op", Json.Str "query"); ("session", Json.Str session);
+                ("expr", Json.Str "x + 0") ]
+          in
+          (match error_kind (q ()) with
+          | Some "session_expired" -> ()
+          | k ->
+              failwith
+                (Printf.sprintf "expected session_expired, got %s"
+                   (Option.value k ~default:"ok")));
+          (* the tombstone is consumed: the next request rebinds a FRESH
+             session, in which x is simply unbound *)
+          (match error_kind (q ()) with
+          | Some "eval_error" -> ()
+          | k ->
+              failwith
+                (Printf.sprintf "expected eval_error after rebind, got %s"
+                   (Option.value k ~default:"ok")));
+          let rebound =
+            roundtrip fd
+              [ ("op", Json.Str "bind"); ("session", Json.Str session);
+                ("name", Json.Str "x"); ("value", Json.Num 9.0) ]
+          in
+          if not (is_ok rebound) then failwith "rebind failed";
+          (match Option.bind (Json.member "value" (q ())) Json.to_float with
+          | Some 9.0 -> ()
+          | _ -> failwith "rebound session does not serve");
+          Unix.close fd
+        with e ->
+          Mutex.protect fmutex (fun () ->
+              failures := Printexc.to_string e :: !failures)
+      in
+      let threads = List.init 16 (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Alcotest.(check (list string))
+        "16-way eviction/rebind without hangs or poisoning" [] !failures)
+
+let test_session_cap_lru_eviction () =
+  let config = { Server.default_config with max_sessions = 4 } in
+  with_server ~config (fun path ->
+      let fd = connect path in
+      for i = 0 to 7 do
+        let r =
+          roundtrip fd
+            [ ("op", Json.Str "bind");
+              ("session", Json.Str (Printf.sprintf "lru%d" i));
+              ("name", Json.Str "x"); ("value", Json.Num (float_of_int i)) ]
+        in
+        Alcotest.(check bool) "bind under cap pressure ok" true (is_ok r)
+      done;
+      let stats =
+        Option.value
+          (Json.member "stats" (roundtrip fd [ ("op", Json.Str "stats") ]))
+          ~default:Json.Null
+      in
+      (match Option.bind (Json.member "sessions" stats) Json.to_float with
+      | Some n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "session count capped (%g <= 4)" n)
+            true (n <= 4.0)
+      | None -> Alcotest.fail "stats lacks sessions gauge");
+      (match Option.bind (Json.member "evictions" stats) Json.to_float with
+      | Some n ->
+          Alcotest.(check bool) "evictions counted" true (n >= 4.0)
+      | None -> Alcotest.fail "stats lacks evictions counter");
+      (* the oldest session was evicted: one structured session_expired,
+         then a fresh rebind *)
+      let q s =
+        roundtrip fd
+          [ ("op", Json.Str "query"); ("session", Json.Str s);
+            ("expr", Json.Str "x + 0") ]
+      in
+      Alcotest.(check (option string))
+        "evicted LRU session answers session_expired"
+        (Some "session_expired")
+        (error_kind (q "lru0"));
+      (* the most recently used session still serves *)
+      (match Option.bind (Json.member "value" (q "lru7")) Json.to_float with
+      | Some 7.0 -> ()
+      | _ -> Alcotest.fail "recently-used session was evicted");
+      Unix.close fd)
+
+let test_session_time_quota () =
+  let config =
+    { Server.default_config with session_quota = Some 1e-6 }
+  in
+  with_server ~config (fun path ->
+      let fd = connect path in
+      let eval () =
+        roundtrip fd
+          [ ("op", Json.Str "eval"); ("session", Json.Str "q");
+            ("src", Json.Str "expr 1 + 1") ]
+      in
+      Alcotest.(check bool) "first request within quota" true
+        (is_ok (eval ()));
+      Alcotest.(check (option string))
+        "exhausted session answers quota_exhausted" (Some "quota_exhausted")
+        (error_kind (eval ()));
+      (* other sessions are unaffected *)
+      let other =
+        roundtrip fd
+          [ ("op", Json.Str "eval"); ("session", Json.Str "fresh");
+            ("src", Json.Str "expr 2") ]
+      in
+      Alcotest.(check bool) "quota is per-session" true (is_ok other);
+      Unix.close fd)
+
+let test_request_id_idempotency () =
+  with_server (fun path ->
+      let fd = connect path in
+      let r =
+        roundtrip fd
+          [ ("op", Json.Str "eval"); ("session", Json.Str "idem");
+            ("src", Json.Str "bind n 1") ]
+      in
+      Alcotest.(check bool) "setup eval ok" true (is_ok r);
+      let line =
+        Json.to_string
+          (Json.Obj
+             [ ("id", Json.Str "A"); ("op", Json.Str "eval");
+               ("session", Json.Str "idem");
+               ("src", Json.Str "bind n n + 1");
+               ("request_id", Json.Str "dup-001") ])
+      in
+      send_line fd line;
+      let first = recv_line fd in
+      (* the retry must not re-execute: same response bytes, one increment *)
+      send_line fd line;
+      let second = recv_line fd in
+      Alcotest.(check string) "duplicate replays the stored response" first
+        second;
+      let q =
+        roundtrip fd
+          [ ("op", Json.Str "query"); ("session", Json.Str "idem");
+            ("expr", Json.Str "n") ]
+      in
+      (match Option.bind (Json.member "value" q) Json.to_float with
+      | Some v ->
+          Alcotest.(check (float 0.0)) "side effect applied exactly once" 2.0 v
+      | None -> Alcotest.fail "query returned no value");
+      (* an ill-typed request_id is a loud bad_request, not silently
+         non-idempotent *)
+      let bad =
+        roundtrip fd
+          [ ("op", Json.Str "ping"); ("request_id", Json.Num 7.0) ]
+      in
+      Alcotest.(check (option string))
+        "non-string request_id rejected" (Some "bad_request")
+        (error_kind bad);
+      Unix.close fd)
+
+let test_panic_barrier () =
+  let blew = Atomic.make false in
+  let config =
+    { Server.default_config with
+      inject =
+        Some
+          (fun _op ->
+            if not (Atomic.exchange blew true) then
+              failwith "injected worker crash") }
+  in
+  with_server ~config (fun path ->
+      let fd = connect path in
+      let resp =
+        roundtrip fd [ ("op", Json.Str "eval"); ("src", Json.Str "expr 1") ]
+      in
+      Alcotest.(check (option string))
+        "crashing worker job becomes internal_error" (Some "internal_error")
+        (error_kind resp);
+      (* the daemon, its pool and this very connection stay healthy *)
+      let resp2 =
+        roundtrip fd
+          [ ("op", Json.Str "eval"); ("src", Json.Str "expr 3 * 3") ]
+      in
+      Alcotest.(check bool) "daemon serves after the panic" true (is_ok resp2);
+      Unix.close fd)
+
 let suite =
   [ Alcotest.test_case "in-process session isolation" `Quick
       test_session_isolation_inprocess;
@@ -331,4 +582,15 @@ let suite =
     Alcotest.test_case "deadline cancels request, daemon continues" `Quick
       test_socket_timeout_cancels_and_daemon_continues;
     Alcotest.test_case "fuzz lines never crash the daemon" `Quick
-      test_socket_fuzz ]
+      test_socket_fuzz;
+    Alcotest.test_case "overload shed + client retry" `Quick
+      test_overload_shedding_and_client_retry;
+    Alcotest.test_case "TTL eviction: expired then rebind, 16-way" `Quick
+      test_ttl_eviction_expired_then_rebind_16way;
+    Alcotest.test_case "session cap evicts LRU" `Quick
+      test_session_cap_lru_eviction;
+    Alcotest.test_case "session time quota" `Quick test_session_time_quota;
+    Alcotest.test_case "request_id idempotency" `Quick
+      test_request_id_idempotency;
+    Alcotest.test_case "panic barrier keeps the daemon alive" `Quick
+      test_panic_barrier ]
