@@ -1238,6 +1238,273 @@ let chaos_main ~seconds ~clients ~seed =
   end
 
 (* ====================================================================== *)
+(* crash-recovery soak: SIGKILL a journaled daemon mid-load, restart,     *)
+(* assert durable sessions answer golden-identically                      *)
+(* ====================================================================== *)
+
+(* Unlike the in-process chaos soak this phase spawns the REAL sharped
+   binary (a SIGKILL cannot target a thread), with --journal-dir and
+   --fsync always, so every acknowledged response implies a durable
+   journal record.  Concurrent clients bind per-session counters and
+   remember the last ACKED value; after kill -9 and a restart on the same
+   journal directory, every acked value must read back exactly, a model
+   evaluated before the crash must answer its query bit-identically to an
+   uninterrupted in-process session, and a pre-crash request_id must
+   replay its recorded response.  Finally the restarted daemon is drained
+   with SIGTERM and must exit 0.  recovery_time_ms and journal_bytes are
+   merged into BENCH_server.json. *)
+
+let merge_bench_server_json kvs =
+  let module Json = Sharpe_server.Json in
+  let path = Filename.concat repo_root "BENCH_server.json" in
+  let base =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.parse s with Ok (Json.Obj fields) -> fields | _ -> []
+    end
+    else []
+  in
+  let base = List.filter (fun (k, _) -> not (List.mem_assoc k kvs)) base in
+  let oc = open_out path in
+  output_string oc (Json.to_string (Json.Obj (base @ kvs)));
+  output_string oc "\n";
+  close_out oc;
+  printf "  merged %s into %s\n"
+    (String.concat ", " (List.map fst kvs))
+    path
+
+let crash_recovery_soak ~seed =
+  let module Client = Sharpe_server.Client in
+  let module Json = Sharpe_server.Json in
+  let module Interp = Sharpe_lang.Interp in
+  printf "== crash-recovery soak (seed %d) ==\n%!" seed;
+  let sharped =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/sharped.exe"
+  in
+  if not (Sys.file_exists sharped) then begin
+    printf "  FAIL: sharped binary not found at %s\n" sharped;
+    1
+  end
+  else begin
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "sharpe_crash_%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let sock = Filename.concat dir "sharped.sock" in
+    let spawn () =
+      Unix.create_process sharped
+        [| "sharped"; "--socket"; sock; "--journal-dir"; dir;
+           "--fsync"; "always"; "--workers"; "2"; "--snapshot-every"; "8" |]
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    let one_shot = { Client.default_policy with Client.attempts = 1 } in
+    let wait_health ~timeout_s =
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let rec go () =
+        if Unix.gettimeofday () > deadline then None
+        else
+          match
+            Client.request ~policy:one_shot (`Unix sock)
+              (Json.Obj [ ("op", Json.Str "health") ])
+          with
+          | Ok r when Json.member "ok" r = Some (Json.Bool true) -> Some r
+          | _ ->
+              Thread.delay 0.05;
+              go ()
+      in
+      go ()
+    in
+    let failed = ref false in
+    let fail_if cond fmt =
+      Printf.ksprintf
+        (fun m ->
+          if cond then begin
+            failed := true;
+            printf "  FAIL: %s\n" m
+          end)
+        fmt
+    in
+    (* the golden answer, from an uninterrupted in-process session *)
+    let model_src =
+      "bind lam 0.001\nmarkov up2\n2 1 2*lam\n1 0 lam\n1 2 0.1\nend\n0 1.0\nend"
+    in
+    let golden_expr = "prob(up2, 0) + prob(up2, 2)" in
+    let golden_value =
+      let s = Interp.Session.create () in
+      let _, outcome = Interp.Session.eval s model_src in
+      if outcome.Interp.failed_statements <> 0 then
+        failwith "crash soak: golden model fails outside the daemon";
+      match Interp.Session.query s golden_expr with
+      | Ok v -> v
+      | Error m -> failwith ("crash soak: golden query failed: " ^ m)
+    in
+    let pid = spawn () in
+    (match wait_health ~timeout_s:15.0 with
+    | Some _ -> ()
+    | None -> fail_if true "first daemon never became healthy");
+    (* a model session plus a request whose response we expect replayed *)
+    let dup_rid = Printf.sprintf "crash-dup-%d" seed in
+    let dup_req =
+      Json.Obj
+        [ ("id", Json.Str "dup"); ("op", Json.Str "eval");
+          ("session", Json.Str "model"); ("src", Json.Str model_src);
+          ("request_id", Json.Str dup_rid) ]
+    in
+    let dup_resp_before =
+      match Client.request (`Unix sock) dup_req with
+      | Ok r when Json.member "ok" r = Some (Json.Bool true) -> Some r
+      | _ ->
+          fail_if true "pre-crash model eval failed";
+          None
+    in
+    (* concurrent load: per-thread sessions bind a counter; the last value
+       whose ok response arrived is, under --fsync always, durable *)
+    let nthreads = 6 in
+    let acked = Array.make nthreads 0 in
+    let attempted = Array.make nthreads 0 in
+    let stop_load = Atomic.make false in
+    let workers =
+      List.init nthreads (fun i ->
+          Thread.create
+            (fun () ->
+              let k = ref 0 in
+              while not (Atomic.get stop_load) do
+                incr k;
+                attempted.(i) <- !k;
+                let session = Printf.sprintf "crash-%d" i in
+                match
+                  Client.request ~policy:one_shot (`Unix sock)
+                    (Json.Obj
+                       [ ("op", Json.Str "bind");
+                         ("session", Json.Str session);
+                         ("name", Json.Str "x");
+                         ("value", Json.Num (float_of_int !k));
+                         ( "request_id",
+                           Json.Str (Printf.sprintf "crash-%d-%d-%d" seed i !k)
+                         ) ])
+                with
+                | Ok r when Json.member "ok" r = Some (Json.Bool true) ->
+                    acked.(i) <- !k
+                | _ -> if Atomic.get stop_load then () else Thread.yield ()
+              done)
+            ())
+    in
+    (* kill -9 mid-load: no drain, no flush beyond the per-request fsync *)
+    Thread.delay 1.0;
+    Unix.kill pid Sys.sigkill;
+    Atomic.set stop_load true;
+    List.iter Thread.join workers;
+    ignore (Unix.waitpid [] pid);
+    let n_acked = Array.fold_left ( + ) 0 acked in
+    fail_if (n_acked = 0) "no bind was ever acknowledged before the kill";
+    (* restart on the same journal directory *)
+    let pid2 = spawn () in
+    let health = wait_health ~timeout_s:30.0 in
+    (match health with
+    | None -> fail_if true "restarted daemon never became healthy"
+    | Some h ->
+        let num name =
+          Option.bind (Json.member name h) Json.to_float
+          |> Option.value ~default:(-1.0)
+        in
+        let recovery_ms = num "recovery_ms" in
+        let journal_bytes = num "journal_bytes" in
+        let recovered = num "recovered_sessions" in
+        printf
+          "  killed pid %d under load (%d acked binds); restart recovered \
+           %.0f session(s) in %.1f ms, journal %.0f bytes\n"
+          pid n_acked recovered recovery_ms journal_bytes;
+        fail_if (recovered < 1.0) "restart recovered no sessions";
+        fail_if (recovery_ms < 0.0) "health reported no recovery_ms";
+        merge_bench_server_json
+          [ ("crash_recovery_acked_binds", Json.Num (float_of_int n_acked));
+            ("crash_recovery_sessions", Json.Num recovered);
+            ("recovery_time_ms", Json.Num recovery_ms);
+            ("journal_bytes", Json.Num journal_bytes) ]);
+    (* durability: every acked bind must read back.  Because the journal
+       record is fsynced BEFORE the response is sent, the recovered value
+       may be the one bind that was in flight at the kill — so the exact
+       contract is acked <= recovered <= last attempted, per session *)
+    for i = 0 to nthreads - 1 do
+      if acked.(i) > 0 then begin
+        let session = Printf.sprintf "crash-%d" i in
+        match
+          Client.request (`Unix sock)
+            (Json.Obj
+               [ ("op", Json.Str "query"); ("session", Json.Str session);
+                 ("expr", Json.Str "x") ])
+        with
+        | Ok r -> (
+            match Option.bind (Json.member "value" r) Json.to_float with
+            | Some v
+              when v >= float_of_int acked.(i)
+                   && v <= float_of_int attempted.(i) ->
+                ()
+            | Some v ->
+                fail_if true
+                  "session %s: recovered %g outside [acked %d, attempted %d]"
+                  session v acked.(i) attempted.(i)
+            | None ->
+                fail_if true "session %s lost after recovery (acked %d)"
+                  session acked.(i))
+        | Error e ->
+            fail_if true "query %s failed: %s" session
+              (Client.error_to_string e)
+      end
+    done;
+    (* the model session answers bit-identically to the golden value *)
+    (match
+       Client.request (`Unix sock)
+         (Json.Obj
+            [ ("op", Json.Str "query"); ("session", Json.Str "model");
+              ("expr", Json.Str golden_expr) ])
+     with
+    | Ok r -> (
+        match Option.bind (Json.member "value" r) Json.to_float with
+        | Some v when v = golden_value -> ()
+        | Some v ->
+            fail_if true "recovered model answers %.17g, golden %.17g" v
+              golden_value
+        | None -> fail_if true "recovered model query returned no value")
+    | Error e ->
+        fail_if true "model query failed: %s" (Client.error_to_string e));
+    (* a pre-crash request_id replays its recorded response *)
+    (match (dup_resp_before, Client.request (`Unix sock) dup_req) with
+    | Some before, Ok after ->
+        fail_if (before <> after)
+          "duplicate request_id drew a different response after restart"
+    | Some _, Error e ->
+        fail_if true "duplicate request failed: %s" (Client.error_to_string e)
+    | None, _ -> ());
+    (* graceful drain: SIGTERM must flush and exit 0 *)
+    Unix.kill pid2 Sys.sigterm;
+    let rec wait_exit () =
+      match Unix.waitpid [] pid2 with
+      | _, status -> status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_exit ()
+    in
+    (match wait_exit () with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED n -> fail_if true "SIGTERM drain exited %d, want 0" n
+    | Unix.WSIGNALED s -> fail_if true "SIGTERM drain died on signal %d" s
+    | Unix.WSTOPPED _ -> fail_if true "drained daemon stopped unexpectedly");
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+         (Sys.readdir dir);
+       Unix.rmdir dir
+     with Sys_error _ | Unix.Unix_error (_, _, _) -> ());
+    if !failed then 1
+    else begin
+      printf "  crash-recovery soak passed\n";
+      0
+    end
+  end
+
+(* ====================================================================== *)
 (* Bechamel timing suite                                                  *)
 (* ====================================================================== *)
 
@@ -1323,12 +1590,17 @@ let () =
     in
     find args
   in
-  if List.mem "--chaos" args then
-    exit
-      (chaos_main
-         ~seconds:(flag_arg "--seconds" ~default:5.0 ~conv:float_of_string_opt)
-         ~clients:(flag_arg "--clients" ~default:16 ~conv:int_of_string_opt)
-         ~seed:(flag_arg "--seed" ~default:1 ~conv:int_of_string_opt));
+  if List.mem "--chaos" args then begin
+    let seed = flag_arg "--seed" ~default:1 ~conv:int_of_string_opt in
+    let rc =
+      chaos_main
+        ~seconds:(flag_arg "--seconds" ~default:5.0 ~conv:float_of_string_opt)
+        ~clients:(flag_arg "--clients" ~default:16 ~conv:int_of_string_opt)
+        ~seed
+    in
+    let rc2 = crash_recovery_soak ~seed in
+    exit (max rc rc2)
+  end;
   let quick = List.mem "--quick" args in
   quick_mode := quick;
   let no_time = List.mem "--no-time" args in

@@ -65,7 +65,22 @@ let run sock_path session timeout retries retry_base_ms args =
   let req, idempotent, print_result =
     match args with
     | [ "ping" ] ->
-        ([ ("op", Json.Str "ping") ], false, fun _ -> print_endline "pong")
+        (* readiness probe for supervisors and the hot-restart flow: the
+           health op answers even while the daemon drains, and a draining
+           daemon is up but NOT ready for new work *)
+        ( [ ("op", Json.Str "health") ],
+          false,
+          fun resp ->
+            match Json.member "ready" resp with
+            | Some (Json.Bool true) -> print_endline "ready"
+            | _ ->
+                die 1 "not_ready"
+                  "daemon is up but not accepting work (draining or \
+                   stopping)" )
+    | [ "health" ] ->
+        ( [ ("op", Json.Str "health") ],
+          false,
+          fun resp -> print_endline (Json.to_string resp) )
     | [ "stats" ] ->
         ( [ ("op", Json.Str "stats") ],
           false,
@@ -147,7 +162,10 @@ let run sock_path session timeout retries retry_base_ms args =
       base_delay = float_of_int (max 1 retry_base_ms) /. 1000.0 }
   in
   let payload = Json.Obj (base @ rid_field @ req) in
-  match Client.request ~policy (`Unix sock_path) payload with
+  (* --timeout also bounds the whole client-side attempt, so backoff
+     sleeps never overshoot it (the client fails fast instead) *)
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  match Client.request ~policy ?deadline (`Unix sock_path) payload with
   | Error (Client.Connect_failed msg) -> die 4 "connect_failed" "%s" msg
   | Error (Client.Transport msg) -> die 2 "transport" "%s" msg
   | Ok resp ->
@@ -207,8 +225,9 @@ let args =
     & info [] ~docv:"CMD"
         ~doc:
           "One of: $(b,eval) FILE, $(b,query) SESSION EXPR, $(b,bind) \
-           SESSION NAME VALUE, $(b,selfcheck) [COUNT [SEED]], $(b,ping), \
-           $(b,stats), $(b,shutdown).")
+           SESSION NAME VALUE, $(b,selfcheck) [COUNT [SEED]], $(b,ping) \
+           (readiness probe: exit 0 ready, 1 not ready, 4 unreachable), \
+           $(b,health), $(b,stats), $(b,shutdown).")
 
 let cmd =
   let doc = "client for the sharped evaluation daemon" in

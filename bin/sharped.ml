@@ -6,9 +6,11 @@
    request; sharpec(1) is a matching command-line client. *)
 
 module Server = Sharpe_server.Server
+module Journal = Sharpe_server.Journal
 
 let run socket port host workers timeout max_bytes max_concurrent
-    max_sessions session_ttl session_quota memory_budget_mb =
+    max_sessions session_ttl session_quota memory_budget_mb journal_dir fsync
+    snapshot_every =
   let config =
     { Server.default_config with
       Server.max_request_bytes = max_bytes;
@@ -19,8 +21,23 @@ let run socket port host workers timeout max_bytes max_concurrent
       session_ttl;
       session_quota;
       memory_budget =
-        Option.map (fun mb -> max 1 mb * 1024 * 1024) memory_budget_mb }
+        Option.map (fun mb -> max 1 mb * 1024 * 1024) memory_budget_mb;
+      journal_dir;
+      fsync;
+      snapshot_every = max 1 snapshot_every }
   in
+  (* graceful drain on SIGTERM/SIGINT: the handler only flips an atomic;
+     the accept loop notices it within its 100 ms poll, stops accepting,
+     sheds new work, finishes in-flight requests, flushes the journal and
+     lets serve return — so a supervisor's stop signal exits 0 with a
+     journal a replacement daemon can recover *)
+  let drain = Atomic.make false in
+  (try
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle (fun _ -> Atomic.set drain true));
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle (fun _ -> Atomic.set drain true))
+   with Invalid_argument _ -> ());
   match (socket, port) with
   | Some _, Some _ ->
       prerr_endline "sharped: --socket and --port are mutually exclusive";
@@ -30,14 +47,14 @@ let run socket port host workers timeout max_bytes max_concurrent
       Cmdliner.Cmd.Exit.cli_error
   | Some path, None -> (
       try
-        Server.serve ~config (`Unix path);
+        Server.serve ~config ~drain (`Unix path);
         0
       with Server.Bind_error msg ->
         prerr_endline ("sharped: " ^ msg);
         1)
   | None, Some port -> (
       try
-        Server.serve ~config (`Tcp (host, port));
+        Server.serve ~config ~drain (`Tcp (host, port));
         0
       with Server.Bind_error msg ->
         prerr_endline ("sharped: " ^ msg);
@@ -140,6 +157,47 @@ let memory_budget_mb =
            sessions; past it solve caches are trimmed and idle sessions \
            evicted, least recently used first (default: unlimited).")
 
+let journal_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write-ahead-log every session-mutating request to \
+           $(docv)/journal.wal and recover sessions from it on startup, \
+           so a crash or restart preserves client sessions (default: no \
+           journal, sessions are RAM-only).  One daemon per directory.")
+
+let fsync_conv =
+  let parse s =
+    match Journal.fsync_of_string s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (Journal.fsync_to_string f))
+
+let fsync =
+  Arg.(
+    value
+    & opt fsync_conv Server.default_config.Server.fsync
+    & info [ "fsync" ] ~docv:"POLICY"
+        ~doc:
+          "Journal fsync policy: $(b,always) (a response implies the \
+           record is on disk), $(b,interval)[:MS] (sync at most every MS \
+           milliseconds, default 100 — bounds the loss window), or \
+           $(b,never) (leave syncing to the OS).")
+
+let snapshot_every =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.snapshot_every
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Compact a session's journal records into a snapshot (minimal \
+           replay script) after $(docv) appended records; keeps the \
+           journal and recovery time proportional to live state rather \
+           than request history.")
+
 let cmd =
   let doc = "SHARPE evaluation daemon" in
   let man =
@@ -157,6 +215,6 @@ let cmd =
     Term.(
       const run $ socket $ port $ host $ workers $ timeout $ max_bytes
       $ max_concurrent $ max_sessions $ session_ttl $ session_quota
-      $ memory_budget_mb)
+      $ memory_budget_mb $ journal_dir $ fsync $ snapshot_every)
 
 let () = exit (Cmd.eval' cmd)

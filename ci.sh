@@ -133,7 +133,20 @@ echo "== chaos soak =="
 # crashes and slowdowns, malformed frames, mid-request disconnects and
 # session churn.  The harness exits nonzero on any daemon crash,
 # non-structured failure, non-golden successful output, session-cap
-# overflow or unbounded RSS.
+# overflow or unbounded RSS.  It then runs the crash-recovery soak:
+# SIGKILL a journaled sharped (--fsync always) mid-load, restart it on
+# the same journal directory, and demand every acknowledged bind reads
+# back, a pre-crash model answers bit-identically, a pre-crash
+# request_id replays its recorded response, and SIGTERM drains to exit
+# 0.  Recovery metrics land in BENCH_server.json.
 ./_build/default/bench/main.exe --chaos --seconds 5 --clients 16 --seed 1
+grep -q '"recovery_time_ms"' BENCH_server.json || {
+  echo "ci: crash-recovery soak did not record recovery_time_ms" >&2
+  exit 1
+}
+grep -q '"journal_bytes"' BENCH_server.json || {
+  echo "ci: crash-recovery soak did not record journal_bytes" >&2
+  exit 1
+}
 
 echo "ci: OK"

@@ -51,6 +51,10 @@ val run_program_file : ?print:(string -> unit) -> string -> outcome
 module Session : sig
   type t
 
+  type replay_entry = [ `Eval of string | `Bind of string * float ]
+  (** One mutating request as the durability journal replays it: an
+      [eval] source fragment or a numeric [bind]. *)
+
   val create : ?fuel_limit:int -> unit -> t
 
   val eval : t -> string -> string * outcome
@@ -72,6 +76,16 @@ module Session : sig
   val pending_output : t -> string
   (** Output printed by the current/last [eval] — used to salvage partial
       output after a timeout. *)
+
+  val replay_script : t -> replay_entry list
+  (** A minimal script that rebuilds this session's state in a fresh
+      session: the mutation log with superseded numeric bindings dropped
+      (a bind is elided only when a later bind of the same name follows
+      with no intervening eval, which could have read it).  Evaluation is
+      deterministic, so replaying the script in order reproduces the
+      session's bindings, definitions and format state — the durability
+      journal uses this as its snapshot-compaction format.  Also
+      normalizes the internal log to the compressed form. *)
 
   val eval_count : t -> int
 

@@ -142,30 +142,38 @@ let backoff policy rng ~attempt ~hint_ms =
   let d = match hint_ms with Some ms -> Float.max d (ms /. 1000.0) | None -> d in
   d +. (d *. policy.jitter *. Random.State.float rng 1.0)
 
-let request ?(policy = default_policy) ?rng addr json =
+let request ?(policy = default_policy) ?rng ?deadline addr json =
   let rng =
     match rng with Some r -> r | None -> Random.State.make_self_init ()
   in
-  let sleep ~attempt ~hint_ms =
-    Unix.sleepf (backoff policy rng ~attempt ~hint_ms)
-  in
   let rec go attempt json =
     let last = attempt + 1 >= policy.attempts in
+    (* a retry sleep (backoff or the server's retry_after_ms hint) must
+       never overshoot the caller's deadline: when the wait would not fit
+       in the time remaining, fail fast with the last structured result
+       instead of sleeping past the point where the answer is useless *)
+    let retry ~hint_ms last_result next_json =
+      let d = backoff policy rng ~attempt ~hint_ms in
+      let fits =
+        match deadline with
+        | Some dl -> d < dl -. Unix.gettimeofday ()
+        | None -> true
+      in
+      if not fits then last_result
+      else begin
+        Unix.sleepf d;
+        go (attempt + 1) next_json
+      end
+    in
     match once addr (Json.to_string json) with
-    | Error e ->
-        if last then Error e
-        else begin
-          sleep ~attempt ~hint_ms:None;
-          go (attempt + 1) json
-        end
+    | Error e -> if last then Error e else retry ~hint_ms:None (Error e) json
     | Ok resp -> (
         match error_kind resp with
         | Some "overloaded" when not last ->
-            sleep ~attempt ~hint_ms:(retry_after resp);
-            go (attempt + 1) json
+            retry ~hint_ms:(retry_after resp) (Ok resp) json
         | Some "timeout" when (not last) && request_id_of json <> None ->
-            sleep ~attempt ~hint_ms:None;
-            go (attempt + 1) (with_fresh_request_id (attempt + 1) json)
+            retry ~hint_ms:None (Ok resp)
+              (with_fresh_request_id (attempt + 1) json)
         | _ -> Ok resp)
   in
   go 0 json

@@ -45,9 +45,16 @@ val error_to_string : error -> string
 val request :
   ?policy:policy ->
   ?rng:Random.State.t ->
+  ?deadline:float ->
   addr ->
   Json.t ->
   (Json.t, error) result
 (** Send one request object, return the server's response object.
     [?rng] seeds the jitter (defaults to a self-initialized state);
-    pass an explicit state for reproducible harnesses. *)
+    pass an explicit state for reproducible harnesses.
+
+    [?deadline] is an absolute [Unix.gettimeofday]-clock instant: a retry
+    sleep that would not fit in the time remaining is skipped and the
+    last result — the structured error response, or the transport error —
+    is returned immediately, so the caller never waits past its own
+    budget on backoff. *)

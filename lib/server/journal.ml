@@ -1,0 +1,583 @@
+(* Durable write-ahead journal for sharped sessions.  See journal.mli
+   for the frame format and recovery semantics.
+
+   Locking: one mutex guards the file descriptor and the in-memory
+   mirror.  Callers (the server) serialize per-session appends with the
+   session lock, so per-session record order in the file matches
+   execution order; records of different sessions interleave freely. *)
+
+module Diag = Sharpe_numerics.Diag
+
+type fsync = Always | Interval of float | Never
+
+let fsync_of_string s =
+  match String.lowercase_ascii s with
+  | "always" -> Ok Always
+  | "never" -> Ok Never
+  | "interval" -> Ok (Interval 0.1)
+  | s when String.length s > 9 && String.sub s 0 9 = "interval:" -> (
+      let ms = String.sub s 9 (String.length s - 9) in
+      match float_of_string_opt ms with
+      | Some ms when ms >= 0.0 -> Ok (Interval (ms /. 1000.0))
+      | _ -> Error (Printf.sprintf "bad fsync interval %S (milliseconds)" ms))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "bad fsync policy %S (always | never | interval | interval:MS)" s)
+
+let fsync_to_string = function
+  | Always -> "always"
+  | Never -> "never"
+  | Interval s -> Printf.sprintf "interval:%g" (s *. 1000.0)
+
+type entry = [ `Eval of string | `Bind of string * float ]
+
+type recovered_session = {
+  rs_name : string;
+  rs_entries : entry list;
+  rs_busy : float;
+  rs_last_ts : float;
+}
+
+type recovered = {
+  r_sessions : recovered_session list;
+  r_replays : (string * bool * string) list;
+  r_corrupt : bool;
+  r_dropped_bytes : int;
+}
+
+(* --- CRC32 (IEEE 802.3, the zlib polynomial) --------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+(* --- framing ------------------------------------------------------------ *)
+
+let magic = "SHARPEWAL1\n"
+let max_frame = 64 * 1024 * 1024
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.set_int32_le b 4 (Int32.of_int (crc32 payload));
+  Bytes.blit_string payload 0 b 8 n;
+  b
+
+let get_le32 s pos =
+  Int32.to_int (String.get_int32_le s pos) land 0xFFFFFFFF
+
+(* --- in-memory mirror --------------------------------------------------- *)
+
+type tail_rec = {
+  tr_entry : entry;
+  tr_rid : (string * bool * string) option;
+  tr_busy : float;
+  tr_ts : float;
+}
+
+type sess = {
+  mutable snap : (entry list * float * float) option;  (* entries, busy, ts *)
+  mutable tail : tail_rec list;  (* newest first *)
+  mutable tail_n : int;
+  mutable live_bytes : int;  (* framed bytes of snap + tail on disk *)
+  mutable busy : float;
+  mutable last_ts : float;
+}
+
+type t = {
+  path : string;
+  fsync : fsync;
+  mutex : Mutex.t;
+  mutable fd : Unix.file_descr;
+  mutable bytes : int;
+  mutable unsynced : int;
+  mutable last_sync : float option;
+  mutable records : int;
+  sessions : (string, sess) Hashtbl.t;
+  mutable live : int;  (* summed live_bytes *)
+  rids : (string * bool * string) Queue.t;  (* oldest first, bounded *)
+  rid_cap : int;
+}
+
+let fresh_sess () =
+  { snap = None;
+    tail = [];
+    tail_n = 0;
+    live_bytes = 0;
+    busy = 0.0;
+    last_ts = 0.0 }
+
+let get_sess t name =
+  match Hashtbl.find_opt t.sessions name with
+  | Some s -> s
+  | None ->
+      let s = fresh_sess () in
+      Hashtbl.add t.sessions name s;
+      s
+
+let push_rid t r =
+  Queue.add r t.rids;
+  while Queue.length t.rids > t.rid_cap do
+    ignore (Queue.pop t.rids)
+  done
+
+(* --- record payloads ---------------------------------------------------- *)
+
+let entry_json : entry -> Json.t = function
+  | `Eval src -> Json.Obj [ ("e", Json.Str "eval"); ("src", Json.Str src) ]
+  | `Bind (n, v) ->
+      Json.Obj
+        [ ("e", Json.Str "bind"); ("name", Json.Str n); ("value", Json.Num v) ]
+
+let entry_of_json j : entry option =
+  match Json.member "e" j with
+  | Some (Json.Str "eval") ->
+      Option.map (fun s -> `Eval s) (Option.bind (Json.member "src" j) Json.to_str)
+  | Some (Json.Str "bind") -> (
+      match
+        ( Option.bind (Json.member "name" j) Json.to_str,
+          Option.bind (Json.member "value" j) Json.to_float )
+      with
+      | Some n, Some v -> Some (`Bind (n, v))
+      | _ -> None)
+  | _ -> None
+
+let rid_fields = function
+  | None -> []
+  | Some (rid, ok, resp) ->
+      [ ("rid", Json.Str rid); ("ok", Json.Bool ok); ("resp", Json.Str resp) ]
+
+let mutation_payload ~session ~rid ~busy ~ts (entry : entry) =
+  let base =
+    match entry with
+    | `Eval src -> [ ("t", Json.Str "eval"); ("src", Json.Str src) ]
+    | `Bind (n, v) ->
+        [ ("t", Json.Str "bind"); ("name", Json.Str n); ("value", Json.Num v) ]
+  in
+  Json.to_string
+    (Json.Obj
+       (base
+       @ [ ("s", Json.Str session); ("ts", Json.Num ts); ("busy", Json.Num busy) ]
+       @ rid_fields rid))
+
+let snap_payload ~session ~entries ~busy ~ts =
+  Json.to_string
+    (Json.Obj
+       [ ("t", Json.Str "snap");
+         ("s", Json.Str session);
+         ("ts", Json.Num ts);
+         ("busy", Json.Num busy);
+         ("entries", Json.List (List.map entry_json entries)) ])
+
+let evict_payload ~session ~ts =
+  Json.to_string
+    (Json.Obj
+       [ ("t", Json.Str "evict"); ("s", Json.Str session); ("ts", Json.Num ts) ])
+
+let rids_payload items =
+  Json.to_string
+    (Json.Obj
+       [ ("t", Json.Str "rids");
+         ( "items",
+           Json.List
+             (List.map
+                (fun (rid, ok, resp) ->
+                  Json.Obj
+                    [ ("rid", Json.Str rid);
+                      ("ok", Json.Bool ok);
+                      ("resp", Json.Str resp) ])
+                items) ) ])
+
+let meta_payload () =
+  Json.to_string
+    (Json.Obj
+       [ ("t", Json.Str "meta");
+         ("version", Json.Num 1.0);
+         ("created", Json.Num (Unix.gettimeofday ())) ])
+
+(* --- file IO ------------------------------------------------------------ *)
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd b !off (len - !off)
+  done
+
+let do_sync t =
+  Unix.fsync t.fd;
+  t.unsynced <- 0;
+  t.last_sync <- Some (Unix.gettimeofday ())
+
+let policy_sync t =
+  match t.fsync with
+  | Always -> do_sync t
+  | Never -> ()
+  | Interval i -> (
+      match t.last_sync with
+      | None -> do_sync t
+      | Some at ->
+          if t.unsynced > 0 && Unix.gettimeofday () -. at >= i then do_sync t)
+
+(* Caller holds t.mutex.  Returns the framed length. *)
+let write_frame t payload =
+  let b = frame payload in
+  write_all t.fd b;
+  t.bytes <- t.bytes + Bytes.length b;
+  t.unsynced <- t.unsynced + Bytes.length b;
+  t.records <- t.records + 1;
+  policy_sync t;
+  Bytes.length b
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error (_, _, _) -> ());
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+(* --- rewrite (compaction) ----------------------------------------------- *)
+
+(* Serialize the in-memory mirror — snapshots, post-snapshot tails, the
+   replay-cache window — into a fresh file and rename it over the old
+   one.  Caller holds t.mutex. *)
+let rewrite t =
+  let buf = Buffer.create (t.live + 4096) in
+  Buffer.add_string buf magic;
+  let add payload =
+    Buffer.add_bytes buf (frame payload);
+    8 + String.length payload
+  in
+  ignore (add (meta_payload ()));
+  let names =
+    List.sort compare
+      (Hashtbl.fold (fun name _ acc -> name :: acc) t.sessions [])
+  in
+  List.iter
+    (fun name ->
+      let s = Hashtbl.find t.sessions name in
+      let n = ref 0 in
+      (match s.snap with
+      | Some (entries, busy, ts) ->
+          n := !n + add (snap_payload ~session:name ~entries ~busy ~ts)
+      | None -> ());
+      List.iter
+        (fun tr ->
+          n :=
+            !n
+            + add
+                (mutation_payload ~session:name ~rid:tr.tr_rid ~busy:tr.tr_busy
+                   ~ts:tr.tr_ts tr.tr_entry))
+        (List.rev s.tail);
+      s.live_bytes <- !n)
+    names;
+  if not (Queue.is_empty t.rids) then
+    ignore (add (rids_payload (List.of_seq (Queue.to_seq t.rids))));
+  t.live <- Hashtbl.fold (fun _ s acc -> acc + s.live_bytes) t.sessions 0;
+  let tmp = t.path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_all fd (Buffer.to_bytes buf);
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp t.path;
+  fsync_dir (Filename.dirname t.path);
+  (try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ());
+  t.fd <- Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+  t.bytes <- Buffer.length buf;
+  t.unsynced <- 0;
+  t.last_sync <- Some (Unix.gettimeofday ())
+
+(* Rewrite once superseded bytes dominate: more than half the file is
+   dead weight, with a floor so small journals are never churned. *)
+let maybe_rewrite t =
+  if t.bytes > max (64 * 1024) (2 * t.live) then rewrite t
+
+(* --- recovery ----------------------------------------------------------- *)
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+  | exception Sys_error _ -> None
+
+let warn fmt = Diag.emitf Diag.Warning ~solver:"journal" fmt
+
+(* Apply one parsed record to the mirror.  [flen] is its framed length
+   on disk. *)
+let apply t flen obj =
+  let str name = Option.bind (Json.member name obj) Json.to_str in
+  let num name = Option.bind (Json.member name obj) Json.to_float in
+  let session () = Option.value (str "s") ~default:"" in
+  let busy () = Option.value (num "busy") ~default:0.0 in
+  let ts () = Option.value (num "ts") ~default:0.0 in
+  let rid_of_record () =
+    match (str "rid", Json.member "ok" obj, str "resp") with
+    | Some rid, Some (Json.Bool ok), Some resp -> Some (rid, ok, resp)
+    | _ -> None
+  in
+  let mutation entry =
+    let s = get_sess t (session ()) in
+    let rid = rid_of_record () in
+    s.tail <-
+      { tr_entry = entry; tr_rid = rid; tr_busy = busy (); tr_ts = ts () }
+      :: s.tail;
+    s.tail_n <- s.tail_n + 1;
+    s.live_bytes <- s.live_bytes + flen;
+    t.live <- t.live + flen;
+    s.busy <- busy ();
+    s.last_ts <- ts ();
+    Option.iter (push_rid t) rid
+  in
+  match str "t" with
+  | Some "eval" -> (
+      match str "src" with
+      | Some src -> mutation (`Eval src)
+      | None -> warn "eval record without src; skipped")
+  | Some "bind" -> (
+      match (str "name", num "value") with
+      | Some n, Some v -> mutation (`Bind (n, v))
+      | _ -> warn "bind record without name/value; skipped")
+  | Some "snap" ->
+      let s = get_sess t (session ()) in
+      let entries =
+        match Json.member "entries" obj with
+        | Some (Json.List l) -> List.filter_map entry_of_json l
+        | _ -> []
+      in
+      t.live <- t.live - s.live_bytes + flen;
+      s.snap <- Some (entries, busy (), ts ());
+      s.tail <- [];
+      s.tail_n <- 0;
+      s.live_bytes <- flen;
+      s.busy <- busy ();
+      s.last_ts <- ts ()
+  | Some "evict" -> (
+      let name = session () in
+      match Hashtbl.find_opt t.sessions name with
+      | Some s ->
+          t.live <- t.live - s.live_bytes;
+          Hashtbl.remove t.sessions name
+      | None -> ())
+  | Some "rids" -> (
+      match Json.member "items" obj with
+      | Some (Json.List items) ->
+          List.iter
+            (fun item ->
+              match
+                ( Option.bind (Json.member "rid" item) Json.to_str,
+                  Json.member "ok" item,
+                  Option.bind (Json.member "resp" item) Json.to_str )
+              with
+              | Some rid, Some (Json.Bool ok), Some resp ->
+                  push_rid t (rid, ok, resp)
+              | _ -> ())
+            items
+      | _ -> ())
+  | Some "meta" -> (
+      match num "version" with
+      | Some v when v <> 1.0 ->
+          warn "journal written by format version %g; this daemon reads v1" v
+      | _ -> ())
+  | Some other ->
+      (* a frame that passed its CRC but carries an unknown record type
+         was written by a newer daemon: skip it, keep scanning *)
+      warn "unknown record type %S; skipped" other
+  | None -> warn "record without a type field; skipped"
+
+let open_ ~dir ~fsync =
+  mkdir_p dir;
+  let path = Filename.concat dir "journal.wal" in
+  let t =
+    { path;
+      fsync;
+      mutex = Mutex.create ();
+      fd = Unix.stdin (* replaced below *);
+      bytes = 0;
+      unsynced = 0;
+      last_sync = None;
+      records = 0;
+      sessions = Hashtbl.create 16;
+      live = 0;
+      rids = Queue.create ();
+      rid_cap = 512 }
+  in
+  let existed = Sys.file_exists path in
+  let contents = Option.value (read_file path) ~default:"" in
+  let len = String.length contents in
+  let corrupt = ref false in
+  let valid_end = ref 0 in
+  if len = 0 then begin
+    if existed then
+      warn "journal %s exists but is empty; starting with no sessions" path
+  end
+  else if len < String.length magic || String.sub contents 0 (String.length magic) <> magic
+  then begin
+    corrupt := true;
+    warn "journal %s has a bad or torn header; dropping all %d bytes" path len
+  end
+  else begin
+    valid_end := String.length magic;
+    let stop = ref None in
+    while !stop = None && !valid_end < len do
+      let pos = !valid_end in
+      if len - pos < 8 then stop := Some "torn frame header"
+      else begin
+        let plen = get_le32 contents pos in
+        let crc = get_le32 contents (pos + 4) in
+        if plen <= 0 || plen > max_frame then
+          stop := Some (Printf.sprintf "implausible frame length %d" plen)
+        else if len - pos - 8 < plen then stop := Some "torn frame payload"
+        else
+          let payload = String.sub contents (pos + 8) plen in
+          if crc32 payload <> crc then stop := Some "CRC mismatch"
+          else
+            match Json.parse payload with
+            | Error m -> stop := Some ("unparseable record: " ^ m)
+            | Ok obj ->
+                apply t (8 + plen) obj;
+                t.records <- t.records + 1;
+                valid_end := pos + 8 + plen
+      end
+    done;
+    match !stop with
+    | Some reason ->
+        corrupt := true;
+        warn
+          "journal %s: %s at offset %d; recovered the valid prefix and \
+           dropped %d byte(s) from the tail"
+          path reason !valid_end (len - !valid_end)
+    | None -> ()
+  end;
+  let dropped = len - !valid_end in
+  (* truncate away the corrupt tail so appends never follow garbage *)
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  Unix.ftruncate fd !valid_end;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  t.fd <- fd;
+  t.bytes <- !valid_end;
+  if !valid_end = 0 then begin
+    write_all fd (Bytes.of_string magic);
+    t.bytes <- String.length magic;
+    ignore (write_frame t (meta_payload ()));
+    (match fsync with Always | Interval _ -> do_sync t | Never -> ())
+  end;
+  let r_sessions =
+    Hashtbl.fold
+      (fun name s acc ->
+        let snap_entries =
+          match s.snap with Some (entries, _, _) -> entries | None -> []
+        in
+        let tail_entries = List.rev_map (fun tr -> tr.tr_entry) s.tail in
+        { rs_name = name;
+          rs_entries = snap_entries @ tail_entries;
+          rs_busy = s.busy;
+          rs_last_ts = s.last_ts }
+        :: acc)
+      t.sessions []
+    |> List.sort (fun a b -> compare a.rs_name b.rs_name)
+  in
+  ( t,
+    { r_sessions;
+      r_replays = List.of_seq (Queue.to_seq t.rids);
+      r_corrupt = !corrupt;
+      r_dropped_bytes = dropped } )
+
+(* --- appends ------------------------------------------------------------ *)
+
+let append t ~session ?request_id ?response ~busy entry =
+  let ts = Unix.gettimeofday () in
+  let rid =
+    match (request_id, response) with
+    | Some rid, Some (ok, resp) -> Some (rid, ok, resp)
+    | _ -> None
+  in
+  Mutex.protect t.mutex (fun () ->
+      let flen =
+        write_frame t (mutation_payload ~session ~rid ~busy ~ts entry)
+      in
+      let s = get_sess t session in
+      s.tail <-
+        { tr_entry = entry; tr_rid = rid; tr_busy = busy; tr_ts = ts }
+        :: s.tail;
+      s.tail_n <- s.tail_n + 1;
+      s.live_bytes <- s.live_bytes + flen;
+      t.live <- t.live + flen;
+      s.busy <- busy;
+      s.last_ts <- ts;
+      Option.iter (push_rid t) rid)
+
+let evict t name =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.sessions name with
+      | None -> ()
+      | Some s ->
+          ignore (write_frame t (evict_payload ~session:name ~ts:(Unix.gettimeofday ())));
+          t.live <- t.live - s.live_bytes;
+          Hashtbl.remove t.sessions name)
+
+let snapshot t ~session ~entries ~busy =
+  let ts = Unix.gettimeofday () in
+  Mutex.protect t.mutex (fun () ->
+      let flen = write_frame t (snap_payload ~session ~entries ~busy ~ts) in
+      let s = get_sess t session in
+      t.live <- t.live - s.live_bytes + flen;
+      s.snap <- Some (entries, busy, ts);
+      s.tail <- [];
+      s.tail_n <- 0;
+      s.live_bytes <- flen;
+      s.busy <- busy;
+      s.last_ts <- ts;
+      maybe_rewrite t)
+
+let tail_length t ~session =
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.sessions session with
+      | Some s -> s.tail_n
+      | None -> 0)
+
+let tick t =
+  Mutex.protect t.mutex (fun () ->
+      match t.fsync with
+      | Interval _ -> policy_sync t
+      | Always | Never -> ())
+
+let flush t = Mutex.protect t.mutex (fun () -> if t.unsynced > 0 then do_sync t)
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      if t.unsynced > 0 then do_sync t;
+      try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ())
+
+let file_bytes t = Mutex.protect t.mutex (fun () -> t.bytes)
+let lag_bytes t = Mutex.protect t.mutex (fun () -> t.unsynced)
+
+let last_sync_age t =
+  Mutex.protect t.mutex (fun () ->
+      Option.map (fun at -> Unix.gettimeofday () -. at) t.last_sync)
+
+let record_count t = Mutex.protect t.mutex (fun () -> t.records)

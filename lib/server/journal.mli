@@ -1,0 +1,115 @@
+(** Durable write-ahead journal for sharped sessions.
+
+    Every session-mutating request (eval source text, numeric binds) is
+    appended to [<dir>/journal.wal] as a CRC32-framed, length-prefixed
+    record before the response is released to the client, so a crashed
+    daemon can deterministically rebuild its sessions on the next start
+    by re-evaluating the journaled statements in order.  Records carry
+    the metadata recovery needs: session name, wall-clock timestamp (for
+    idle-TTL decisions), the session's cumulative busy-seconds (for time
+    quotas), and optionally the request's idempotency key plus the exact
+    response line (so the replay cache survives a restart).
+
+    {b Frame format.}  The file starts with the magic header
+    ["SHARPEWAL1\n"]; each record is [4-byte LE payload length ·
+    4-byte LE CRC32(payload) · payload], where the payload is one
+    compact JSON object.  Recovery reads the longest valid prefix: a
+    torn tail (partial frame), a CRC mismatch, or an unparseable payload
+    stops the scan with a structured {!Sharpe_numerics.Diag} warning,
+    and the file is truncated back to the valid prefix so new appends
+    never interleave with garbage.
+
+    {b Compaction.}  The journal mirrors its live contents in memory
+    (per session: the latest snapshot script plus the records appended
+    since).  When a session accumulates enough tail records the server
+    appends a snapshot record — a minimal replay script exported from
+    the live {!Sharpe_lang.Interp.Session} — which supersedes all of the
+    session's earlier records; once the file carries more superseded
+    than live bytes it is rewritten (write-temp-then-rename) from the
+    in-memory state, dropping dead records and evicted sessions.
+
+    One daemon per journal directory: the journal takes no lock file, so
+    concurrent writers would corrupt each other. *)
+
+type fsync = Always | Interval of float | Never
+
+val fsync_of_string : string -> (fsync, string) result
+(** ["always"], ["never"], ["interval"] (100 ms) or ["interval:MS"]. *)
+
+val fsync_to_string : fsync -> string
+
+type entry = [ `Eval of string | `Bind of string * float ]
+(** Same shape as {!Sharpe_lang.Interp.Session.replay_entry}. *)
+
+type recovered_session = {
+  rs_name : string;
+  rs_entries : entry list;
+      (** snapshot entries followed by post-snapshot records, in
+          execution order *)
+  rs_busy : float;  (** cumulative busy-seconds at the last record *)
+  rs_last_ts : float;  (** wall-clock time of the last record *)
+}
+
+type recovered = {
+  r_sessions : recovered_session list;
+  r_replays : (string * bool * string) list;
+      (** (request_id, ok, response line), oldest first — feed these to
+          the idempotency cache so duplicates replay across a restart *)
+  r_corrupt : bool;  (** a torn or corrupt tail was dropped *)
+  r_dropped_bytes : int;  (** bytes truncated from the tail *)
+}
+
+type t
+
+val open_ : dir:string -> fsync:fsync -> t * recovered
+(** Open (creating directory and file as needed) and recover.  The
+    returned journal is positioned for appending after the valid
+    prefix. *)
+
+val append :
+  t ->
+  session:string ->
+  ?request_id:string ->
+  ?response:bool * string ->
+  busy:float ->
+  entry ->
+  unit
+(** Append one mutating record and apply the fsync policy.  [response]
+    is the exact [(ok, line)] the client will receive. *)
+
+val evict : t -> string -> unit
+(** Record that a session was evicted (TTL, LRU, memory pressure):
+    recovery will not resurrect it, and the next rewrite drops its
+    records. *)
+
+val snapshot : t -> session:string -> entries:entry list -> busy:float -> unit
+(** Append a snapshot record superseding all earlier records of the
+    session, then rewrite the file if it is mostly superseded bytes. *)
+
+val tail_length : t -> session:string -> int
+(** Records appended for [session] since its last snapshot — the
+    server's snapshot-compaction trigger. *)
+
+val tick : t -> unit
+(** Apply the [Interval] fsync policy: sync if there are unsynced bytes
+    older than the interval.  Called from the daemon's maintenance
+    sweep. *)
+
+val flush : t -> unit
+(** Force an fsync of any buffered bytes regardless of policy. *)
+
+val close : t -> unit
+(** Flush and close.  The journal must not be used afterwards. *)
+
+(** {1 Gauges} — for the [health] op and stats. *)
+
+val file_bytes : t -> int
+val lag_bytes : t -> int
+(** Bytes appended since the last fsync (journal lag). *)
+
+val last_sync_age : t -> float option
+(** Seconds since the last fsync, [None] before the first. *)
+
+val record_count : t -> int
+(** Records appended or recovered this process lifetime (gauge, not a
+    file property). *)

@@ -7,6 +7,7 @@ type request =
   | Query of { session : string; expr : string; timeout : float option }
   | Selfcheck of { count : int option; seed : int option; timeout : float option }
   | Stats
+  | Health
   | Shutdown
 
 let op_name = function
@@ -16,6 +17,7 @@ let op_name = function
   | Query _ -> "query"
   | Selfcheck _ -> "selfcheck"
   | Stats -> "stats"
+  | Health -> "health"
   | Shutdown -> "shutdown"
 
 type parsed = {
@@ -103,6 +105,7 @@ let parse_request line =
             let* timeout = opt_timeout obj in
             Ok (Selfcheck { count; seed; timeout })
         | "stats" -> Ok Stats
+        | "health" -> Ok Health
         | "shutdown" -> Ok Shutdown
         | op -> Error (Printf.sprintf "unknown op %S" op)
       in

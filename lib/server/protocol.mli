@@ -12,6 +12,10 @@ type request =
           [count] models per oracle pair (default 200, capped) from
           [seed] (default 2002) *)
   | Stats
+  | Health
+      (** readiness/liveness probe: uptime, drain state, recovery summary
+          and journal gauges.  Never shed by admission control or drain,
+          so supervisors can always reach it. *)
   | Shutdown
 
 val op_name : request -> string

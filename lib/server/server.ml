@@ -30,6 +30,9 @@ type config = {
   memory_budget : int option;
   retry_after_ms : int;
   inject : (string -> unit) option;
+  journal_dir : string option;
+  fsync : Journal.fsync;
+  snapshot_every : int;
 }
 
 let default_config =
@@ -42,7 +45,10 @@ let default_config =
     session_quota = None;
     memory_budget = None;
     retry_after_ms = 50;
-    inject = None }
+    inject = None;
+    journal_dir = None;
+    fsync = Journal.Interval 0.1;
+    snapshot_every = 64 }
 
 (* --- idempotency: the replay cache -------------------------------------- *)
 
@@ -121,6 +127,22 @@ module Replay = struct
               done
             end
             else Hashtbl.remove t.tbl key)
+
+  (* Seed the cache from journal recovery: a duplicate request_id
+     arriving after a restart replays the recorded response instead of
+     re-executing.  Keys already claimed this process lifetime win. *)
+  let preload t items =
+    Mutex.protect t.mutex (fun () ->
+        List.iter
+          (fun (key, ok, line) ->
+            if not (Hashtbl.mem t.tbl key) then begin
+              Hashtbl.add t.tbl key (ref (Done { r_ok = ok; r_line = line }));
+              Queue.add key t.order
+            end)
+          items;
+        while Queue.length t.order > t.cap do
+          Hashtbl.remove t.tbl (Queue.pop t.order)
+        done)
 end
 
 (* --- state --------------------------------------------------------------- *)
@@ -138,6 +160,24 @@ type session_entry = {
   mutable approx_bytes : int;  (** guarded by slock *)
 }
 
+(* What startup recovery did, frozen for the [health] op. *)
+type recovery_info = {
+  recovered_sessions : int;
+  skipped_expired : int;  (** journaled sessions past their TTL or quota *)
+  replay_failures : int;
+  dropped_bytes : int;  (** corrupt tail truncated from the journal *)
+  journal_corrupt : bool;
+  recovery_ms : float;
+}
+
+let no_recovery =
+  { recovered_sessions = 0;
+    skipped_expired = 0;
+    replay_failures = 0;
+    dropped_bytes = 0;
+    journal_corrupt = false;
+    recovery_ms = 0.0 }
+
 type state = {
   config : config;
   stats : Stats.t;
@@ -151,8 +191,16 @@ type state = {
   replay : Replay.t;
   mutable last_maintenance : float;
   stop : bool Atomic.t;
+  draining : bool Atomic.t;
+      (** set by SIGTERM-style drain: health answers not-ready, new work
+          is shed with [overloaded], in-flight requests finish *)
   conn_mutex : Mutex.t;  (** guards [conns] *)
   mutable conns : Unix.file_descr list;
+  mutable journal : Journal.t option;
+      (** written before the accept loop starts, then read-only; the
+          journal has its own (innermost) lock *)
+  mutable recovery : recovery_info;
+  started_at : float;
 }
 
 (* --- socket helpers ---------------------------------------------------- *)
@@ -258,6 +306,9 @@ let evict_locked st e =
   if Hashtbl.length st.expired >= 4 * st.config.max_sessions then
     Hashtbl.reset st.expired;
   Hashtbl.replace st.expired e.sname ();
+  (* a journaled eviction is durable: recovery will not resurrect the
+     session, and the next journal rewrite drops its records *)
+  (match st.journal with Some j -> Journal.evict j e.sname | None -> ());
   Stats.incr_evictions st.stats
 
 (* Caller holds reg_mutex.  Returns true when a session was evicted. *)
@@ -309,14 +360,17 @@ let session_count st =
   Mutex.protect st.reg_mutex (fun () -> Hashtbl.length st.sessions)
 
 (* Resolve, lock and account one session around [f].  [f] returns
-   [(ok, response)]; the third component of the result says whether the
-   response may be stored in the idempotency cache (load-shed rejections
-   must not be: the whole point of retrying them is a fresh attempt). *)
-let with_session st ~id ?(mutates = false) session f =
+   [(ok, response, journal_entry)]: the entry (if any) is appended to the
+   durability journal AFTER the busy-time accounting, so the journaled
+   [busy] survives a restart and quota enforcement picks up where it left
+   off.  The outer result's third component says whether the response may
+   be stored in the idempotency cache (load-shed rejections must not be:
+   the whole point of retrying them is a fresh attempt). *)
+let with_session st ~id ?(mutates = false) ?rid session f =
   match session with
   | None ->
       (* sessionless request: a throwaway environment, discarded after *)
-      let ok, resp = f (fresh_entry "") in
+      let ok, resp, _entry = f (fresh_entry "") in
       (ok, resp, true)
   | Some name -> (
       match get_session st name with
@@ -363,12 +417,27 @@ let with_session st ~id ?(mutates = false) session f =
                       true )
                 | _ ->
                     let t0 = Unix.gettimeofday () in
-                    let ok, resp = f e in
+                    let ok, resp, entry = f e in
                     let t1 = Unix.gettimeofday () in
                     e.busy_seconds <- e.busy_seconds +. (t1 -. t0);
                     e.last_used <- t1;
                     if mutates then
                       e.approx_bytes <- Interp.Session.approx_bytes e.sess;
+                    (match (st.journal, entry) with
+                    | Some j, Some entry ->
+                        (* WAL before the response is released: once the
+                           client sees this line, the mutation is on disk
+                           (exactly so under --fsync always) *)
+                        Journal.append j ~session:name ?request_id:rid
+                          ~response:(ok, resp) ~busy:e.busy_seconds entry;
+                        if
+                          Journal.tail_length j ~session:name
+                          >= st.config.snapshot_every
+                        then
+                          Journal.snapshot j ~session:name
+                            ~entries:(Interp.Session.replay_script e.sess)
+                            ~busy:e.busy_seconds
+                    | _ -> ());
                     (ok, resp, true)))
 
 (* --- maintenance: eviction and the memory budget ------------------------ *)
@@ -401,6 +470,14 @@ let maintenance st =
                   Mutex.unlock e.slock
                 end)
               victims
+        | None -> ());
+        (match st.journal with
+        | Some j ->
+            (* the Interval fsync policy is driven from here, so an idle
+               daemon still bounds its journal lag *)
+            Journal.tick j;
+            Stats.set_journal st.stats ~records:(Journal.record_count j)
+              ~bytes:(Journal.file_bytes j) ~lag:(Journal.lag_bytes j)
         | None -> ());
         let total =
           Hashtbl.fold (fun _ e acc -> acc + e.approx_bytes) st.sessions 0
@@ -441,8 +518,8 @@ let count_error_diags records =
   List.length
     (List.filter (fun r -> r.Diag.severity = Diag.Error) records)
 
-let handle_eval st ~id ~session ~src ~timeout =
-  with_session st ~id ~mutates:true session (fun e ->
+let handle_eval st ~id ?rid ~session ~src ~timeout () =
+  with_session st ~id ~mutates:true ?rid session (fun e ->
       let deadline = deadline_of st timeout in
       let job =
         Pool.submit ?deadline (fun () ->
@@ -459,18 +536,25 @@ let handle_eval st ~id ~session ~src ~timeout =
                 ( "failed_statements",
                   Json.Num (float_of_int outcome.Interp.failed_statements) );
                 ( "diagnostics",
-                  Protocol.diagnostics_json outcome.Interp.diagnostics ) ] )
+                  Protocol.diagnostics_json outcome.Interp.diagnostics ) ],
+            Some (`Eval src) )
       | Error (Deadline.Timed_out, _) ->
+          (* journaled all the same: the session already absorbed the
+             statements that ran before cancellation, and recovery
+             re-executes the whole fragment (see PROTOCOL.md) *)
           ( false,
             Protocol.error ~id ~kind:"timeout"
               ~extra:
                 [ ("partial_output", Json.Str (Interp.Session.pending_output e.sess)) ]
-              "request exceeded its deadline and was cancelled" )
+              "request exceeded its deadline and was cancelled",
+            Some (`Eval src) )
       | Error (exn, _) ->
           ( false,
-            Protocol.error ~id ~kind:"internal_error" (Printexc.to_string exn) ))
+            Protocol.error ~id ~kind:"internal_error" (Printexc.to_string exn),
+            None ))
 
 let handle_query st ~id ~session ~expr ~timeout =
+  (* queries are read-only: nothing to journal *)
   with_session st ~id (Some session) (fun e ->
       let deadline = deadline_of st timeout in
       let job =
@@ -479,15 +563,17 @@ let handle_query st ~id ~session ~expr ~timeout =
             Interp.Session.query e.sess expr)
       in
       match Pool.await job with
-      | Ok (Ok v) -> (true, Protocol.ok ~id [ ("value", Json.Num v) ])
-      | Ok (Error msg) -> (false, Protocol.error ~id ~kind:"eval_error" msg)
+      | Ok (Ok v) -> (true, Protocol.ok ~id [ ("value", Json.Num v) ], None)
+      | Ok (Error msg) -> (false, Protocol.error ~id ~kind:"eval_error" msg, None)
       | Error (Deadline.Timed_out, _) ->
           ( false,
             Protocol.error ~id ~kind:"timeout"
-              "request exceeded its deadline and was cancelled" )
+              "request exceeded its deadline and was cancelled",
+            None )
       | Error (exn, _) ->
           ( false,
-            Protocol.error ~id ~kind:"internal_error" (Printexc.to_string exn) ))
+            Protocol.error ~id ~kind:"internal_error" (Printexc.to_string exn),
+            None ))
 
 (* A live daemon can be audited without restarting it: run the
    differential harness on a pool worker (cancellable by deadline like
@@ -553,19 +639,62 @@ let handle_selfcheck st ~id ~count ~seed ~timeout =
           true )
   end
 
-let handle_bind st ~id ~session ~name ~value =
-  with_session st ~id ~mutates:true (Some session) (fun e ->
+let handle_bind st ~id ?rid ~session ~name ~value () =
+  with_session st ~id ~mutates:true ?rid (Some session) (fun e ->
       Interp.Session.bind e.sess name value;
-      (true, Protocol.ok ~id [ ("bound", Json.Str name) ]))
+      (true, Protocol.ok ~id [ ("bound", Json.Str name) ], Some (`Bind (name, value))))
 
-let dispatch st ~id req =
+let handle_health st ~id =
+  let now = Unix.gettimeofday () in
+  let r = st.recovery in
+  let journal_fields =
+    match st.journal with
+    | None -> [ ("journal", Json.Bool false) ]
+    | Some j ->
+        [ ("journal", Json.Bool true);
+          ("journal_bytes", Json.Num (float_of_int (Journal.file_bytes j)));
+          ("journal_lag_bytes", Json.Num (float_of_int (Journal.lag_bytes j)));
+          ( "last_fsync_age_s",
+            match Journal.last_sync_age j with
+            | Some a -> Json.Num a
+            | None -> Json.Null ) ]
+  in
+  ( true,
+    Protocol.ok ~id
+      ([ ( "ready",
+           Json.Bool
+             (not (Atomic.get st.draining) && not (Atomic.get st.stop)) );
+         ("draining", Json.Bool (Atomic.get st.draining));
+         ("uptime_s", Json.Num (now -. st.started_at));
+         ("sessions", Json.Num (float_of_int (session_count st)));
+         ("recovered_sessions", Json.Num (float_of_int r.recovered_sessions));
+         ("skipped_expired", Json.Num (float_of_int r.skipped_expired));
+         ("replay_failures", Json.Num (float_of_int r.replay_failures));
+         ("recovery_ms", Json.Num r.recovery_ms);
+         ("journal_corrupt_tail", Json.Bool r.journal_corrupt);
+         ("journal_dropped_bytes", Json.Num (float_of_int r.dropped_bytes)) ]
+      @ journal_fields),
+    true )
+
+let dispatch st ~id ~rid req =
+  let draining_shed () =
+    let ok, resp =
+      overloaded st ~id "server is draining; retry against the restarted daemon"
+    in
+    (ok, resp, false)
+  in
   match req with
   | Protocol.Ping -> (true, Protocol.ok ~id [ ("pong", Json.Bool true) ], true)
+  | (Protocol.Eval _ | Protocol.Bind _ | Protocol.Query _ | Protocol.Selfcheck _)
+    when Atomic.get st.draining ->
+      (* a draining daemon finishes in-flight work but sheds new work;
+         ping/stats/health stay answerable for supervisors *)
+      draining_shed ()
   | Protocol.Eval { session; src; timeout } ->
-      admitted st ~id ~low_priority:false (fun () ->
-          handle_eval st ~id ~session ~src ~timeout)
+      admitted st ~id ~low_priority:false
+        (handle_eval st ~id ?rid ~session ~src ~timeout)
   | Protocol.Bind { session; name; value } ->
-      handle_bind st ~id ~session ~name ~value
+      handle_bind st ~id ?rid ~session ~name ~value ()
   | Protocol.Query { session; expr; timeout } ->
       admitted st ~id ~low_priority:false (fun () ->
           handle_query st ~id ~session ~expr ~timeout)
@@ -575,6 +704,7 @@ let dispatch st ~id req =
   | Protocol.Stats ->
       Stats.set_sessions st.stats (session_count st);
       (true, Protocol.ok ~id [ ("stats", Stats.to_json st.stats) ], true)
+  | Protocol.Health -> handle_health st ~id
   | Protocol.Shutdown ->
       Atomic.set st.stop true;
       (true, Protocol.ok ~id [ ("stopping", Json.Bool true) ], true)
@@ -590,7 +720,7 @@ let handle_request st parsed =
            worker job, an interpreter bug, an unexpected unwind — becomes
            a structured internal_error response and a healthy daemon, not
            a dead connection or a poisoned pool *)
-        try dispatch st ~id req
+        try dispatch st ~id ~rid:parsed.Protocol.request_id req
         with exn ->
           ( false,
             Protocol.error ~id ~kind:"internal_error"
@@ -602,7 +732,9 @@ let handle_request st parsed =
         | Protocol.Eval _ | Protocol.Bind _ | Protocol.Query _
         | Protocol.Selfcheck _ ->
             parsed.Protocol.request_id
-        | Protocol.Ping | Protocol.Stats | Protocol.Shutdown -> None
+        | Protocol.Ping | Protocol.Stats | Protocol.Health | Protocol.Shutdown
+          ->
+            None
       in
       match replay_key with
       | None ->
@@ -688,7 +820,79 @@ let bind_socket = function
         (try Unix.close s with Unix.Unix_error (_, _, _) -> ());
         bind_error "cannot bind %s:%d: %s" host port (Unix.error_message e))
 
-let serve ?(config = default_config) ?ready listen =
+(* --- startup recovery ---------------------------------------------------- *)
+
+(* Rebuild sessions from the recovered journal by re-evaluating their
+   replay scripts in order (evaluation is deterministic, so the rebuilt
+   environment matches the pre-crash one).  Runs before the socket is
+   bound, on the accept thread, with no concurrency to fight: sessions
+   are installed directly.  PR-6 lifecycle is honored — sessions whose
+   last journal record is older than the idle TTL, or whose journaled
+   busy-time already exhausts the quota, are tombstoned instead of
+   resurrected (the tombstone gives the next request naming them one
+   structured [session_expired] rather than a silent fresh rebind). *)
+let recover st j (r : Journal.recovered) ~t0 =
+  let now = Unix.gettimeofday () in
+  let recovered = ref 0 and skipped = ref 0 and failures = ref 0 in
+  List.iter
+    (fun rs ->
+      let name = rs.Journal.rs_name in
+      let dead =
+        (match st.config.session_ttl with
+        | Some ttl -> now -. rs.Journal.rs_last_ts > ttl
+        | None -> false)
+        ||
+        match st.config.session_quota with
+        | Some q -> rs.Journal.rs_busy >= q
+        | None -> false
+      in
+      if dead then begin
+        incr skipped;
+        Hashtbl.replace st.expired name ();
+        Journal.evict j name
+      end
+      else begin
+        let e = fresh_entry name in
+        e.busy_seconds <- rs.Journal.rs_busy;
+        (try
+           List.iter
+             (function
+               | `Eval src -> ignore (Interp.Session.eval e.sess src)
+               | `Bind (n, v) -> Interp.Session.bind e.sess n v)
+             rs.Journal.rs_entries
+         with exn ->
+           (* a replay should never raise (eval recovers per statement);
+              if one does, keep what was rebuilt rather than losing the
+              session outright *)
+           incr failures;
+           Diag.emitf Diag.Warning ~solver:"journal"
+             "replaying session %S raised %s; keeping the partially \
+              rebuilt session"
+             name (Printexc.to_string exn));
+        e.approx_bytes <- Interp.Session.approx_bytes e.sess;
+        e.last_used <- now;
+        Hashtbl.replace st.sessions name e;
+        incr recovered
+      end)
+    r.Journal.r_sessions;
+  Replay.preload st.replay r.Journal.r_replays;
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  st.recovery <-
+    { recovered_sessions = !recovered;
+      skipped_expired = !skipped;
+      replay_failures = !failures;
+      dropped_bytes = r.Journal.r_dropped_bytes;
+      journal_corrupt = r.Journal.r_corrupt;
+      recovery_ms = ms };
+  if !recovered + !skipped > 0 || r.Journal.r_corrupt then
+    Diag.emitf Diag.Info ~solver:"journal"
+      "recovered %d session(s) (%d expired, %d replay failure(s), %d \
+       request id(s)) in %.1f ms"
+      !recovered !skipped !failures
+      (List.length r.Journal.r_replays)
+      ms
+
+let serve ?(config = default_config) ?ready ?drain listen =
   (* a client that disconnects mid-response must not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
@@ -703,9 +907,20 @@ let serve ?(config = default_config) ?ready listen =
       replay = Replay.create 512;
       last_maintenance = 0.0;
       stop = Atomic.make false;
+      draining = Atomic.make false;
       conn_mutex = Mutex.create ();
-      conns = [] }
+      conns = [];
+      journal = None;
+      recovery = no_recovery;
+      started_at = Unix.gettimeofday () }
   in
+  (match config.journal_dir with
+  | Some dir ->
+      let t0 = Unix.gettimeofday () in
+      let j, r = Journal.open_ ~dir ~fsync:config.fsync in
+      st.journal <- Some j;
+      recover st j r ~t0
+  | None -> ());
   let sock = bind_socket listen in
   Unix.listen sock 64;
   (match ready with Some f -> f () | None -> ());
@@ -713,6 +928,16 @@ let serve ?(config = default_config) ?ready listen =
   while not (Atomic.get st.stop) do
     (* poll so a shutdown request is noticed without a wake-up connection,
        and so session maintenance runs on an idle daemon too *)
+    (match drain with
+    | Some d when Atomic.get d && not (Atomic.get st.draining) ->
+        (* graceful drain (SIGTERM): stop accepting, shed new work, let
+           in-flight requests finish, flush the journal, exit cleanly *)
+        Atomic.set st.draining true;
+        Atomic.set st.stop true;
+        Diag.emit Diag.Info ~solver:"server"
+          "drain requested; finishing in-flight work and flushing the \
+           journal"
+    | _ -> ());
     maintenance st;
     match Unix.select [ sock ] [] [] 0.1 with
     | [], _, _ -> ()
@@ -742,6 +967,10 @@ let serve ?(config = default_config) ?ready listen =
           with Unix.Unix_error (_, _, _) -> ())
         st.conns);
   List.iter Thread.join !threads;
+  (* every in-flight request has now released its response, so its
+     journal record is already appended; flush and close so the file
+     carries everything the clients saw *)
+  (match st.journal with Some j -> Journal.close j | None -> ());
   (* join the pool's worker domains too: the OCaml runtime waits for
      every domain at process exit, so leaving them parked on the queue
      would make the daemon hang after a clean shutdown.  The pool

@@ -68,15 +68,47 @@ type config = {
       (** fault-injection hook for the chaos harness: called with the op
           name at the start of every pooled job; an exception it raises
           takes the worker-crash path (default [None]) *)
+  journal_dir : string option;
+      (** durability: write-ahead-log every session-mutating request to
+          [<dir>/journal.wal] and recover sessions from it on startup
+          (default: no journal, sessions are RAM-only) *)
+  fsync : Journal.fsync;
+      (** journal fsync policy: [Always] makes responded-implies-durable
+          exact, [Interval s] bounds the loss window to [s] seconds,
+          [Never] leaves syncing to the OS (default [Interval 0.1]) *)
+  snapshot_every : int;
+      (** append a snapshot (minimal replay script) for a session after
+          this many journaled records since its last snapshot; rewrites
+          of the whole file follow when it is mostly superseded bytes
+          (default 64) *)
 }
 
 val default_config : config
 
-val serve : ?config:config -> ?ready:(unit -> unit) -> listen -> unit
+val serve :
+  ?config:config ->
+  ?ready:(unit -> unit) ->
+  ?drain:bool Atomic.t ->
+  listen ->
+  unit
 (** Run the daemon: bind, listen, accept until a [shutdown] request
     arrives, then drain connections and return.  [?ready] is invoked once
     the socket is listening (tests and the in-process bench use it to
     know when clients may connect).  A Unix-domain socket path is
     unlinked on both startup (stale socket) and shutdown.  Session
-    maintenance (TTL eviction, memory budget) runs from the accept loop
-    at most every 50 ms, so it happens on an idle daemon too. *)
+    maintenance (TTL eviction, memory budget, journal fsync tick) runs
+    from the accept loop at most every 50 ms, so it happens on an idle
+    daemon too.
+
+    When [config.journal_dir] is set, startup first recovers the journal:
+    sessions are rebuilt by deterministic re-evaluation of their journaled
+    statements, sessions past their idle TTL or time quota are tombstoned
+    instead of resurrected, and recovered [request_id]s preload the
+    idempotency cache.  A torn or corrupt journal tail is dropped with a
+    structured Diag warning — recovery never refuses to start.
+
+    [?drain] is the graceful-shutdown knob (the launcher flips it from a
+    SIGTERM handler): once true, the daemon stops accepting, sheds new
+    work with ["overloaded"] while answering [health]/[stats]/[ping],
+    finishes in-flight requests, flushes and closes the journal, and
+    returns normally. *)

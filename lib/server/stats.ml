@@ -24,6 +24,9 @@ type t = {
   mutable replays : int;
   mutable quota_rejections : int;
   mutable session_bytes : int;
+  mutable journal_records : int;
+  mutable journal_bytes : int;
+  mutable journal_lag_bytes : int;
 }
 
 let create () =
@@ -36,7 +39,10 @@ let create () =
     evictions = 0;
     replays = 0;
     quota_rejections = 0;
-    session_bytes = 0 }
+    session_bytes = 0;
+    journal_records = 0;
+    journal_bytes = 0;
+    journal_lag_bytes = 0 }
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -84,6 +90,12 @@ let incr_replays t = locked t (fun () -> t.replays <- t.replays + 1)
 
 let incr_quota_rejections t =
   locked t (fun () -> t.quota_rejections <- t.quota_rejections + 1)
+
+let set_journal t ~records ~bytes ~lag =
+  locked t (fun () ->
+      t.journal_records <- records;
+      t.journal_bytes <- bytes;
+      t.journal_lag_bytes <- lag)
 
 let error_diagnostics t = locked t (fun () -> t.error_diagnostics)
 let shed t = locked t (fun () -> t.shed)
@@ -146,7 +158,8 @@ let to_json t =
             t.evictions,
             t.replays,
             t.quota_rejections,
-            t.session_bytes ) ))
+            t.session_bytes,
+            (t.journal_records, t.journal_bytes, t.journal_lag_bytes) ) ))
   in
   let ( in_flight,
         sessions,
@@ -155,7 +168,8 @@ let to_json t =
         evictions,
         replays,
         quota_rejections,
-        session_bytes ) =
+        session_bytes,
+        (journal_records, journal_bytes, journal_lag_bytes) ) =
     gauges
   in
   let cache =
@@ -178,5 +192,8 @@ let to_json t =
       ("evictions", Json.Num (float_of_int evictions));
       ("replays", Json.Num (float_of_int replays));
       ("quota_rejections", Json.Num (float_of_int quota_rejections));
+      ("journal_records", Json.Num (float_of_int journal_records));
+      ("journal_bytes", Json.Num (float_of_int journal_bytes));
+      ("journal_lag_bytes", Json.Num (float_of_int journal_lag_bytes));
       ("cache_trims", Json.Num (float_of_int (Structhash.trims ())));
       ("cache", cache) ]

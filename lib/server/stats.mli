@@ -32,6 +32,11 @@ val incr_replays : t -> unit
 val incr_quota_rejections : t -> unit
 (** One request rejected because its session exhausted its time quota. *)
 
+val set_journal : t -> records:int -> bytes:int -> lag:int -> unit
+(** Gauges mirrored from the durability journal (record count, file
+    bytes, unsynced bytes), refreshed by the maintenance sweep.  All zero
+    when the daemon runs without a journal. *)
+
 val error_diagnostics : t -> int
 val shed : t -> int
 val evictions : t -> int

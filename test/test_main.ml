@@ -15,4 +15,5 @@ let () =
       ("sweep-engine", Test_sweep.suite);
       ("differential", Test_differential.suite);
       ("server", Test_server.suite);
+      ("journal", Test_journal.suite);
       ("golden", Test_golden.suite) ]
