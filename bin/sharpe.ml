@@ -13,6 +13,7 @@
 
 module Diag = Sharpe_numerics.Diag
 module Deadline = Sharpe_numerics.Deadline
+module Linsolve = Sharpe_numerics.Linsolve
 module Interp = Sharpe_lang.Interp
 module Pool = Sharpe_numerics.Pool
 module Structhash = Sharpe_numerics.Structhash
@@ -96,11 +97,12 @@ let report strict diag_fmt cache_stats (records, failed, timed_out) =
    engine errors are ordinary error-severity diagnostics, so the
    reporting and exit-code logic of a batch run applies unchanged
    (0 clean, 1 any discrepancy/error, 3 timeout). *)
-let run_selfcheck strict diag_fmt count seed inject bench timeout =
+let run_selfcheck strict diag_fmt ~pairs count seed inject bench timeout =
   let t0 = Unix.gettimeofday () in
   let result = ref None in
   let execute () =
-    result := Some (Diag.capture (fun () -> Check.run ?inject ~seed ~count ()))
+    result :=
+      Some (Diag.capture (fun () -> Check.run ?inject ~pairs ~seed ~count ()))
   in
   let timed_out = ref false in
   (match timeout with
@@ -152,12 +154,13 @@ let run_selfcheck strict diag_fmt count seed inject bench timeout =
           close_out oc);
       report strict diag_fmt false (records, 0, false)
 
-let run strict diag_fmt jobs no_cache cache_stats timeout serve selfcheck seed
-    inject bench files =
+let run strict diag_fmt jobs no_cache cache_stats solver timeout serve selfcheck
+    selfcheck_large seed inject bench files =
   Pool.set_jobs jobs;
   Structhash.set_enabled (not no_cache);
-  match (serve, selfcheck) with
-  | Some path, _ -> (
+  Linsolve.set_method solver;
+  match (serve, selfcheck, selfcheck_large) with
+  | Some path, _, _ -> (
       try
         Server.serve
           ~config:
@@ -169,13 +172,22 @@ let run strict diag_fmt jobs no_cache cache_stats timeout serve selfcheck seed
       with Server.Bind_error msg ->
         prerr_endline ("sharpe: " ^ msg);
         1)
-  | None, Some count ->
-      run_selfcheck strict diag_fmt count seed inject bench timeout
-  | None, None when files = [] ->
+  | None, Some _, Some _ ->
+      prerr_endline
+        "sharpe: --selfcheck and --selfcheck-large cannot be combined (run \
+         them as two invocations)";
+      Cmdliner.Cmd.Exit.cli_error
+  | None, Some count, None ->
+      run_selfcheck strict diag_fmt ~pairs:Check.pair_names count seed inject
+        bench timeout
+  | None, None, Some count ->
+      run_selfcheck strict diag_fmt ~pairs:Check.large_pair_names count seed
+        inject bench timeout
+  | None, None, None when files = [] ->
       prerr_endline
         "sharpe: no input files (expected FILE..., --serve SOCKET or --selfcheck)";
       Cmdliner.Cmd.Exit.cli_error
-  | None, None ->
+  | None, None, None ->
       report strict diag_fmt cache_stats (run_batch timeout files)
 
 open Cmdliner
@@ -229,6 +241,31 @@ let cache_stats =
           "Report solve-cache hit/miss counters after the run (to stderr, \
            or into the JSON diagnostics array with $(b,--diagnostics json)).")
 
+let solver =
+  let methods =
+    [ ("auto", Linsolve.Auto);
+      ("gs", Linsolve.Gauss_seidel);
+      ("gauss-seidel", Linsolve.Gauss_seidel);
+      ("sor", Linsolve.Sor);
+      ("bicgstab", Linsolve.Bicgstab);
+      ("gmres", Linsolve.Gmres);
+      ("gth", Linsolve.Gth);
+      ("direct", Linsolve.Direct) ]
+  in
+  Arg.(
+    value
+    & opt (enum methods) Linsolve.Auto
+    & info [ "solver" ] ~docv:"METHOD"
+        ~doc:
+          "Force one linear/steady-state solver instead of the automatic \
+           selection chain: $(b,auto) (size- and structure-based selection, \
+           the default), $(b,gs)/$(b,gauss-seidel), $(b,sor), \
+           $(b,bicgstab) (ILU(0)/Jacobi-preconditioned), $(b,gmres) \
+           (restarted, preconditioned), $(b,gth) (banded \
+           Grassmann-Taksar-Heyman elimination), or $(b,direct) (dense \
+           Gaussian elimination).  A forced method that fails emits an \
+           error diagnostic and does NOT fall back.")
+
 let timeout =
   Arg.(
     value
@@ -268,6 +305,21 @@ let selfcheck =
            diagnostic carrying the reproducing seed, and the exit status \
            is 1.")
 
+let selfcheck_large =
+  Arg.(
+    value
+    & opt ~vopt:(Some 13) (some int) None
+    & info [ "selfcheck-large" ] ~docv:"N"
+        ~doc:
+          "Like $(b,--selfcheck), but over the large-model oracle pairs: \
+           $(docv) seeded 10^4-10^5-state CTMCs and SRNs per pair (default \
+           13), each steady state solved under two forced solver methods \
+           (preconditioned BiCGStab/GMRES vs Gauss-Seidel, SOR or banded \
+           GTH) and compared on decile masses, global functionals and \
+           sampled components.  Far more expensive per model than \
+           $(b,--selfcheck); the default count keeps a run around a \
+           minute.")
+
 let seed =
   Arg.(
     value & opt int 2002
@@ -280,7 +332,13 @@ let seed =
 let selfcheck_inject =
   Arg.(
     value
-    & opt (some (enum (List.map (fun n -> (n, n)) Check.pair_names))) None
+    & opt
+        (some
+           (enum
+              (List.map
+                 (fun n -> (n, n))
+                 (Check.pair_names @ Check.large_pair_names))))
+        None
     & info [ "selfcheck-inject" ] ~docv:"PAIR"
         ~doc:
           "Deliberately perturb one engine of the named oracle pair \
@@ -312,7 +370,8 @@ let cmd =
   in
   Cmd.v (Cmd.info "sharpe" ~version:"2002-ocaml" ~doc ~man)
     Term.(
-      const run $ strict $ diag_fmt $ jobs $ no_cache $ cache_stats $ timeout
-      $ serve $ selfcheck $ seed $ selfcheck_inject $ selfcheck_bench $ files)
+      const run $ strict $ diag_fmt $ jobs $ no_cache $ cache_stats $ solver
+      $ timeout $ serve $ selfcheck $ selfcheck_large $ seed $ selfcheck_inject
+      $ selfcheck_bench $ files)
 
 let () = exit (Cmd.eval' cmd)

@@ -26,8 +26,19 @@ dune exec test/test_main.exe -- test golden >/dev/null
 echo "== bench smoke =="
 # quick pass over every experiment (timing suite skipped); the bench
 # binary itself exits nonzero when any solver emitted an error-severity
-# diagnostic, which aborts the build under set -e
+# diagnostic, which aborts the build under set -e.  S3 (the large-model
+# tier) solves a 200k-state chain cold under forced BiCGStab in quick
+# mode and fails the run on a residual > 1e-9, any dense
+# materialization, or disagreement with an independent GTH solve.
 dune exec bench/main.exe -- --quick --no-time >/dev/null
+grep -q '"effective_domains"' BENCH_sweep.json || {
+  echo "ci: BENCH_sweep.json does not record effective_domains" >&2
+  exit 1
+}
+grep -q '"dense_materializations": 0' BENCH_large.json || {
+  echo "ci: BENCH_large.json reports dense materializations on the large-model path" >&2
+  exit 1
+}
 
 echo "== guard-rails demo =="
 demo=examples/sharpe/fallback_demo.sharpe
@@ -68,6 +79,18 @@ else
     exit 1
   }
 fi
+
+echo "== large-model selfcheck =="
+# fixed-seed sweep of the Krylov tier: 13 models per large pair (52 total,
+# 10^4-10^5 states each), forced Krylov engines vs forced classic oracles,
+# capped by --timeout so a solver regression cannot hang CI.  A nonzero
+# exit (discrepancy, engine error, or deadline) aborts the build.
+./_build/default/bin/sharpe.exe --selfcheck-large=13 --seed 1 \
+  --timeout 600 --selfcheck-bench BENCH_check_large.json
+grep -q '"discrepancies": 0' BENCH_check_large.json || {
+  echo "ci: large-model selfcheck bench reports discrepancies" >&2
+  exit 1
+}
 
 echo "== server smoke =="
 # start sharped on a temp socket, hit it with concurrent clients running

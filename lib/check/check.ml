@@ -256,7 +256,70 @@ let check_expo r =
   in
   conv @ integ @ mean
 
-let oracle_pairs =
+(* --- large-model pairs (the Krylov tier) ------------------------------ *)
+
+(* A 10^4-10^5-state steady-state vector is not compared component by
+   component: most components are tiny (the relative test would degrade
+   to a vacuous absolute one) and the comparison list would dwarf the
+   solve.  Instead each model contributes O(1)-scale aggregates with
+   real discriminating power — decile masses, a global functional
+   touching every component, the oracle's modal component — plus a
+   seeded spot-sample of raw components.  The sample indices are drawn
+   from the model's own rng stream, so [replay] reproduces them. *)
+let sampled_comparisons ~what r a b =
+  let n = Array.length a in
+  let comps = ref [] in
+  let add what va vb = comps := { what; a = va; b = vb } :: !comps in
+  let da = Array.make 10 0.0 and db = Array.make 10 0.0 in
+  Array.iteri (fun i v -> da.(i * 10 / n) <- da.(i * 10 / n) +. v) a;
+  Array.iteri (fun i v -> db.(i * 10 / n) <- db.(i * 10 / n) +. v) b;
+  for d = 0 to 9 do
+    add (Printf.sprintf "%s decile[%d] mass" what d) da.(d) db.(d)
+  done;
+  let functional pi =
+    let s = ref 0.0 in
+    Array.iteri (fun i p -> s := !s +. (p *. float_of_int (i mod 7))) pi;
+    !s
+  in
+  add (Printf.sprintf "%s E[i mod 7]" what) (functional a) (functional b);
+  let amax = ref 0 in
+  Array.iteri (fun i v -> if v > b.(!amax) then amax := i) b;
+  add (Printf.sprintf "%s argmax[%d]" what !amax) a.(!amax) b.(!amax);
+  for _ = 1 to 120 do
+    let i = R.int r n in
+    add (Printf.sprintf "%s[%d]" what i) a.(i) b.(i)
+  done;
+  List.rev !comps
+
+(* Solve the same generator twice under two forced solver methods.  A
+   forced method that fails emits an error diagnostic and no fallback
+   runs, so a non-converging Krylov (or oracle) solve is counted by the
+   harness as an engine error rather than silently replaced. *)
+let large_steady_pair ~what ~ma ~mb q r =
+  let a = Linsolve.with_method ma (fun () -> Linsolve.ctmc_steady_state q) in
+  let b = Linsolve.with_method mb (fun () -> Linsolve.ctmc_steady_state q) in
+  sampled_comparisons ~what r a b
+
+let check_large_bd r =
+  let q = Gen.birth_death_q r in
+  large_steady_pair ~what:"bd pi" ~ma:Linsolve.Bicgstab ~mb:Linsolve.Gth q r
+
+let check_large_restart r =
+  let q = Gen.restart_ctmc_q r in
+  large_steady_pair ~what:"restart pi" ~ma:Linsolve.Gmres
+    ~mb:Linsolve.Gauss_seidel q r
+
+let check_large_mesh r =
+  let q = Gen.mesh_q r in
+  large_steady_pair ~what:"mesh pi" ~ma:Linsolve.Bicgstab ~mb:Linsolve.Gth q r
+
+let check_large_srn r =
+  let net = Gen.large_srn r in
+  let g = Reach.build net in
+  let q = Ctmc.generator (Reach.ctmc g) in
+  large_steady_pair ~what:"srn pi" ~ma:Linsolve.Gmres ~mb:Linsolve.Sor q r
+
+let small_pairs =
   [ ("acyclic-vs-uniformization", check_acyclic);
     ("steady-gs-vs-direct", check_steady);
     ("srn-gs-vs-direct", check_srn);
@@ -264,7 +327,15 @@ let oracle_pairs =
     ("rbd-vs-enum", check_rbd);
     ("expo-vs-quadrature", check_expo) ]
 
-let pair_names = List.map fst oracle_pairs
+let large_pairs =
+  [ ("large-bd-bicgstab-vs-gth", check_large_bd);
+    ("large-restart-gmres-vs-gs", check_large_restart);
+    ("large-mesh-bicgstab-vs-gth", check_large_mesh);
+    ("large-srn-gmres-vs-sor", check_large_srn) ]
+
+let oracle_pairs = small_pairs @ large_pairs
+let pair_names = List.map fst small_pairs
+let large_pair_names = List.map fst large_pairs
 
 let oracle_of name =
   match List.assoc_opt name oracle_pairs with

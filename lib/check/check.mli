@@ -20,7 +20,14 @@ val rel_err : float -> float -> float
     probabilities. *)
 
 val pair_names : string list
-(** Names of all oracle pairs, in execution order. *)
+(** Names of the standard (small-model) oracle pairs, in execution
+    order — the default pair set of {!run}. *)
+
+val large_pair_names : string list
+(** Names of the large-model oracle pairs (10^4–10^5-state CTMCs and
+    SRNs solved under two forced solver methods, Krylov vs a classical
+    oracle).  Far more expensive per model; run them via
+    [run ~pairs:large_pair_names]. *)
 
 val replay : string -> int -> comparison list
 (** [replay pair seed] rebuilds the single model behind a reported seed

@@ -24,6 +24,7 @@
      the tangible chain irreducible. *)
 
 module R = Srng
+module Sparse = Sharpe_numerics.Sparse
 module E = Sharpe_expo.Exponomial
 module Dist = Sharpe_expo.Dist
 module Ctmc = Sharpe_markov.Ctmc
@@ -217,4 +218,112 @@ let srn r =
           inhibitors = [] }
         :: !trans
   end;
+  Net.build ~places ~transitions:(List.rev !trans)
+
+(* --- large sparse CTMCs (the Krylov tier) ---------------------------- *)
+
+(* These generators build CSR generator matrices directly through
+   [Sparse.of_rows] — never a triplet list, never a dense matrix — so a
+   10^5-state model costs O(nnz) to construct.  Rates live in [0.5, 2.0]:
+   the stationary vector of a long birth-death chain is a random walk in
+   log space, so its dynamic range is enormous (components far from the
+   mass peak underflow to zero), but both engines of a pair see the
+   identical system and the comparisons are taken on masses and sampled
+   components, not on ratios of subnormals. *)
+
+let off_diag_row n i entries =
+  let exit = List.fold_left (fun a (_, v) -> a +. v) 0.0 entries in
+  if i >= n then invalid_arg "off_diag_row";
+  (i, -.exit) :: entries
+
+(* Pure birth-death chain, 10^4..10^5 states, nnz ~ 3n, bandwidth 1 (so
+   banded GTH is an O(n) oracle).  The down rate at each level is the up
+   rate times a factor within a few percent of 1: log pi is then a
+   random walk with per-step size ~0.02, so over 10^5 states the
+   stationary vector spans ~10 orders of magnitude instead of hundreds.
+   Independent up/down draws would make the system singular beyond
+   double precision — every solver would "converge" to a different
+   quasi-null vector and the pair would test conditioning folklore, not
+   engines. *)
+let birth_death_q r =
+  let n = 10_000 + R.int r 90_001 in
+  let up = Array.init (n - 1) (fun _ -> R.range r 0.5 2.0) in
+  let down =
+    Array.map (fun u -> u *. Float.exp (R.range r (-0.02) 0.02)) up
+  in
+  Sparse.of_rows ~rows:n ~cols:n (fun i ->
+      let es = if i < n - 1 then [ (i + 1, up.(i)) ] else [] in
+      let es = if i > 0 then (i - 1, down.(i - 1)) :: es else es in
+      off_diag_row n i es)
+
+(* Birth-death plus a restart edge to state 0 from every state: the
+   restart rate bounds the mixing time independently of n, so a forced
+   Gauss-Seidel sweep converges in a bounded number of iterations and
+   can serve as the oracle against Krylov. *)
+let restart_ctmc_q r =
+  let n = 10_000 + R.int r 40_001 in
+  let up = Array.init (n - 1) (fun _ -> R.range r 0.5 2.0) in
+  let down = Array.init (n - 1) (fun _ -> R.range r 0.5 2.0) in
+  let restart = R.range r 0.1 0.3 in
+  Sparse.of_rows ~rows:n ~cols:n (fun i ->
+      let es = if i < n - 1 then [ (i + 1, up.(i)) ] else [] in
+      let es = if i > 0 then (i - 1, down.(i - 1)) :: es else es in
+      let es = if i > 0 then (0, restart) :: es else es in
+      off_diag_row n i es)
+
+(* 2-D lattice with independent random rates on every directed edge:
+   row-major numbering gives bandwidth [side], so banded GTH (forced,
+   ignoring its work budget) is an exact O(n * side^2) oracle while the
+   Krylov side sees a genuinely two-dimensional sparsity pattern. *)
+let mesh_q r =
+  let side = 100 + R.int r 29 in
+  let n = side * side in
+  let rate _ = R.range r 0.5 2.0 in
+  (* Draw all edge rates up front, in a fixed order, so the generator is
+     a pure function of the seed regardless of of_rows evaluation
+     order.  right.(i) is the rate i -> i+1, etc. *)
+  let right = Array.init n rate
+  and left = Array.init n rate
+  and downr = Array.init n rate
+  and upr = Array.init n rate in
+  Sparse.of_rows ~rows:n ~cols:n (fun i ->
+      let x = i mod side and y = i / side in
+      let es = if x < side - 1 then [ (i + 1, right.(i)) ] else [] in
+      let es = if x > 0 then (i - 1, left.(i)) :: es else es in
+      let es = if y < side - 1 then (i + side, downr.(i)) :: es else es in
+      let es = if y > 0 then (i - side, upr.(i)) :: es else es in
+      off_diag_row n i es)
+
+(* Token-bounded SRN whose tangible chain has ~10^4..2*10^4 states:
+   4 places sharing N tokens (reachability = compositions of N into 4
+   parts, C(N+3,3) markings), a ring of marking-proportional transitions
+   plus two chords.  Proportional rates make the chain behave like
+   independent migrations (fast mixing), so a forced SOR sweep converges
+   and can anchor the Krylov side. *)
+let large_srn r =
+  let k = 4 in
+  let tokens = 37 + R.int r 12 in
+  let places =
+    List.init k (fun i -> (Printf.sprintf "p%d" i, if i = 0 then tokens else 0))
+  in
+  let timed name src dst =
+    let c = R.range r 0.5 2.0 in
+    { Net.t_name = name;
+      kind = Net.Timed;
+      rate = (fun (m : Net.marking) -> c *. float_of_int m.(src));
+      guard = (fun _ -> true);
+      priority = 0;
+      inputs = [ (src, fun _ -> 1) ];
+      outputs = [ (dst, fun _ -> 1) ];
+      inhibitors = [] }
+  in
+  let trans = ref [] in
+  for i = 0 to k - 1 do
+    trans := timed (Printf.sprintf "ring%d" i) i ((i + 1) mod k) :: !trans
+  done;
+  for c = 1 to 2 do
+    let src = R.int r k in
+    let dst = (src + 2) mod k in
+    trans := timed (Printf.sprintf "chord%d" c) src dst :: !trans
+  done;
   Net.build ~places ~transitions:(List.rev !trans)

@@ -38,3 +38,32 @@ val srn : Srng.t -> Sharpe_petri.Net.t
 (** A token-conserving stochastic Petri net (ring plus chords, optional
     marking-dependent rates, optionally one immediate transition that
     exercises vanishing-marking elimination). *)
+
+(** {1 Large sparse models (the Krylov tier)}
+
+    All of these build CSR generator matrices directly through
+    {!Sharpe_numerics.Sparse.of_rows} — O(nnz) construction, no triplet
+    list, no dense intermediate. *)
+
+val birth_death_q : Srng.t -> Sharpe_numerics.Sparse.t
+(** Pure birth-death CTMC generator, 10^4–10^5 states, rates uniform in
+    [0.5, 2.0] with up/down pairs correlated to within a few percent so
+    the stationary vector's dynamic range stays representable;
+    bandwidth 1 (banded GTH is an O(n) oracle for it). *)
+
+val restart_ctmc_q : Srng.t -> Sharpe_numerics.Sparse.t
+(** Birth-death chain of 10^4–5*10^4 states plus a restart edge to state
+    0 from every state: the restart rate bounds the mixing time
+    independently of n, so forced Gauss-Seidel converges in a bounded
+    number of sweeps. *)
+
+val mesh_q : Srng.t -> Sharpe_numerics.Sparse.t
+(** 2-D lattice CTMC (side 100–128, so 10^4–1.6*10^4 states) with
+    independent random rates on every directed edge; row-major numbering
+    gives bandwidth [side]. *)
+
+val large_srn : Srng.t -> Sharpe_petri.Net.t
+(** Token-bounded SRN with 4 places sharing 37–48 tokens and
+    marking-proportional transition rates; its tangible chain has
+    C(N+3,3) ~ 10^4–2*10^4 states and mixes fast enough for a forced
+    SOR oracle. *)

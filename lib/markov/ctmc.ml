@@ -255,14 +255,32 @@ let time_in_transient c ~init =
   let idx, nt = transient_indices c in
   if nt = c.n then invalid_arg "Ctmc: no absorbing state";
   (* Solve u Q_TT = -init_T  (row-vector form), i.e. Q_TT^T u = -init_T. *)
-  let a = Matrix.create ~rows:nt ~cols:nt in
-  Sparse.iter c.q (fun i j v ->
-      if idx.(i) >= 0 && idx.(j) >= 0 then Matrix.add_to a idx.(j) idx.(i) v);
   let b = Array.make nt 0.0 in
   for i = 0 to c.n - 1 do
     if idx.(i) >= 0 then b.(idx.(i)) <- -.init.(i)
   done;
-  let u = Linsolve.gauss a b in
+  let u =
+    if nt <= 500 then begin
+      Linsolve.note_dense ~solver:"time_in_transient" nt;
+      let a = Matrix.create ~rows:nt ~cols:nt in
+      Sparse.iter c.q (fun i j v ->
+          if idx.(i) >= 0 && idx.(j) >= 0 then Matrix.add_to a idx.(j) idx.(i) v);
+      Linsolve.gauss a b
+    end
+    else begin
+      (* large transient blocks stay in CSR: build Q_TT row-wise, then
+         transpose, and hand the system to the sparse solver chain *)
+      let inv = Array.make nt 0 in
+      Array.iteri (fun i r -> if r >= 0 then inv.(r) <- i) idx;
+      let qtt =
+        Sparse.of_rows ~rows:nt ~cols:nt (fun r ->
+            Sparse.fold_row c.q inv.(r)
+              (fun acc j v -> if idx.(j) >= 0 then (idx.(j), v) :: acc else acc)
+              [])
+      in
+      Linsolve.solve (Sparse.transpose qtt) b
+    end
+  in
   Array.init c.n (fun i -> if idx.(i) >= 0 then u.(idx.(i)) else 0.0)
 
 let mtta c ~init =

@@ -64,6 +64,62 @@ type iter_stats = { iterations : int; residual : float; converged : bool }
    blowing up memory/time on an O(n^3) elimination. *)
 let direct_cap = 4096
 
+(* --- solver selection -------------------------------------------------- *)
+
+type method_ = Auto | Gauss_seidel | Sor | Bicgstab | Gmres | Gth | Direct
+
+let method_ref = Atomic.make Auto
+let set_method m = Atomic.set method_ref m
+let current_method () = Atomic.get method_ref
+
+let with_method m f =
+  let old = Atomic.get method_ref in
+  Atomic.set method_ref m;
+  Fun.protect ~finally:(fun () -> Atomic.set method_ref old) f
+
+let method_to_string = function
+  | Auto -> "auto"
+  | Gauss_seidel -> "gs"
+  | Sor -> "sor"
+  | Bicgstab -> "bicgstab"
+  | Gmres -> "gmres"
+  | Gth -> "gth"
+  | Direct -> "direct"
+
+let method_of_string = function
+  | "auto" -> Some Auto
+  | "gs" | "gauss-seidel" -> Some Gauss_seidel
+  | "sor" -> Some Sor
+  | "bicgstab" -> Some Bicgstab
+  | "gmres" -> Some Gmres
+  | "gth" -> Some Gth
+  | "direct" -> Some Direct
+  | _ -> None
+
+(* Size heuristic for the automatic chain: systems with at least this
+   many unknowns skip the stationary sweeps (whose spectral gap closes
+   as diffusion-like state spaces grow) and try preconditioned Krylov
+   first. *)
+let krylov_threshold = 20_000
+
+(* --- dense-materialization accounting ---------------------------------- *)
+
+(* Every time a sparse system is expanded to a dense matrix (the direct
+   fallbacks), this counter ticks.  Large-model paths must keep it at
+   zero — the bench asserts so — and a dense expansion beyond the
+   direct-solve cap is loud, because at that size it is a performance
+   bug, not a fallback. *)
+let dense_count_ref = Atomic.make 0
+let dense_count () = Atomic.get dense_count_ref
+let reset_dense_count () = Atomic.set dense_count_ref 0
+
+let note_dense ~solver n =
+  Atomic.incr dense_count_ref;
+  if n > direct_cap then
+    Diag.emitf Diag.Warning ~solver
+      "dense materialization of a %d-state sparse system (above the %d direct-solve cap)"
+      n direct_cap
+
 (* Negative steady-state entries below this magnitude are ordinary
    floating-point noise; above it the clamp is reported. *)
 let clamp_warn = 1e-9
@@ -151,17 +207,129 @@ let sor ?max_iter ?tol ?(omega = 1.0) ?x0 a b =
 
 let gauss_seidel ?max_iter ?tol ?x0 a b = sor ?max_iter ?tol ~omega:1.0 ?x0 a b
 
+(* --- Krylov dispatch --------------------------------------------------- *)
+
+(* Best preconditioner the matrix supports: ILU(0) when it factors,
+   Jacobi when the diagonal is merely nonzero, identity as last resort. *)
+let precond_for a =
+  match Krylov.ilu0 a with
+  | Some p -> p
+  | None -> ( match Krylov.jacobi a with Some p -> p | None -> Krylov.identity)
+
+(* Row equilibration: scale every row to unit inf-norm.  Generator rows
+   span the full rate range (orders of magnitude apart on stiff chains);
+   without it the ILU pivots inherit that spread and the norm driving
+   the Krylov stopping test is dominated by the fastest states.  The
+   solution of [D A x = D b] is that of [A x = b], so callers verify
+   against the original system as before. *)
+let equilibrate a b =
+  let n = Sparse.rows a in
+  let d = Array.make n 1.0 in
+  for i = 0 to n - 1 do
+    let m = Sparse.fold_row a i (fun acc _ v -> Float.max acc (Float.abs v)) 0.0 in
+    if m > 0.0 && m <> 1.0 then d.(i) <- 1.0 /. m
+  done;
+  (Sparse.scale_rows d a, Array.mapi (fun i v -> d.(i) *. v) b)
+
+(* One Krylov solve with iterative refinement: on ill-conditioned systems
+   the iteration stagnates a few digits short of [tol], but each pass
+   still gains those digits — re-solving against the residual and adding
+   the correction compounds them to full accuracy. *)
+let krylov_refined variant ~tol a b p =
+  let n = Array.length b in
+  let run rhs =
+    match variant with
+    | `Bicgstab -> Krylov.bicgstab ~tol ~precond:p a rhs
+    | `Gmres -> Krylov.gmres ~tol ~precond:p a rhs
+  in
+  let nrm2 v = sqrt (Array.fold_left (fun acc c -> acc +. (c *. c)) 0.0 v) in
+  let bnorm = Float.max (nrm2 b) 1e-300 in
+  let x, st0 = run b in
+  let iters = ref st0.Krylov.iterations in
+  let res = ref st0.Krylov.residual in
+  let scratch = Array.make n 0.0 in
+  let rounds = ref 0 in
+  let stop = ref st0.Krylov.converged in
+  while (not !stop) && !rounds < 2 do
+    incr rounds;
+    Sparse.mat_vec_into a x scratch;
+    for i = 0 to n - 1 do
+      scratch.(i) <- b.(i) -. scratch.(i)
+    done;
+    let d, std = run scratch in
+    for i = 0 to n - 1 do
+      x.(i) <- x.(i) +. d.(i)
+    done;
+    iters := !iters + std.Krylov.iterations;
+    Sparse.mat_vec_into a x scratch;
+    for i = 0 to n - 1 do
+      scratch.(i) <- b.(i) -. scratch.(i)
+    done;
+    let r = nrm2 scratch /. bnorm in
+    (* stop when converged, or when a pass stops paying for itself *)
+    if r <= tol || r >= 0.5 *. !res then stop := true;
+    res := r
+  done;
+  (x, { Krylov.iterations = !iters; residual = !res; converged = !res <= tol })
+
+let krylov_run variant ?(tol = 1e-12) a b =
+  let a, b = equilibrate a b in
+  let variant_name =
+    match variant with `Bicgstab -> "bicgstab" | `Gmres -> "gmres"
+  in
+  (* Preconditioner ladder.  An ILU(0) factor on a pattern far from
+     elimination-closed can make the iteration worse than a diagonal
+     scaling, or than no preconditioner at all (BiCGStab's recursion is
+     the fragile one) — on failure retry down the ladder and keep the
+     best solve. *)
+  let ladder =
+    let tail = match Krylov.jacobi a with Some j -> [ j ] | None -> [] in
+    let l = (precond_for a :: tail) @ [ Krylov.identity ] in
+    List.filteri
+      (fun i p ->
+        List.for_all
+          (fun (j, q) -> j >= i || q.Krylov.p_name <> p.Krylov.p_name)
+          (List.mapi (fun j q -> (j, q)) l))
+      l
+  in
+  let rec go iters best = function
+    | [] ->
+        let x, st, p = Option.get best in
+        ( x,
+          { st with Krylov.iterations = iters },
+          Printf.sprintf "%s(%s)" variant_name p.Krylov.p_name )
+    | p :: rest -> (
+        let x, st = krylov_refined variant ~tol a b p in
+        let iters = iters + st.Krylov.iterations in
+        let best =
+          match best with
+          | Some (_, st0, _) when st0.Krylov.residual <= st.Krylov.residual ->
+              best
+          | _ -> Some (x, st, p)
+        in
+        if st.Krylov.converged then go iters best []
+        else go iters best rest)
+  in
+  go 0 None ladder
+
 (* Robust Ax = b: Gauss-Seidel -> SOR with adaptive over-relaxation ->
    direct Gaussian elimination, every hop recorded as a diagnostic and the
-   accepted iterate verified against the true residual ||Ax - b||_inf. *)
+   accepted iterate verified against the true residual ||Ax - b||_inf.
+   Systems at or above [krylov_threshold] unknowns try preconditioned
+   BiCGStab first; a forced method (see [set_method]) runs alone and
+   reports an error instead of silently escalating. *)
 let solve ?(max_iter = 100_000) ?(tol = 1e-12) a b =
   let n = Array.length b in
   let scale = Float.max 1.0 (inf_norm b) in
   let verify_tol = Float.max (tol *. 1e4) 1e-8 in
   let verified x = residual_inf a x b /. scale in
   let direct ~from =
-    Diag.emitf Diag.Fallback ~solver:"linsolve"
-      "%s: falling back to direct Gaussian elimination" from;
+    (match from with
+    | None -> ()
+    | Some src ->
+        Diag.emitf Diag.Fallback ~solver:"linsolve"
+          "%s: falling back to direct Gaussian elimination" src);
+    note_dense ~solver:"linsolve" n;
     let x =
       try gauss (Sparse.to_dense a) b
       with Singular ->
@@ -175,42 +343,158 @@ let solve ?(max_iter = 100_000) ?(tol = 1e-12) a b =
         "direct-solve residual above verification tolerance (ill-conditioned system)";
     x
   in
-  match try `Ok (sor_rate ~max_iter ~tol ~omega:1.0 a b) with Singular -> `Sing with
-  | `Sing -> direct ~from:"gauss_seidel hit a zero diagonal"
-  | `Ok (x1, st1, rho) -> (
-      let r1 = verified x1 in
-      if st1.converged && r1 <= verify_tol then x1
-      else begin
-        Diag.emit Diag.Non_convergence ~solver:"gauss_seidel"
-          ~iterations:st1.iterations ~residual:r1 ~tolerance:verify_tol
-          (if st1.converged then
-             "iterate stalled: post-solve residual verification failed"
-           else "no convergence within iteration budget");
-        let omega = adaptive_omega rho in
-        Diag.emitf Diag.Fallback ~solver:"linsolve"
-          "escalating to SOR (adaptive omega=%.3f)" omega;
-        let x0 = if Float.is_finite r1 && r1 < 1e100 then Some x1 else None in
-        match
-          try `Ok (sor_rate ~max_iter ~tol ~omega ?x0 a b) with Singular -> `Sing
-        with
-        | `Sing -> direct ~from:"sor hit a zero diagonal"
-        | `Ok (x2, st2, _) ->
-            let r2 = verified x2 in
-            if st2.converged && r2 <= verify_tol then x2
-            else begin
-              Diag.emit Diag.Non_convergence ~solver:"sor"
-                ~iterations:st2.iterations ~residual:r2 ~tolerance:verify_tol
-                "no convergence within iteration budget";
-              if n <= direct_cap then direct ~from:"sor"
+  (* a converged-and-verified Krylov solve, or None with a diagnostic *)
+  let try_krylov variant =
+    let x, st, name = krylov_run variant ~tol:(Float.min tol 1e-10) a b in
+    let r = verified x in
+    if st.Krylov.converged && r <= verify_tol then begin
+      Diag.emitf Diag.Info ~solver:name ~iterations:st.Krylov.iterations
+        ~residual:r ~tolerance:verify_tol "converged (n=%d, nnz=%d)" n
+        (Sparse.nnz a);
+      Some x
+    end
+    else begin
+      Diag.emit Diag.Non_convergence ~solver:name ~iterations:st.Krylov.iterations
+        ~residual:r ~tolerance:verify_tol
+        (if st.Krylov.converged then
+           "iterate stalled: post-solve residual verification failed"
+         else "no convergence within iteration budget");
+      None
+    end
+  in
+  let forced_fail ~solver x r =
+    Diag.emitf Diag.Error ~solver ~residual:r ~tolerance:verify_tol
+      "forced method did not produce a verified solution (no fallback under \
+       --solver)";
+    x
+  in
+  let stationary ~then_krylov () =
+    match
+      try `Ok (sor_rate ~max_iter ~tol ~omega:1.0 a b) with Singular -> `Sing
+    with
+    | `Sing -> direct ~from:(Some "gauss_seidel hit a zero diagonal")
+    | `Ok (x1, st1, rho) -> (
+        let r1 = verified x1 in
+        if st1.converged && r1 <= verify_tol then x1
+        else begin
+          Diag.emit Diag.Non_convergence ~solver:"gauss_seidel"
+            ~iterations:st1.iterations ~residual:r1 ~tolerance:verify_tol
+            (if st1.converged then
+               "iterate stalled: post-solve residual verification failed"
+             else "no convergence within iteration budget");
+          let omega = adaptive_omega rho in
+          Diag.emitf Diag.Fallback ~solver:"linsolve"
+            "escalating to SOR (adaptive omega=%.3f)" omega;
+          let x0 = if Float.is_finite r1 && r1 < 1e100 then Some x1 else None in
+          match
+            try `Ok (sor_rate ~max_iter ~tol ~omega ?x0 a b)
+            with Singular -> `Sing
+          with
+          | `Sing -> direct ~from:(Some "sor hit a zero diagonal")
+          | `Ok (x2, st2, _) ->
+              let r2 = verified x2 in
+              if st2.converged && r2 <= verify_tol then x2
               else begin
-                Diag.emitf Diag.Error ~solver:"linsolve"
-                  ~residual:(Float.min r1 r2) ~tolerance:verify_tol
-                  "system of size %d exceeds the direct-solve cap (%d); returning best unverified iterate"
-                  n direct_cap;
-                if r2 < r1 then x2 else x1
+                Diag.emit Diag.Non_convergence ~solver:"sor"
+                  ~iterations:st2.iterations ~residual:r2 ~tolerance:verify_tol
+                  "no convergence within iteration budget";
+                if n <= direct_cap then direct ~from:(Some "sor")
+                else begin
+                  match
+                    if then_krylov then begin
+                      Diag.emit Diag.Fallback ~solver:"linsolve"
+                        "escalating to preconditioned BiCGStab";
+                      try_krylov `Bicgstab
+                    end
+                    else None
+                  with
+                  | Some x -> x
+                  | None ->
+                      Diag.emitf Diag.Error ~solver:"linsolve"
+                        ~residual:(Float.min r1 r2) ~tolerance:verify_tol
+                        "system of size %d exceeds the direct-solve cap (%d); \
+                         returning best unverified iterate"
+                        n direct_cap;
+                      if r2 < r1 then x2 else x1
+                end
               end
-            end
-      end)
+        end)
+  in
+  match current_method () with
+  | Bicgstab -> (
+      match try_krylov `Bicgstab with
+      | Some x -> x
+      | None ->
+          let x, st, name = krylov_run `Bicgstab ~tol:(Float.min tol 1e-10) a b in
+          ignore st;
+          forced_fail ~solver:name x (verified x))
+  | Gmres -> (
+      match try_krylov `Gmres with
+      | Some x -> x
+      | None ->
+          let x, st, name = krylov_run `Gmres ~tol:(Float.min tol 1e-10) a b in
+          ignore st;
+          forced_fail ~solver:name x (verified x))
+  | Direct -> direct ~from:None
+  | Gauss_seidel -> (
+      match
+        try `Ok (sor_rate ~max_iter ~tol ~omega:1.0 a b)
+        with Singular -> `Sing
+      with
+      | `Sing ->
+          Diag.emit Diag.Error ~solver:"gauss_seidel"
+            "zero diagonal entry (no fallback under --solver)";
+          raise Singular
+      | `Ok (x, st, _) ->
+          let r = verified x in
+          if st.converged && r <= verify_tol then x
+          else forced_fail ~solver:"gauss_seidel" x r)
+  | Sor -> (
+      (* short Gauss-Seidel probe to estimate the contraction ratio that
+         picks the over-relaxation factor; the over-relaxed run then gets
+         a bounded trial window and must beat the probe's step size, or
+         the budget is finished at omega = 1 — Young's formula assumes a
+         property-A ordering and can oscillate without blowing up on a
+         general sweep operator, which would otherwise burn the whole
+         [max_iter] budget producing nothing *)
+      match
+        try
+          let probe = max 10 (min 100 (max_iter / 10)) in
+          let x0, d0, rho =
+            let x0, st, rho = sor_rate ~max_iter:probe ~tol ~omega:1.0 a b in
+            (x0, st.residual, rho)
+          in
+          let omega = adaptive_omega rho in
+          let trial = max 50 (min 1_000 (max_iter / 20)) in
+          let x1, st1, _ = sor_rate ~max_iter:trial ~tol ~omega ~x0 a b in
+          if st1.converged then `Ok (omega, (x1, st1, nan))
+          else if st1.residual < d0 then
+            `Ok (omega, sor_rate ~max_iter:(max_iter - trial) ~tol ~omega ~x0:x1 a b)
+          else `Ok (1.0, sor_rate ~max_iter:(max_iter - trial) ~tol ~omega:1.0 ~x0 a b)
+        with Singular -> `Sing
+      with
+      | `Sing ->
+          Diag.emit Diag.Error ~solver:"sor"
+            "zero diagonal entry (no fallback under --solver)";
+          raise Singular
+      | `Ok (_, (x, st, _)) ->
+          let r = verified x in
+          if st.converged && r <= verify_tol then x
+          else forced_fail ~solver:"sor" x r)
+  | Gth | Auto ->
+      (* GTH applies to CTMC steady states only; for a general system the
+         automatic chain stands in *)
+      if n >= krylov_threshold then
+        match try_krylov `Bicgstab with
+        | Some x -> x
+        | None -> (
+            match try_krylov `Gmres with
+            | Some x -> x
+            | None ->
+                Diag.emit Diag.Fallback ~solver:"linsolve"
+                  "krylov failed: falling back to stationary sweeps";
+                stationary ~then_krylov:false ())
+      else stationary ~then_krylov:true ()
 
 let normalize_l1 x =
   let s = Array.fold_left ( +. ) 0.0 x in
@@ -244,6 +528,7 @@ let dtmc_residual p x =
 let dtmc_direct p =
   (* pi (P - I) = 0 with the last equation replaced by sum pi = 1 *)
   let n = Sparse.rows p in
+  note_dense ~solver:"dtmc_steady_state" n;
   let a = Matrix.create ~rows:n ~cols:n in
   Sparse.iter p (fun i j v -> Matrix.add_to a j i v);
   for i = 0 to n - 1 do
@@ -256,6 +541,22 @@ let dtmc_direct p =
   b.(n - 1) <- 1.0;
   gauss a b
 
+(* A = (P - I)^T with its last row replaced by ones, b = e_{n-1}: the CSR
+   form of the replaced-equation system [dtmc_direct] eliminates. *)
+let dtmc_krylov_system p =
+  let n = Sparse.rows p in
+  let pt = Sparse.transpose p in
+  let a =
+    Sparse.of_rows ~rows:n ~cols:n (fun i ->
+        if i = n - 1 then List.init n (fun j -> (j, 1.0))
+        else
+          (i, -1.0)
+          :: List.rev (Sparse.fold_row pt i (fun acc j v -> (j, v) :: acc) []))
+  in
+  let b = Array.make n 0.0 in
+  b.(n - 1) <- 1.0;
+  (a, b)
+
 let dtmc_steady_state ?(max_iter = 1_000_000) ?(tol = 1e-13) p =
   let n = Sparse.rows p in
   if n = 0 then [||]
@@ -263,6 +564,39 @@ let dtmc_steady_state ?(max_iter = 1_000_000) ?(tol = 1e-13) p =
   else begin
     let solver = "dtmc_steady_state" in
     let verify_tol = verify_tol_of tol in
+    (* one Krylov attempt on the replaced-row system; [Some pi] only when
+       converged AND the true residual pi P = pi verifies *)
+    let krylov_attempt variant =
+      let a, b = dtmc_krylov_system p in
+      let ktol = Float.max 1e-12 (tol *. 10.0) in
+      let x, st, name = krylov_run variant ~tol:ktol a b in
+      let r = dtmc_residual p x /. Float.max 1.0 (inf_norm x) in
+      if st.Krylov.converged && r <= verify_tol then begin
+        Diag.emitf Diag.Info ~solver:name ~iterations:st.Krylov.iterations
+          ~residual:r ~tolerance:verify_tol
+          "krylov steady state (n=%d, nnz=%d)" n (Sparse.nnz p);
+        Some (clamp_normalize ~solver x)
+      end
+      else begin
+        Diag.emit Diag.Non_convergence ~solver:name
+          ~iterations:st.Krylov.iterations ~residual:r ~tolerance:verify_tol
+          (if st.Krylov.converged then
+             "iterate stalled: post-solve residual verification of pi P = pi \
+              failed"
+           else "no convergence within iteration budget");
+        None
+      end
+    in
+    let forced_krylov variant =
+      match krylov_attempt variant with
+      | Some x -> x
+      | None ->
+          Diag.emit Diag.Error ~solver
+            "forced krylov method did not produce a verified steady state (no \
+             fallback under --solver)";
+          Array.make n (1.0 /. float_of_int n)
+    in
+    let power_chain () =
     let x = ref (Array.make n (1.0 /. float_of_int n)) in
     let xprev = ref (Array.copy !x) in
     let k = ref 0 and delta = ref infinity and oscillating = ref false in
@@ -305,23 +639,60 @@ let dtmc_steady_state ?(max_iter = 1_000_000) ?(tol = 1e-13) p =
         clamp_normalize ~solver y
       end
       else begin
-        (* too large for elimination: a Cesaro average repairs period-2
-           cycles; otherwise return the best iterate, loudly *)
-        let avg = Array.init n (fun i -> 0.5 *. (!x.(i) +. !xprev.(i))) in
-        if accept avg then begin
-          Diag.emit Diag.Warning ~solver
-            "accepted Cesaro-averaged iterate for a periodic chain";
-          clamp_normalize ~solver avg
-        end
-        else begin
-          Diag.emitf Diag.Error ~solver ~residual:(dtmc_residual p !x)
-            ~tolerance:verify_tol
-            "chain of size %d exceeds the direct-solve cap (%d); returning unverified iterate"
-            n direct_cap;
-          clamp_normalize ~solver !x
-        end
+        (* too large for elimination: preconditioned Krylov on the
+           replaced-row system (unless already attempted above), then a
+           Cesaro average that repairs period-2 cycles; otherwise return
+           the best iterate, loudly *)
+        match
+          if n < krylov_threshold then begin
+            Diag.emit Diag.Fallback ~solver
+              "escalating to preconditioned BiCGStab";
+            krylov_attempt `Bicgstab
+          end
+          else None
+        with
+        | Some y -> y
+        | None ->
+            let avg = Array.init n (fun i -> 0.5 *. (!x.(i) +. !xprev.(i))) in
+            if accept avg then begin
+              Diag.emit Diag.Warning ~solver
+                "accepted Cesaro-averaged iterate for a periodic chain";
+              clamp_normalize ~solver avg
+            end
+            else begin
+              Diag.emitf Diag.Error ~solver ~residual:(dtmc_residual p !x)
+                ~tolerance:verify_tol
+                "chain of size %d exceeds the direct-solve cap (%d); returning unverified iterate"
+                n direct_cap;
+              clamp_normalize ~solver !x
+            end
       end
     end
+    in
+    match current_method () with
+    | Bicgstab -> forced_krylov `Bicgstab
+    | Gmres -> forced_krylov `Gmres
+    | Direct ->
+        let y = dtmc_direct p in
+        let r = dtmc_residual p y /. Float.max 1.0 (inf_norm y) in
+        if r > verify_tol then
+          Diag.emit Diag.Warning ~solver ~residual:r ~tolerance:verify_tol
+            "direct steady-state residual above verification tolerance";
+        clamp_normalize ~solver y
+    | Gauss_seidel | Sor | Gth | Auto -> (
+        (* no GS/SOR/GTH specialization exists for the DTMC path: the
+           automatic chain stands in for those forcings *)
+        if n >= krylov_threshold then
+          match krylov_attempt `Bicgstab with
+          | Some x -> x
+          | None -> (
+              match krylov_attempt `Gmres with
+              | Some x -> x
+              | None ->
+                  Diag.emit Diag.Fallback ~solver
+                    "krylov failed: falling back to power iteration";
+                  power_chain ())
+        else power_chain ())
   end
 
 (* --- CTMC steady state ------------------------------------------------ *)
@@ -329,6 +700,7 @@ let dtmc_steady_state ?(max_iter = 1_000_000) ?(tol = 1e-13) p =
 let steady_state_direct q =
   (* replace last equation of Q^T pi = 0 with sum pi = 1 *)
   let n = Sparse.rows q in
+  note_dense ~solver:"ctmc_steady_state" n;
   let a = Matrix.create ~rows:n ~cols:n in
   Sparse.iter q (fun i j v -> Matrix.set a j i v);
   for j = 0 to n - 1 do
@@ -448,6 +820,30 @@ let ctmc_gth_banded q bw =
     Some pi
   end
 
+(* A = (Q^T with its last row replaced by ones), b = e_{n-1}: the exact
+   system [steady_state_direct] eliminates, kept in CSR so the Krylov
+   tier never touches a dense matrix.  Built by raw-array splicing: rows
+   0..n-2 of Q^T are blitted, the last row becomes n explicit ones. *)
+let ctmc_krylov_system q =
+  let n = Sparse.rows q in
+  let qt = Sparse.transpose q in
+  let rp, ci, v = Sparse.raw qt in
+  let keep = rp.(n - 1) in
+  let nnz' = keep + n in
+  let rp' = Array.make (n + 1) 0 in
+  Array.blit rp 0 rp' 0 n;
+  rp'.(n) <- nnz';
+  let ci' = Array.make nnz' 0 and v' = Array.make nnz' 0.0 in
+  Array.blit ci 0 ci' 0 keep;
+  Array.blit v 0 v' 0 keep;
+  for j = 0 to n - 1 do
+    ci'.(keep + j) <- j;
+    v'.(keep + j) <- 1.0
+  done;
+  let b = Array.make n 0.0 in
+  b.(n - 1) <- 1.0;
+  (Sparse.of_raw ~rows:n ~cols:n ~row_ptr:rp' ~col_idx:ci' ~values:v', b)
+
 let ctmc_steady_state ?(max_iter = 200_000) ?(tol = 1e-13) ?(direct_threshold = 500)
     q =
   let n = Sparse.rows q in
@@ -473,31 +869,38 @@ let ctmc_steady_state ?(max_iter = 200_000) ?(tol = 1e-13) ?(direct_threshold = 
           "direct steady-state residual above verification tolerance";
       clamp_normalize ~solver x
     in
-    if n <= direct_threshold then direct ~from:None ()
-    else begin
-      (* A banded generator whose elimination cost n*bw^2 fits inside the
-         direct budget (threshold^3) is solved exactly by subtraction-free
-         GTH elimination: O(n*bw^2) work, and immune to the sweep stalls
-         that nearly-decomposable lattice chains provoke. *)
-      let bw = bandwidth q in
-      let band_cost =
-        float_of_int n *. float_of_int bw *. float_of_int bw
-      in
-      let band_budget = float_of_int direct_threshold ** 3.0 in
-      let banded =
-        if bw > 0 && band_cost <= band_budget then ctmc_gth_banded q bw
-        else None
-      in
-      match
-        match banded with
-        | Some x when rel x <= verify_tol -> Some x
-        | _ -> None
-      with
-      | Some x ->
-          Diag.emitf Diag.Info ~solver
-            "banded GTH elimination (n=%d, bandwidth=%d)" n bw;
-          clamp_normalize ~solver x
+    (* one Krylov attempt on the replaced-row system; [Some pi] only when
+       converged AND the true residual pi Q = 0 verifies *)
+    let krylov_attempt variant =
+      let a, b = ctmc_krylov_system q in
+      let ktol = Float.max 1e-12 (tol *. 10.0) in
+      let x, st, name = krylov_run variant ~tol:ktol a b in
+      let r = rel x in
+      if st.Krylov.converged && r <= verify_tol then begin
+        Diag.emitf Diag.Info ~solver:name ~iterations:st.Krylov.iterations
+          ~residual:r ~tolerance:verify_tol
+          "krylov steady state (n=%d, nnz=%d)" n (Sparse.nnz q);
+        Some (clamp_normalize ~solver x)
+      end
+      else begin
+        Diag.emit Diag.Non_convergence ~solver:name
+          ~iterations:st.Krylov.iterations ~residual:r ~tolerance:verify_tol
+          (if st.Krylov.converged then
+             "iterate stalled: post-solve residual verification of pi Q failed"
+           else "no convergence within iteration budget");
+        None
+      end
+    in
+    let forced_krylov variant =
+      match krylov_attempt variant with
+      | Some x -> x
       | None ->
+          Diag.emit Diag.Error ~solver
+            "forced krylov method did not produce a verified steady state (no \
+             fallback under --solver)";
+          Array.make n (1.0 /. float_of_int n)
+    in
+    let sweeps_chain ~try_krylov_last () =
       let qt = Sparse.transpose q in
       let x = Array.make n (1.0 /. float_of_int n) in
       let delta, iters, rho = ctmc_sweeps ~omega:1.0 ~max_iter ~tol qt x in
@@ -521,12 +924,138 @@ let ctmc_steady_state ?(max_iter = 200_000) ?(tol = 1e-13) ?(direct_threshold = 
             "no convergence within iteration budget";
           if n <= direct_cap then direct ~from:(Some "ctmc_sor") ()
           else begin
-            Diag.emitf Diag.Error ~solver ~residual:r2 ~tolerance:verify_tol
-              "chain of size %d exceeds the direct-solve cap (%d); returning unverified iterate"
-              n direct_cap;
-            clamp_normalize ~solver x
+            match
+              if try_krylov_last then begin
+                Diag.emit Diag.Fallback ~solver
+                  "escalating to preconditioned BiCGStab";
+                krylov_attempt `Bicgstab
+              end
+              else None
+            with
+            | Some y -> y
+            | None ->
+                Diag.emitf Diag.Error ~solver ~residual:r2 ~tolerance:verify_tol
+                  "chain of size %d exceeds the direct-solve cap (%d); returning unverified iterate"
+                  n direct_cap;
+                clamp_normalize ~solver x
           end
         end
       end
-    end
+    in
+    let auto () =
+      if n <= direct_threshold then direct ~from:None ()
+      else begin
+        (* A banded generator whose elimination cost n*bw^2 fits inside the
+           direct budget (threshold^3) is solved exactly by subtraction-free
+           GTH elimination: O(n*bw^2) work, and immune to the sweep stalls
+           that nearly-decomposable lattice chains provoke. *)
+        let bw = bandwidth q in
+        let band_cost =
+          float_of_int n *. float_of_int bw *. float_of_int bw
+        in
+        let band_budget = float_of_int direct_threshold ** 3.0 in
+        let banded =
+          if bw > 0 && band_cost <= band_budget then ctmc_gth_banded q bw
+          else None
+        in
+        match
+          match banded with
+          | Some x when rel x <= verify_tol -> Some x
+          | _ -> None
+        with
+        | Some x ->
+            Diag.emitf Diag.Info ~solver
+              "banded GTH elimination (n=%d, bandwidth=%d)" n bw;
+            clamp_normalize ~solver x
+        | None -> (
+            if n >= krylov_threshold then
+              match krylov_attempt `Bicgstab with
+              | Some x -> x
+              | None -> (
+                  match krylov_attempt `Gmres with
+                  | Some x -> x
+                  | None ->
+                      Diag.emit Diag.Fallback ~solver
+                        "krylov failed: falling back to stationary sweeps";
+                      sweeps_chain ~try_krylov_last:false ())
+            else sweeps_chain ~try_krylov_last:true ())
+      end
+    in
+    match current_method () with
+    | Auto -> auto ()
+    | Bicgstab -> forced_krylov `Bicgstab
+    | Gmres -> forced_krylov `Gmres
+    | Direct -> direct ~from:None ()
+    | Gth -> (
+        (* forced GTH runs the banded elimination whatever the bandwidth:
+           the caller asked for the exact subtraction-free answer and
+           accepts the n*bw^2 cost *)
+        let bw = bandwidth q in
+        match (if bw > 0 then ctmc_gth_banded q bw else None) with
+        | Some x when rel x <= verify_tol ->
+            Diag.emitf Diag.Info ~solver
+              "banded GTH elimination (n=%d, bandwidth=%d)" n bw;
+            clamp_normalize ~solver x
+        | Some x ->
+            Diag.emit Diag.Error ~solver ~residual:(rel x)
+              ~tolerance:verify_tol
+              "forced GTH elimination failed residual verification (no \
+               fallback under --solver)";
+            clamp_normalize ~solver x
+        | None ->
+            Diag.emit Diag.Error ~solver
+              "forced GTH elimination failed: no transition to a \
+               lower-indexed state (no fallback under --solver)";
+            Array.make n (1.0 /. float_of_int n))
+    | Gauss_seidel ->
+        let qt = Sparse.transpose q in
+        let x = Array.make n (1.0 /. float_of_int n) in
+        let delta, iters, _ = ctmc_sweeps ~omega:1.0 ~max_iter ~tol qt x in
+        let r = rel x in
+        if delta <= tol && r <= verify_tol then clamp_normalize ~solver x
+        else begin
+          Diag.emit Diag.Error ~solver:"ctmc_gauss_seidel" ~iterations:iters
+            ~residual:r ~tolerance:verify_tol
+            "forced method did not produce a verified steady state (no \
+             fallback under --solver)";
+          clamp_normalize ~solver x
+        end
+    | Sor ->
+        (* short Gauss-Seidel probe for the contraction ratio that picks
+           the over-relaxation factor; the over-relaxed run gets a
+           bounded trial window and must beat the probe's step size, or
+           the remaining budget runs at omega = 1 — over-relaxation can
+           oscillate without blowing up on a general CTMC sweep operator,
+           and a forced method that silently burns [max_iter] sweeps on a
+           non-contracting iterate helps nobody *)
+        let qt = Sparse.transpose q in
+        let x = Array.make n (1.0 /. float_of_int n) in
+        let probe = max 10 (min 100 (max_iter / 10)) in
+        let d0, _, rho = ctmc_sweeps ~omega:1.0 ~max_iter:probe ~tol qt x in
+        let omega = adaptive_omega rho in
+        let trial = max 50 (min 1_000 (max_iter / 20)) in
+        let xo = Array.copy x in
+        let d1, it1, _ = ctmc_sweeps ~omega ~max_iter:trial ~tol qt xo in
+        let delta, iters, x =
+          if d1 <= tol then (d1, probe + it1, xo)
+          else if d1 < d0 then
+            let d, it, _ =
+              ctmc_sweeps ~omega ~max_iter:(max_iter - trial) ~tol qt xo
+            in
+            (d, probe + trial + it, xo)
+          else
+            let d, it, _ =
+              ctmc_sweeps ~omega:1.0 ~max_iter:(max_iter - trial) ~tol qt x
+            in
+            (d, probe + trial + it, x)
+        in
+        let r = rel x in
+        if delta <= tol && r <= verify_tol then clamp_normalize ~solver x
+        else begin
+          Diag.emit Diag.Error ~solver:"ctmc_sor" ~iterations:iters ~residual:r
+            ~tolerance:verify_tol
+            "forced method did not produce a verified steady state (no \
+             fallback under --solver)";
+          clamp_normalize ~solver x
+        end
   end

@@ -17,6 +17,53 @@
 exception Singular
 (** Raised by the direct solvers when elimination hits a (near-)zero pivot. *)
 
+(** {1 Solver selection}
+
+    The automatic escalation chain can be overridden (the [--solver]
+    flag): a forced method runs alone and records a {!Diag.Error} when it
+    fails, instead of silently escalating — which keeps differential
+    solver-vs-solver comparisons meaningful. *)
+
+type method_ =
+  | Auto  (** size-directed chain: direct / banded GTH / Krylov / sweeps *)
+  | Gauss_seidel
+  | Sor
+  | Bicgstab
+  | Gmres
+  | Gth  (** subtraction-free banded GTH elimination (CTMC steady state) *)
+  | Direct
+
+val set_method : method_ -> unit
+val current_method : unit -> method_
+
+val with_method : method_ -> (unit -> 'a) -> 'a
+(** [with_method m f] runs [f] with the solver override set to [m],
+    restoring the previous override afterwards (also on exceptions). *)
+
+val method_to_string : method_ -> string
+
+val method_of_string : string -> method_ option
+(** Accepts [auto], [gs]/[gauss-seidel], [sor], [bicgstab], [gmres],
+    [gth], [direct]. *)
+
+val krylov_threshold : int
+(** Systems with at least this many unknowns skip the stationary sweeps
+    and try preconditioned Krylov first under [Auto]. *)
+
+(** {1 Dense-materialization accounting}
+
+    Each expansion of a sparse system to a dense matrix (the direct
+    fallbacks) ticks a global counter.  Large-model paths must keep it at
+    zero — the large-model bench asserts so — and an expansion beyond the
+    direct-solve cap additionally records a {!Diag.Warning}. *)
+
+val dense_count : unit -> int
+val reset_dense_count : unit -> unit
+
+val note_dense : solver:string -> int -> unit
+(** Record a dense materialization of an [n]-state system.  Exported for
+    the Markov-layer transient paths that build dense matrices. *)
+
 val gauss : Matrix.t -> float array -> float array
 (** [gauss a b] solves [a x = b] by Gaussian elimination with partial
     pivoting.  [a] is not modified.  @raise Singular on singular systems. *)
@@ -66,14 +113,23 @@ val steady_state_direct : Sparse.t -> float array
     path.  The result is NOT clamped or renormalized.
     @raise Singular on reducible generators. *)
 
+val ctmc_krylov_system : Sparse.t -> Sparse.t * float array
+(** [ctmc_krylov_system q] is the CSR replaced-row system [(A, b)] with
+    [A = Q^T] whose last row is replaced by ones and [b = e_{n-1}] — the
+    exact system {!steady_state_direct} eliminates, exposed for the
+    Krylov solvers and benches. *)
+
 val ctmc_steady_state :
   ?max_iter:int -> ?tol:float -> ?direct_threshold:int ->
   Sparse.t -> float array
 (** [ctmc_steady_state q] solves [pi Q = 0], [sum pi = 1] for an irreducible
     generator [q] (square, rows sum to 0).  Systems of up to
-    [direct_threshold] states (default 500) are solved directly; larger ones
-    by Gauss–Seidel sweeps on the uniformized chain with the SOR/direct
-    escalation chain behind them.  The accepted vector is verified against
+    [direct_threshold] states (default 500) are solved directly; banded
+    generators within the elimination budget by subtraction-free GTH;
+    systems of at least {!krylov_threshold} states by preconditioned
+    BiCGStab/GMRES on the CSR replaced-row system; the rest by
+    Gauss–Seidel sweeps with the SOR/Krylov/direct escalation chain
+    behind them.  The accepted vector is verified against
     [||pi Q||_inf]; result entries are nonnegative and sum to 1. *)
 
 val dtmc_steady_state :

@@ -44,18 +44,35 @@ let jobs_ref = Atomic.make 1
    [set_jobs] therefore clamps to the recommended domain count;
    [~clamp:false] keeps the requested value (tests use it to exercise
    the parallel machinery regardless of the host). *)
+(* Requests already warned about, so a sweep that calls [set_jobs] per
+   model does not repeat the same clamp warning hundreds of times; a
+   DIFFERENT request count still gets its own warning.  Guarded by its
+   own mutex — set_jobs is rare and never on a solver hot path. *)
+let warned_clamps : (int, unit) Hashtbl.t = Hashtbl.create 4
+let warned_mutex = Mutex.create ()
+
 let set_jobs ?(clamp = true) n =
   let eff = if clamp then min n (Domain.recommended_domain_count ()) else n in
   (* A parallelism request that collapses to 1 effective domain silently
      turns every sweep serial (the regression recorded as
      jobs4_effective_domains: 1 in BENCH_sweep.json) — make it a visible
-     diagnostic instead of a benchmark-only observation. *)
-  if clamp && n > 1 && eff <= 1 then
-    Diag.emitf Diag.Warning ~solver:"pool"
-      "requested %d parallel jobs but the host recommends %d domain(s); \
-       effective domains clamped to 1, running serially"
-      n
-      (Domain.recommended_domain_count ());
+     diagnostic instead of a benchmark-only observation.  Warn once per
+     distinct request count. *)
+  if clamp && n > 1 && eff <= 1 then begin
+    let first =
+      Mutex.lock warned_mutex;
+      let fresh = not (Hashtbl.mem warned_clamps n) in
+      if fresh then Hashtbl.replace warned_clamps n ();
+      Mutex.unlock warned_mutex;
+      fresh
+    in
+    if first then
+      Diag.emitf Diag.Warning ~solver:"pool"
+        "requested %d parallel jobs but the host recommends %d domain(s); \
+         effective domains clamped to 1, running serially"
+        n
+        (Domain.recommended_domain_count ())
+  end;
   Atomic.set jobs_ref (max 1 eff)
 
 let jobs () = Atomic.get jobs_ref

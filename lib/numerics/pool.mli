@@ -23,7 +23,9 @@ val set_jobs : ?clamp:bool -> int -> unit
     (tests use it to exercise the parallel path on any host).  When a
     request for more than one job is clamped down to 1, a
     {!Diag.Warning} is emitted — a silently-serial sweep is a
-    performance regression worth surfacing. *)
+    performance regression worth surfacing.  The warning fires once per
+    distinct requested count for the life of the process, so per-model
+    [set_jobs] calls in a sweep do not flood the diagnostic stream. *)
 
 val jobs : unit -> int
 

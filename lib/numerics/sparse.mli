@@ -19,6 +19,26 @@ val of_triplets : rows:int -> cols:int -> (int * int * float) list -> t
 val of_dense : Matrix.t -> t
 val to_dense : t -> Matrix.t
 
+val of_rows : rows:int -> cols:int -> (int -> (int * float) list) -> t
+(** [of_rows ~rows ~cols f] builds the matrix whose row [i] holds the
+    [(column, value)] entries of [f i] (any order; duplicates summed,
+    zeros dropped).  Unlike the triplet builder this never accumulates a
+    global entry list — the construction path for 10^5–10^6-state
+    generated models. *)
+
+val of_raw :
+  rows:int -> cols:int ->
+  row_ptr:int array -> col_idx:int array -> values:float array -> t
+(** Wrap pre-built CSR arrays (adopted, not copied).  Column indices must
+    be sorted and duplicate-free within each row; only the array shapes
+    are validated. *)
+
+val raw : t -> int array * int array * float array
+(** [(row_ptr, col_idx, values)] — the underlying CSR arrays, exposed for
+    kernels (ILU factorization, preconditioner application) that need
+    index arithmetic beyond {!iter_row}.  The arrays must not be
+    mutated. *)
+
 val rows : t -> int
 val cols : t -> int
 val nnz : t -> int
@@ -32,8 +52,24 @@ val iter : t -> (int -> int -> float -> unit) -> unit
 
 val mat_vec : t -> float array -> float array
 val vec_mat : float array -> t -> float array
+
+val mat_vec_into : t -> float array -> float array -> unit
+(** [mat_vec_into t v out] computes [out <- t v] without allocating.
+    [v] and [out] must not alias. *)
+
+val vec_mat_into : float array -> t -> float array -> unit
+(** [vec_mat_into v t out] computes [out <- v t] without allocating.
+    [v] and [out] must not alias. *)
+
 val transpose : t -> t
+(** O(nnz) counting-sort transpose. *)
+
 val scale : float -> t -> t
+
+val scale_rows : float array -> t -> t
+(** [scale_rows d t] multiplies row [i] by [d.(i)] (values copied,
+    structure shared). *)
+
 val row_sums : t -> float array
 val diag : t -> float array
 val pp : Format.formatter -> t -> unit

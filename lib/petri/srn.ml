@@ -50,10 +50,20 @@ let exrss s reward = weighted s (steady s) reward
    built recursively via the semigroup property pi(t+d) = pi(t) e^(Qd),
    and a query advances from its grid predecessor.  A time sweep
    t, 2t, ..., nt therefore costs O(lambda n t) total terms instead of
-   O(lambda n^2 t).  The ladder is a function of the chain and t alone —
-   never of query order — so parallel and serial sweeps, cached and
-   uncached runs, all produce bit-identical values. *)
+   O(lambda n^2 t).
+
+   Memory is bounded: instead of retaining every rung (up to 100,000
+   probability vectors on long horizons), only every [stride]-th rung is
+   stored, with stride sized so one query retains at most
+   [ladder_budget] checkpoint vectors; the gap rungs are recomputed
+   forward from the last retained checkpoint on the next query.  Rung j
+   is always transient(rung (j-1), delta), whatever subset happens to be
+   resident, and the ladder grid is a function of the chain and t alone —
+   never of query order — so thinned and unthinned ladders, parallel and
+   serial sweeps, cached and uncached runs all produce bit-identical
+   values. *)
 let ladder_chunk = 256.0
+let ladder_budget = 64
 
 let transient_at s t =
   match Hashtbl.find_opt s.transients t with
@@ -69,15 +79,22 @@ let transient_at s t =
         else begin
           (* largest grid index with m*delta < t, ladder length bounded *)
           let m = min (int_of_float (Float.ceil (t /. delta)) - 1) 100_000 in
-          let cp = ref init0 in
+          let stride = 1 + ((m - 1) / ladder_budget) in
+          (* skip ahead to the highest resident rung <= m ... *)
+          let start = ref 0 and cp = ref init0 in
           for j = 1 to m do
-            let tj = float_of_int j *. delta in
-            match Hashtbl.find_opt s.transients tj with
-            | Some v -> cp := v
-            | None ->
-                let v = Ctmc.transient c ~init:!cp delta in
-                Hashtbl.replace s.transients tj v;
+            match Hashtbl.find_opt s.transients (float_of_int j *. delta) with
+            | Some v ->
+                start := j;
                 cp := v
+            | None -> ()
+          done;
+          (* ... and recompute forward, retaining every stride-th rung *)
+          for j = !start + 1 to m do
+            let v = Ctmc.transient c ~init:!cp delta in
+            if j mod stride = 0 then
+              Hashtbl.replace s.transients (float_of_int j *. delta) v;
+            cp := v
           done;
           Ctmc.transient c ~init:!cp (t -. (float_of_int m *. delta))
         end

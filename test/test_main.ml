@@ -12,6 +12,7 @@ let () =
       ("lang", Test_lang.suite);
       ("more", Test_more.suite);
       ("expo-properties", Test_expo_prop.suite);
+      ("krylov", Test_krylov.suite);
       ("sweep-engine", Test_sweep.suite);
       ("differential", Test_differential.suite);
       ("server", Test_server.suite);
