@@ -136,10 +136,19 @@ let run_selfcheck strict diag_fmt ~pairs count seed inject bench timeout =
               0 rep.Check.r_pairs
           in
           let oc = open_out path in
+          let pair_json p =
+            Printf.sprintf
+              "    { \"name\": %S, \"models\": %d, \"comparisons\": %d, \
+               \"skipped\": %d, \"errors\": %d, \"worst_rel_err\": %.3e }"
+              p.Check.p_name p.Check.p_models p.Check.p_comparisons
+              p.Check.p_skipped p.Check.p_errors p.Check.p_worst
+          in
           Printf.fprintf oc
             "{\n\
             \  \"experiment\": \"differential selfcheck, %d models per oracle pair, seed %d\",\n\
-            \  \"pairs\": %d,\n\
+            \  \"pairs\": [\n\
+             %s\n\
+            \  ],\n\
             \  \"models\": %d,\n\
             \  \"comparisons\": %d,\n\
             \  \"discrepancies\": %d,\n\
@@ -147,7 +156,7 @@ let run_selfcheck strict diag_fmt ~pairs count seed inject bench timeout =
             \  \"elapsed_s\": %.4f\n\
              }\n"
             count seed
-            (List.length rep.Check.r_pairs)
+            (String.concat ",\n" (List.map pair_json rep.Check.r_pairs))
             (Check.total_models rep) comparisons
             (List.length rep.Check.r_discrepancies)
             (Check.total_errors rep) elapsed;

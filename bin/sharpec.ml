@@ -227,7 +227,10 @@ let args =
           "One of: $(b,eval) FILE, $(b,query) SESSION EXPR, $(b,bind) \
            SESSION NAME VALUE, $(b,selfcheck) [COUNT [SEED]], $(b,ping) \
            (readiness probe: exit 0 ready, 1 not ready, 4 unreachable), \
-           $(b,health), $(b,stats), $(b,shutdown).")
+           $(b,health), $(b,stats), $(b,shutdown).  $(b,eval) accepts \
+           every SHARPE model type including $(b,pepa) process-algebra \
+           blocks; models live in the session and are journaled and \
+           recovered like any other statement.")
 
 let cmd =
   let doc = "client for the sharped evaluation daemon" in

@@ -65,6 +65,12 @@ grep -q '"discrepancies": 0' BENCH_check.json || {
   echo "ci: selfcheck bench reports discrepancies" >&2
   exit 1
 }
+# the PEPA front-end oracle (translated vs hand-composed product CTMC)
+# must have been part of the sweep
+grep -q '"name": "pepa-vs-product"' BENCH_check.json || {
+  echo "ci: selfcheck bench is missing the pepa-vs-product pair" >&2
+  exit 1
+}
 # the harness must also be able to FAIL: perturb one engine and demand a
 # nonzero exit plus a diagnostic carrying the reproducing seed
 if inject_out=$(./_build/default/bin/sharpe.exe --selfcheck=5 --seed 1 \

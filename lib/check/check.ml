@@ -23,6 +23,7 @@ module F = Sharpe_bdd.Formula
 module Ftree = Sharpe_ftree.Ftree
 module Rbd = Sharpe_rbd.Rbd
 module Reach = Sharpe_petri.Reach
+module Pepa = Sharpe_pepa.Pepa
 
 (* A generated model that is legitimately outside an oracle's reach
    (e.g. too many variables to enumerate); not an error. *)
@@ -319,13 +320,207 @@ let check_large_srn r =
   let q = Ctmc.generator (Reach.ctmc g) in
   large_steady_pair ~what:"srn pi" ~ma:Linsolve.Gmres ~mb:Linsolve.Sor q r
 
+(* --- PEPA: front-end translation vs hand-composed product space ------ *)
+
+(* The independent side composes the full product state space pairwise
+   from the raw transition tables of a generated cooperation: state
+   (i, j) of [P <S> Q] is index [i * nQ + j], moves on actions outside
+   [S] interleave, and moves on a shared action synchronize under the
+   apparent-rate rules restated here from Hillston's definition —
+   active x against active y gives (x/ra)(y/rb)min(ra, rb); active x
+   against passive weight w gives x*w/W; two passives combine weights
+   and stay passive.  This duplicates the semantics of
+   lib/pepa/derive.ml on purpose, over the complete product space with
+   plain lists instead of a reachability BFS over hash-consed leaf
+   vectors, so a bug in either composition shows up as disagreement.
+   The subsystem side starts from the printed source text, exercising
+   the whole front end (lexer, parser, well-formedness, derivation,
+   CSR assembly) on every seeded model. *)
+let pepa_compose (n1, m1) set (n2, m2) =
+  let open Gen in
+  let idx i j = (i * n2) + j in
+  let out = ref [] in
+  let add src act kind tgt =
+    out := { pm_src = src; pm_act = act; pm_rate = kind; pm_tgt = tgt } :: !out
+  in
+  List.iter
+    (fun m ->
+      if not (List.mem m.pm_act set) then
+        for j = 0 to n2 - 1 do
+          add (idx m.pm_src j) m.pm_act m.pm_rate (idx m.pm_tgt j)
+        done)
+    m1;
+  List.iter
+    (fun m ->
+      if not (List.mem m.pm_act set) then
+        for i = 0 to n1 - 1 do
+          add (idx i m.pm_src) m.pm_act m.pm_rate (idx i m.pm_tgt)
+        done)
+    m2;
+  List.iter
+    (fun a ->
+      for i = 0 to n1 - 1 do
+        for j = 0 to n2 - 1 do
+          let ms1 = List.filter (fun m -> m.pm_src = i && m.pm_act = a) m1 in
+          let ms2 = List.filter (fun m -> m.pm_src = j && m.pm_act = a) m2 in
+          if ms1 <> [] && ms2 <> [] then begin
+            let split ms =
+              List.fold_left
+                (fun (ra, w) m ->
+                  match m.pm_rate with
+                  | `Act v -> (ra +. v, w)
+                  | `Pass v -> (ra, w +. v))
+                (0.0, 0.0) ms
+            in
+            let ra1, w1 = split ms1 and ra2, w2 = split ms2 in
+            if (ra1 > 0.0 && w1 > 0.0) || (ra2 > 0.0 && w2 > 0.0) then
+              raise (Skip "cooperation side mixes active and passive");
+            List.iter
+              (fun x ->
+                List.iter
+                  (fun y ->
+                    let kind =
+                      match (x.pm_rate, y.pm_rate) with
+                      | `Act rx, `Act ry ->
+                          `Act (rx /. ra1 *. (ry /. ra2) *. Float.min ra1 ra2)
+                      | `Act rx, `Pass wy -> `Act (rx *. wy /. w2)
+                      | `Pass wx, `Act ry -> `Act (ry *. wx /. w1)
+                      | `Pass wx, `Pass wy ->
+                          `Pass (wx /. w1 *. (wy /. w2) *. Float.min w1 w2)
+                    in
+                    add (idx i j) a kind (idx x.pm_tgt y.pm_tgt))
+                  ms2)
+              ms1
+          end
+        done
+      done)
+    set;
+  (n1 * n2, !out)
+
+let check_pepa r =
+  let case = Gen.pepa_case r in
+  let n, moves =
+    let acc =
+      ref (case.Gen.pc_leaves.(0).Gen.pl_n, case.Gen.pc_leaves.(0).Gen.pl_moves)
+    in
+    Array.iteri
+      (fun i set ->
+        let l = case.Gen.pc_leaves.(i + 1) in
+        acc := pepa_compose !acc set (l.Gen.pl_n, l.Gen.pl_moves))
+      case.Gen.pc_sets;
+    !acc
+  in
+  (* reachability over the product; a passive move enabled in a
+     reachable state would be a top-level passive action (the generator
+     precludes it, but Skip rather than trust that invariant here) *)
+  let out = Array.make n [] in
+  List.iter (fun m -> out.(m.Gen.pm_src) <- m :: out.(m.Gen.pm_src)) moves;
+  let reach = Array.make n false in
+  let stack = ref [ 0 ] in
+  reach.(0) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+        stack := rest;
+        List.iter
+          (fun m ->
+            (match m.Gen.pm_rate with
+            | `Pass _ -> raise (Skip "passive action at top level")
+            | `Act _ -> ());
+            if not reach.(m.Gen.pm_tgt) then begin
+              reach.(m.Gen.pm_tgt) <- true;
+              stack := m.Gen.pm_tgt :: !stack
+            end)
+          out.(s)
+  done;
+  let oracle =
+    Ctmc.make ~n
+      (List.filter_map
+         (fun m ->
+           if m.Gen.pm_src = m.Gen.pm_tgt then None
+           else
+             match m.Gen.pm_rate with
+             | `Act v -> Some (m.Gen.pm_src, m.Gen.pm_tgt, v)
+             | `Pass _ -> None)
+         moves)
+  in
+  let c =
+    try Pepa.compile ~resolve:(fun _ -> None) (Pepa.parse case.Gen.pc_src)
+    with Pepa.Error msg ->
+      failwith ("pepa front end rejected a generated model: " ^ msg)
+  in
+  (* map derived states (per-leaf local indices in discovery order) to
+     product indices through the generated C<leaf>_<state> names *)
+  let oracle_local =
+    Pepa.local_state_names c
+    |> List.map (fun names ->
+           List.map
+             (* "C<leaf>_<state>"; %d would eat the '_' as an OCaml
+                digit separator, so split by hand *)
+             (fun nm ->
+               let u = String.rindex nm '_' in
+               int_of_string (String.sub nm (u + 1) (String.length nm - u - 1)))
+             names
+           |> Array.of_list)
+    |> Array.of_list
+  in
+  let radix = Array.map (fun l -> l.Gen.pl_n) case.Gen.pc_leaves in
+  let product_index v =
+    let acc = ref 0 in
+    Array.iteri
+      (fun k jd -> acc := (!acc * radix.(k)) + oracle_local.(k).(jd))
+      v;
+    !acc
+  in
+  let init = Array.make n 0.0 in
+  init.(0) <- 1.0;
+  let comps = ref [] in
+  List.iter
+    (fun t ->
+      let pio = Ctmc.transient oracle ~init t in
+      let pis = Pepa.transient c t in
+      let mapped = Array.make n 0.0 in
+      Array.iteri
+        (fun i p ->
+          let j = product_index (Pepa.state_vector c i) in
+          mapped.(j) <- mapped.(j) +. p)
+        pis;
+      for s = 0 to n - 1 do
+        comps :=
+          { what = Printf.sprintf "pepa pi[%d](t=%g)" s t;
+            a = mapped.(s);
+            b = pio.(s) }
+          :: !comps
+      done;
+      List.iter
+        (fun a ->
+          let oracle_rate =
+            List.fold_left
+              (fun acc m ->
+                match m.Gen.pm_rate with
+                | `Act v when String.equal m.Gen.pm_act a ->
+                    acc +. (v *. pio.(m.Gen.pm_src))
+                | _ -> acc)
+              0.0 moves
+          in
+          comps :=
+            { what = Printf.sprintf "pepa tput[%s](t=%g)" a t;
+              a = Pepa.throughput c pis a;
+              b = oracle_rate }
+            :: !comps)
+        (Pepa.actions c))
+    [ 0.4; 1.7 ];
+  List.rev !comps
+
 let small_pairs =
   [ ("acyclic-vs-uniformization", check_acyclic);
     ("steady-gs-vs-direct", check_steady);
     ("srn-gs-vs-direct", check_srn);
     ("ftree-bdd-vs-enum", check_ftree);
     ("rbd-vs-enum", check_rbd);
-    ("expo-vs-quadrature", check_expo) ]
+    ("expo-vs-quadrature", check_expo);
+    ("pepa-vs-product", check_pepa) ]
 
 let large_pairs =
   [ ("large-bd-bicgstab-vs-gth", check_large_bd);

@@ -327,3 +327,115 @@ let large_srn r =
     trans := timed (Printf.sprintf "chord%d" c) src dst :: !trans
   done;
   Net.build ~places ~transitions:(List.rev !trans)
+
+(* --- PEPA cooperations ------------------------------------------------ *)
+
+(* A generated PEPA case carries both the raw transition tables (the
+   independent oracle composes the full product space from these) and
+   the same model rendered as PEPA source (the subsystem side parses and
+   compiles the text, exercising the whole front end).
+
+   Legality by construction — the derivation rejects models where a
+   passive move survives to the top level or a cooperation side mixes
+   active and passive rates on one action, so the generator enforces:
+
+   - the composition is a left-associated chain
+     L0 <S0> L1 <S1> ... <S(K-2)> L(K-1);
+   - each (leaf, action) pair has a single polarity;
+   - at most one leaf is passive on any given action, and a passive
+     (leaf k, a) requires a in S(k-1), the set of the leaf's immediate
+     cooperation node.  The passive move is then either synchronized
+     against the (all-active) left subtree — becoming active — or
+     blocked; it can neither interleave to the top nor meet another
+     passive move on the same action. *)
+
+type pepa_move = {
+  pm_src : int;
+  pm_act : string;
+  pm_rate : [ `Act of float | `Pass of float ];
+  pm_tgt : int;
+}
+
+type pepa_leaf = { pl_n : int; pl_moves : pepa_move list }
+
+type pepa_case = {
+  pc_leaves : pepa_leaf array;
+  pc_sets : string list array;  (* S(k) joins leaves 0..k with leaf k+1 *)
+  pc_src : string;
+}
+
+let pepa_actions = [| "a"; "b"; "c"; "d" |]
+
+let pepa_case r =
+  let nact = Array.length pepa_actions in
+  let k = 2 + R.int r 3 in
+  let sets =
+    Array.init (k - 1) (fun _ ->
+        Array.to_list pepa_actions
+        |> List.filter (fun _ -> R.int r 100 < 45))
+  in
+  (* grid rates: multiples of 0.25 in [0.25, 3], exact in binary and in
+     the printed source *)
+  let grid () = 0.25 *. float_of_int (1 + R.int r 12) in
+  (* at most one passive leaf per action, anchored under a cooperation
+     node whose set contains the action *)
+  let passive = Hashtbl.create 4 in
+  Array.iter
+    (fun a ->
+      if R.int r 100 < 35 then begin
+        let eligible =
+          List.init (k - 1) (fun i -> i + 1)
+          |> List.filter (fun leaf -> List.mem a sets.(leaf - 1))
+        in
+        match eligible with
+        | [] -> ()
+        | l -> Hashtbl.replace passive (List.nth l (R.int r (List.length l)), a) ()
+      end)
+    pepa_actions;
+  let leaves =
+    Array.init k (fun leaf ->
+        let n = 2 + R.int r 3 in
+        let moves = ref [] in
+        for src = 0 to n - 1 do
+          let deg = 1 + R.int r 2 in
+          for _ = 1 to deg do
+            let act = pepa_actions.(R.int r nact) in
+            let tgt = R.int r n in
+            let rate =
+              if Hashtbl.mem passive (leaf, act) then `Pass (grid ())
+              else `Act (grid ())
+            in
+            moves := { pm_src = src; pm_act = act; pm_rate = rate; pm_tgt = tgt }
+                     :: !moves
+          done
+        done;
+        { pl_n = n; pl_moves = List.rev !moves })
+  in
+  (* render the same model as PEPA source; constants C<leaf>_<state> *)
+  let buf = Buffer.create 512 in
+  let pf = Sharpe_pepa.Ast.pp_float in
+  Array.iteri
+    (fun leaf l ->
+      for src = 0 to l.pl_n - 1 do
+        let prefixes =
+          List.filter (fun m -> m.pm_src = src) l.pl_moves
+          |> List.map (fun m ->
+                 let rate =
+                   match m.pm_rate with
+                   | `Act v -> pf v
+                   | `Pass w -> if w = 1.0 then "infty" else "infty * " ^ pf w
+                 in
+                 Printf.sprintf "(%s, %s).C%d_%d" m.pm_act rate leaf m.pm_tgt)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "C%d_%d = %s\n" leaf src (String.concat " + " prefixes))
+      done)
+    leaves;
+  Buffer.add_string buf "C0_0";
+  Array.iteri
+    (fun i set ->
+      Buffer.add_string buf
+        (Printf.sprintf " <%s> C%d_0" (String.concat "," set) (i + 1)))
+    sets;
+  Buffer.add_char buf '\n';
+  { pc_leaves = leaves; pc_sets = sets; pc_src = Buffer.contents buf }

@@ -67,3 +67,28 @@ val large_srn : Srng.t -> Sharpe_petri.Net.t
     marking-proportional transition rates; its tangible chain has
     C(N+3,3) ~ 10^4–2*10^4 states and mixes fast enough for a forced
     SOR oracle. *)
+
+(** {1 PEPA cooperations (the process-algebra front end)} *)
+
+type pepa_move = {
+  pm_src : int;
+  pm_act : string;
+  pm_rate : [ `Act of float | `Pass of float ];
+  pm_tgt : int;
+}
+
+type pepa_leaf = { pl_n : int; pl_moves : pepa_move list }
+
+type pepa_case = {
+  pc_leaves : pepa_leaf array;
+  pc_sets : string list array;
+      (** [pc_sets.(k)] is the cooperation set joining leaves [0..k]
+          with leaf [k+1] in the left-associated chain. *)
+  pc_src : string;  (** the same model as PEPA source text *)
+}
+
+val pepa_case : Srng.t -> pepa_case
+(** A random cooperation of 2–4 sequential components (2–4 local states
+    each, shared 4-action pool, grid rates, occasional passive rates
+    placed so the model is legal by construction).  Local state [j] of
+    leaf [k] is named [C<k>_<j>] in the source rendering. *)

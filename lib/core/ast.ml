@@ -105,6 +105,13 @@ and model =
       edges : (string * [ `NonReg | `Reg ] * string * expr) list;
       rewards : (string * expr) list;
     }
+  | MPepa of {
+      name : string;
+      params : string list;
+      body : string; (* verbatim block body, reprinted by the pretty-printer *)
+      body_line : int; (* first source line of the body *)
+      past : Sharpe_pepa.Ast.model; (* parsed once, at SHARPE parse time *)
+    }
   | MSrn of {
       name : string;
       params : string list;
@@ -191,12 +198,14 @@ let model_name = function
   | MBlock { name; _ } | MFtree { name; _ } | MMstree { name; _ }
   | MPms { name; _ } | MRelgraph { name; _ } | MGraph { name; _ }
   | MPfqn { name; _ } | MMpfqn { name; _ } | MMarkov { name; _ }
-  | MSemimark { name; _ } | MMrgp { name; _ } | MSrn { name; _ } ->
+  | MSemimark { name; _ } | MMrgp { name; _ } | MSrn { name; _ }
+  | MPepa { name; _ } ->
       name
 
 let model_params = function
   | MBlock { params; _ } | MFtree { params; _ } | MMstree { params; _ }
   | MPms { params; _ } | MRelgraph { params; _ } | MGraph { params; _ }
   | MPfqn { params; _ } | MMpfqn { params; _ } | MMarkov { params; _ }
-  | MSemimark { params; _ } | MMrgp { params; _ } | MSrn { params; _ } ->
+  | MSemimark { params; _ } | MMrgp { params; _ } | MSrn { params; _ }
+  | MPepa { params; _ } ->
       params

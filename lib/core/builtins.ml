@@ -118,6 +118,7 @@ and build_model mctx = function
   | MMrgp { edges; rewards; _ } -> IMrgp (build_mrgp mctx edges rewards)
   | MSrn { places; timed; immediate; inputs; outputs; inhibitors; _ } ->
       ISrn (build_srn mctx places timed immediate inputs outputs inhibitors)
+  | MPepa { past; _ } -> IPepa (build_pepa mctx past)
 
 and build_block mctx lines =
   let defs = Hashtbl.create 16 in
@@ -554,6 +555,25 @@ and build_srn mctx places timed immediate inputs outputs inhibitors =
       Solve_cache.solve_srn ~key net
   | _ -> Srn.solve net
 
+and build_pepa mctx past =
+  let resolve v =
+    try Some (ev mctx (Ident v)) with Eval.Error _ -> None
+  in
+  let build () =
+    let c =
+      try Pepa.compile ~resolve past with Pepa.Error m -> err "pepa: %s" m
+    in
+    List.iter
+      (fun w ->
+        Sharpe_numerics.Diag.emit Sharpe_numerics.Diag.Warning ~solver:"pepa" w)
+      (Pepa.warnings c);
+    { pe_c = c; pe_steady = ref None }
+  in
+  match Solve_cache.pepa_key mctx past with
+  | Some key when Sharpe_numerics.Structhash.enabled () ->
+      Solve_cache.solve_pepa ~key build
+  | _ -> build ()
+
 (* --- resolving analysis-call arguments -------------------------------- *)
 
 (* trailing groups are model arguments *)
@@ -594,6 +614,18 @@ let state_idx idx name what =
   match Hashtbl.find_opt idx name with
   | Some i -> i
   | None -> err "unknown %s state %s" what name
+
+let pepa_steady (p : pepa_inst) =
+  match !(p.pe_steady) with
+  | Some pi -> pi
+  | None ->
+      let pi = Pepa.steady p.pe_c in
+      p.pe_steady := Some pi;
+      pi
+
+(* measure errors (unknown local state / action names) become ordinary
+   evaluation errors *)
+let pepa_measure f = try f () with Pepa.Error m -> err "pepa: %s" m
 
 (* --- the dispatcher --------------------------------------------------- *)
 
@@ -645,6 +677,9 @@ let rec dispatch ctx f (groups : expr list list) : float =
           in
           let occ = SM.occupancy si.sm ~init in
           E.eval occ.(state_idx si.sm_index state "semi-markov") t
+      | _, IPepa p ->
+          pepa_measure (fun () ->
+              Pepa.prob p.pe_c (Pepa.transient p.pe_c t) state)
       | nm, _ -> err "value: %s is not a chain model" nm)
   (* ---- means ---- *)
   | "mean", (sys :: more) :: rest -> (
@@ -700,6 +735,8 @@ let rec dispatch ctx f (groups : expr list list) : float =
       | _, ISemimark si ->
           (SM.steady_state si.sm).(state_idx si.sm_index state "semi-markov")
       | _, IMrgp gi -> Mrgp.prob gi.mg (state_idx gi.mg_index state "mrgp")
+      | _, IPepa p ->
+          pepa_measure (fun () -> Pepa.prob p.pe_c (pepa_steady p) state)
       | nm, _ -> err "prob: %s is not a chain model" nm)
   | "exrss", (sys :: more) :: rest -> (
       match model_of ctx sys (if more = [] then rest else [ more ] @ rest) with
@@ -792,6 +829,12 @@ let rec dispatch ctx f (groups : expr list list) : float =
           | "etok" -> Srn.etok s target
           | "prempty" -> Srn.prempty s target
           | _ -> err "%s: not a GSPN measure" f)
+      | _, IPepa p -> (
+          match f with
+          | "tput" ->
+              pepa_measure (fun () ->
+                  Pepa.throughput p.pe_c (pepa_steady p) target)
+          | _ -> err "%s: pepa models support tput (and prob/value)" f)
       | _, IPfqn (net, customers) -> (
           match f with
           | "util" | "mutil" -> Pfqn.utilization net ~customers target

@@ -23,6 +23,7 @@ module Pfqn = Sharpe_pfqn.Pfqn
 module Mpfqn = Sharpe_pfqn.Mpfqn
 module Net = Sharpe_petri.Net
 module Srn = Sharpe_petri.Srn
+module Pepa = Sharpe_pepa.Pepa
 module Pool = Sharpe_numerics.Pool
 module Deadline = Sharpe_numerics.Deadline
 
@@ -57,6 +58,11 @@ type sm_inst = {
   sm_fast : (int list * int list) option; (* reada, readf *)
 }
 
+type pepa_inst = {
+  pe_c : Pepa.compiled;
+  pe_steady : float array option ref; (* per-instance steady-state cache *)
+}
+
 type mrgp_inst = {
   mg : Mrgp.t;
   mg_index : (string, int) Hashtbl.t;
@@ -76,6 +82,7 @@ type instance =
   | ISemimark of sm_inst
   | IMrgp of mrgp_inst
   | ISrn of Srn.t
+  | IPepa of pepa_inst
 
 (* --- environment ----------------------------------------------------- *)
 

@@ -22,6 +22,9 @@ type token =
   | At
   | Newline
   | Cont
+  | Raw of string
+      (* verbatim body of a [pepa ... end] block; [line] is its first
+         source line *)
   | Eof
 
 type t = { tok : token; line : int; col : int; endcol : int }
@@ -72,6 +75,50 @@ let tokenize ?(warn = fun _ -> ()) src =
   let i = ref 0 in
   let col () = !i - !line_start in
   let at_line_start = ref true in
+  (* warn once per distinct over-long name, not once per occurrence *)
+  let warned = Hashtbl.create 4 in
+  let warn_truncated s =
+    if not (Hashtbl.mem warned s) then begin
+      Hashtbl.replace warned s ();
+      warn
+        (Printf.sprintf "warning: name %s longer than %d characters; truncated"
+           s max_name_len)
+    end
+  in
+  (* a [pepa] header line arms raw capture of the block body *)
+  let pepa_pending = ref false in
+  let capture_pepa_body () =
+    let body_line = !line in
+    let buf = Buffer.create 256 in
+    let finished = ref false in
+    while not !finished do
+      if !i >= n then
+        failwith
+          (Printf.sprintf "line %d: pepa block not terminated by end"
+             body_line);
+      let eol = try String.index_from src !i '\n' with Not_found -> n in
+      let text = String.sub src !i (eol - !i) in
+      if String.trim text = "end" then begin
+        toks :=
+          { tok = Raw (Buffer.contents buf); line = body_line; col = 0;
+            endcol = 0 }
+          :: !toks;
+        emit (Name "end") 0 3;
+        emit Newline (eol - !line_start) (eol - !line_start + 1);
+        finished := true
+      end
+      else begin
+        Buffer.add_string buf text;
+        Buffer.add_char buf '\n'
+      end;
+      i := min (eol + 1) n;
+      if eol < n then begin
+        incr line;
+        line_start := !i
+      end
+    done;
+    at_line_start := true
+  in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
@@ -79,7 +126,11 @@ let tokenize ?(warn = fun _ -> ()) src =
       incr i;
       incr line;
       line_start := !i;
-      at_line_start := true
+      at_line_start := true;
+      if !pepa_pending then begin
+        pepa_pending := false;
+        capture_pepa_body ()
+      end
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '*' && !at_line_start then begin
@@ -89,6 +140,7 @@ let tokenize ?(warn = fun _ -> ()) src =
       done
     end
     else begin
+      let was_line_start = !at_line_start in
       at_line_start := false;
       let start = !i in
       let c0 = col () in
@@ -117,10 +169,7 @@ let tokenize ?(warn = fun _ -> ()) src =
           else begin
             let s =
               if String.length s > max_name_len then begin
-                warn
-                  (Printf.sprintf
-                     "warning: name %s longer than %d characters; truncated" s
-                     max_name_len);
+                warn_truncated s;
                 String.sub s 0 max_name_len
               end
               else s
@@ -129,6 +178,9 @@ let tokenize ?(warn = fun _ -> ()) src =
           end
         in
         emit tok c0 (col ());
+        (* a statement-initial [pepa] keyword arms raw capture of the
+           block body after its header line *)
+        if tok = Name "pepa" && was_line_start then pepa_pending := true;
         (* echo swallows the rest of the line verbatim *)
         if tok = Name "echo" then begin
           let s0 = !i in

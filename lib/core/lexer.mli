@@ -6,7 +6,14 @@
     parser uses as a triple separator.  Comment lines start with [*].
     Names are runs of letters, digits, [_], [:] and [.]; a run that parses
     as a number is a number.  Names longer than 29 characters are truncated
-    with a warning, as in SHARPE. *)
+    with a warning, as in SHARPE (emitted once per distinct name per
+    [tokenize] call, not once per occurrence).
+
+    A line starting with the [pepa] keyword arms raw capture: every line
+    after the header up to (but excluding) a line consisting of [end] is
+    collected verbatim into a single [Raw] token, followed by
+    [Name "end"].  The PEPA front end lexes the body itself with its own
+    grammar, which is not line-compatible with SHARPE's. *)
 
 type token =
   | Name of string
@@ -32,6 +39,9 @@ type token =
   | At        (* @, MRGP regenerative edges *)
   | Newline
   | Cont      (* backslash-newline *)
+  | Raw of string
+      (* verbatim body of a [pepa ... end] block; [line] is its first
+         source line *)
   | Eof
 
 type t = {

@@ -19,7 +19,10 @@ exception Parse_error of string
 
 let fail st msg =
   let t = st.toks.(st.pos) in
-  raise (Parse_error (Printf.sprintf "line %d: %s" t.Lexer.line msg))
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d, col %d: %s" t.Lexer.line (t.Lexer.col + 1)
+          msg))
 
 let peek st = st.toks.(st.pos).Lexer.tok
 let peek_at st k =
@@ -261,7 +264,7 @@ let parse_dist st =
 let top_keywords =
   [ "bind"; "func"; "var"; "expr"; "echo"; "format"; "epsilon"; "loop"; "while";
     "if"; "block"; "ftree"; "mstree"; "pms"; "relgraph"; "graph"; "pfqn";
-    "mpfqn"; "markov"; "semimark"; "mrgp"; "gspn"; "srn"; "bdd"; "verbose";
+    "mpfqn"; "markov"; "semimark"; "mrgp"; "gspn"; "srn"; "pepa"; "bdd"; "verbose";
     "debug"; "factor"; "ltimep"; "rtimep" ]
 
 let rec parse_stmts st ~until =
@@ -394,7 +397,7 @@ and parse_stmt st : stmt option =
   | Lexer.Name m
     when List.mem m
            [ "block"; "ftree"; "mstree"; "pms"; "relgraph"; "graph"; "pfqn";
-             "mpfqn"; "markov"; "semimark"; "mrgp"; "gspn"; "srn" ] ->
+             "mpfqn"; "markov"; "semimark"; "mrgp"; "gspn"; "srn"; "pepa" ] ->
       Some (SModel (parse_model st m))
   | Lexer.Newline | Lexer.Cont ->
       advance st;
@@ -495,6 +498,7 @@ and parse_model st kw =
   | "mrgp" -> parse_mrgp st mname params
   | "gspn" -> parse_srn st mname params ~gspn:true
   | "srn" -> parse_srn st mname params ~gspn:false
+  | "pepa" -> parse_pepa st mname params
   | _ -> fail st "unknown model keyword"
 
 and names_to_eol st =
@@ -1055,6 +1059,22 @@ and parse_srn st mname params ~gspn =
   MSrn
     { name = mname; params; gspn; places = ps; timed; immediate; inputs;
       outputs; inhibitors }
+
+and parse_pepa st mname params =
+  (* the lexer captured the block body verbatim into a Raw token *)
+  eat_newlines st;
+  match peek st with
+  | Lexer.Raw body ->
+      let body_line = st.toks.(st.pos).Lexer.line in
+      advance st;
+      if not (eat_name st "end") then fail st "expected end closing pepa block";
+      let past =
+        try Sharpe_pepa.Pepa.parse ~first_line:body_line body
+        with Sharpe_pepa.Pepa.Error msg ->
+          raise (Parse_error ("pepa " ^ mname ^ ": " ^ msg))
+      in
+      MPepa { name = mname; params; body; body_line; past }
+  | _ -> fail st "expected a pepa block body terminated by end"
 
 (* --- entry points ---------------------------------------------------- *)
 

@@ -176,6 +176,13 @@ and pp_model ppf = function
             lines;
           Format.fprintf ppf "end@,"
       | None -> ())
+  | MPepa { name; params; past; _ } ->
+      (* reprint from the parsed AST (canonical form), so pretty-printing
+         then re-parsing is the identity on the model *)
+      Format.fprintf ppf "pepa %s%a@," name pp_params params;
+      String.split_on_char '\n' (Sharpe_pepa.Ast.pp_model past)
+      |> List.iter (fun l -> if l <> "" then Format.fprintf ppf "%s@," l);
+      Format.fprintf ppf "end@,"
   | m ->
       (* remaining model types print a compact placeholder header; they are
          exercised through execution rather than printing *)
@@ -191,7 +198,7 @@ and pp_model ppf = function
         | MMrgp _ -> "mrgp"
         | MSrn { gspn = true; _ } -> "gspn"
         | MSrn _ -> "srn"
-        | MBlock _ | MFtree _ | MMarkov _ -> assert false)
+        | MBlock _ | MFtree _ | MMarkov _ | MPepa _ -> assert false)
         (model_name m)
 
 and pp_medges ppf =

@@ -306,3 +306,68 @@ let solve_srn ~key net =
   let ikey = Structhash.finish b in
   Structhash.Table.find_or_add instance_cache ikey (fun () ->
       Srn.solve ~skeleton:sk net)
+
+(* --- PEPA models ------------------------------------------------------- *)
+
+(* A PEPA model's reachable state space never depends on rate VALUES
+   (well-formedness requires every rate positive), so the only inputs
+   to a compile are the canonical AST and the current value of each
+   free rate identifier.  The cached instance carries the compiled
+   derivation, the CTMC, and the accumulated steady-state cache — a
+   sweep that rebinds a rate re-derives only when the value actually
+   changed, and a time loop at fixed rates reuses the solved chain. *)
+
+module Pepa_ast = Sharpe_pepa.Ast
+
+let pepa_free_vars (past : Pepa_ast.model) =
+  let acc = ref [] in
+  let rec rexpr (e : Pepa_ast.rexpr) =
+    match e with
+    | Pepa_ast.Num _ -> ()
+    | Pepa_ast.Var (v, _) -> acc := v :: !acc
+    | Pepa_ast.Add (a, b) | Pepa_ast.Sub (a, b)
+    | Pepa_ast.Mul (a, b) | Pepa_ast.Div (a, b) ->
+        rexpr a;
+        rexpr b
+  in
+  let rate (r : Pepa_ast.rate) =
+    match r with
+    | Pepa_ast.Active e -> rexpr e
+    | Pepa_ast.Passive (Some w) -> rexpr w
+    | Pepa_ast.Passive None -> ()
+  in
+  let rec proc (p : Pepa_ast.proc) =
+    match p with
+    | Pepa_ast.Stop | Pepa_ast.Const _ -> ()
+    | Pepa_ast.Prefix (_, r, k) ->
+        rate r;
+        proc k
+    | Pepa_ast.Choice (a, b) | Pepa_ast.Coop (a, _, b) ->
+        proc a;
+        proc b
+    | Pepa_ast.Hide (p, _) -> proc p
+  in
+  List.iter (fun (d : Pepa_ast.def) -> proc d.d_rhs) past.defs;
+  proc past.system;
+  List.sort_uniq compare !acc
+
+let pepa_key (ctx : Eval.ctx) (past : Pepa_ast.model) =
+  try
+    let b = Structhash.builder "pepa" in
+    Structhash.add_string b (Pepa_ast.pp_model past);
+    List.iter
+      (fun v ->
+        Structhash.add_string b v;
+        let x =
+          try Eval.eval_expr ctx (Ident v)
+          with Eval.Error _ -> raise Uncacheable
+        in
+        Structhash.add_float b x)
+      (pepa_free_vars past);
+    Some (Structhash.finish b)
+  with Uncacheable -> None
+
+let pepa_cache : Eval.pepa_inst Structhash.Table.t =
+  Structhash.Table.create "pepa_instance"
+
+let solve_pepa ~key build = Structhash.Table.find_or_add pepa_cache key build

@@ -37,3 +37,15 @@ val solve_srn : key:string -> Sharpe_petri.Net.t -> Sharpe_petri.Srn.t
 (** Solve the net, reusing the cached reachability skeleton (and, when
     every edge weight is bit-identical, the cached solved instance)
     filed under [key]. *)
+
+val pepa_key : Eval.ctx -> Sharpe_pepa.Ast.model -> string option
+(** Skeleton key of a PEPA model under [ctx]: the canonical AST plus
+    the bit-exact current value of every free rate identifier.  [None]
+    when some identifier does not evaluate to a number (then compile
+    cold; derivation will report the offending name). *)
+
+val solve_pepa :
+  key:string -> (unit -> Eval.pepa_inst) -> Eval.pepa_inst
+(** Compile-or-reuse filed under {!pepa_key}: a hit returns the
+    previously compiled instance with its accumulated steady-state
+    cache. *)

@@ -29,6 +29,21 @@ let make ~n rates =
   Array.iteri (fun i e -> if e > 0.0 then Sparse.add b i i (-.e)) exit;
   { n; q = Sparse.finalize b; exit; unif = None }
 
+(* Adopt a CSR generator built elsewhere (e.g. by the PEPA front end's
+   compositional derivation): exit rates are recovered from the
+   off-diagonal row sums in O(nnz), no dense intermediate. *)
+let of_generator q =
+  let rows = Sparse.rows q and cols = Sparse.cols q in
+  if rows <> cols then make_error "generator must be square";
+  let exit = Array.make rows 0.0 in
+  Sparse.iter q (fun i j v ->
+      if i <> j then begin
+        if not (Float.is_finite v) then make_error "non-finite rate";
+        if v < 0.0 then make_error "negative off-diagonal rate";
+        exit.(i) <- exit.(i) +. v
+      end);
+  { n = rows; q; exit; unif = None }
+
 (* Well-formedness checks that produce diagnostics instead of aborting:
    the model may still be analyzable (absorption measures on a reducible
    chain are fine), but the analyst should know. *)

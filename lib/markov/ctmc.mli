@@ -14,6 +14,13 @@ val make : n:int -> (int * int * float) list -> t
     emits a {!Sharpe_numerics.Diag.Error} diagnostic before raising
     [Invalid_argument]. *)
 
+val of_generator : Sharpe_numerics.Sparse.t -> t
+(** Adopt a CSR generator built elsewhere (diagonal included): exit
+    rates are recovered from the off-diagonal row sums in O(nnz), with
+    no dense intermediate.  Raises [Invalid_argument] (after a
+    {!Sharpe_numerics.Diag.Error} diagnostic) on a non-square matrix or
+    a negative / non-finite off-diagonal entry. *)
+
 val validate : ?init:float array -> ?names:(int -> string) -> t -> unit
 (** Well-formedness checks that emit {!Sharpe_numerics.Diag.Warning}
     diagnostics instead of aborting: states unreachable from the support of

@@ -1,0 +1,150 @@
+(* Abstract syntax for the PEPA-like process algebra front end.
+
+   The concrete syntax follows Hillston's PEPA: sequential components
+   built from prefix [(action, rate).P] and choice [P + Q], composed
+   with cooperation [P <L> Q] over an action set and hiding [P / {L}].
+   Rates are arithmetic expressions over numbers and free identifiers
+   (resolved against the SHARPE environment at compile time), or the
+   passive rate [infty], optionally weighted [infty * w]. *)
+
+type pos = { line : int; col : int }
+
+let no_pos = { line = 0; col = 0 }
+
+(* Rate arithmetic.  Division by zero and non-positive rates are
+   rejected at derivation time, not here. *)
+type rexpr =
+  | Num of float
+  | Var of string * pos
+  | Add of rexpr * rexpr
+  | Sub of rexpr * rexpr
+  | Mul of rexpr * rexpr
+  | Div of rexpr * rexpr
+
+type rate =
+  | Active of rexpr
+  | Passive of rexpr option  (* [infty], optionally [infty * w] *)
+
+type proc =
+  | Stop
+  | Const of string * pos
+  | Prefix of string * rate * proc
+  | Choice of proc * proc
+  | Coop of proc * string list * proc  (* P <L> Q; L = [] is pure interleaving *)
+  | Hide of proc * string list
+
+type def = { d_name : string; d_pos : pos; d_rhs : proc }
+
+type model = {
+  defs : def list;
+  system : proc;
+  max_states : int option;  (* [maxstates N] directive, if present *)
+}
+
+(* --- structural equality, ignoring source positions ----------------- *)
+
+let rec equal_rexpr a b =
+  match (a, b) with
+  | Num x, Num y -> x = y
+  | Var (x, _), Var (y, _) -> String.equal x y
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2) ->
+      equal_rexpr a1 b1 && equal_rexpr a2 b2
+  | _ -> false
+
+let equal_rate a b =
+  match (a, b) with
+  | Active x, Active y -> equal_rexpr x y
+  | Passive None, Passive None -> true
+  | Passive (Some x), Passive (Some y) -> equal_rexpr x y
+  | _ -> false
+
+let rec equal_proc a b =
+  match (a, b) with
+  | Stop, Stop -> true
+  | Const (x, _), Const (y, _) -> String.equal x y
+  | Prefix (a1, r1, p1), Prefix (a2, r2, p2) ->
+      String.equal a1 a2 && equal_rate r1 r2 && equal_proc p1 p2
+  | Choice (p1, q1), Choice (p2, q2) -> equal_proc p1 p2 && equal_proc q1 q2
+  | Coop (p1, l1, q1), Coop (p2, l2, q2) ->
+      equal_proc p1 p2 && l1 = l2 && equal_proc q1 q2
+  | Hide (p1, l1), Hide (p2, l2) -> equal_proc p1 p2 && l1 = l2
+  | _ -> false
+
+let equal_def a b = String.equal a.d_name b.d_name && equal_proc a.d_rhs b.d_rhs
+
+let equal_model a b =
+  List.length a.defs = List.length b.defs
+  && List.for_all2 equal_def a.defs b.defs
+  && equal_proc a.system b.system
+  && a.max_states = b.max_states
+
+(* --- pretty printing ------------------------------------------------ *)
+
+(* Shortest decimal rendering that round-trips the float exactly, so
+   pretty-print -> re-parse is the identity on rates. *)
+let pp_float f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec pp_rexpr ?(prec = 0) e =
+  let paren p s = if prec > p then "(" ^ s ^ ")" else s in
+  match e with
+  | Num f -> pp_float f
+  | Var (v, _) -> v
+  | Add (a, b) ->
+      paren 1 (pp_rexpr ~prec:1 a ^ " + " ^ pp_rexpr ~prec:2 b)
+  | Sub (a, b) ->
+      paren 1 (pp_rexpr ~prec:1 a ^ " - " ^ pp_rexpr ~prec:2 b)
+  | Mul (a, b) ->
+      paren 2 (pp_rexpr ~prec:2 a ^ " * " ^ pp_rexpr ~prec:3 b)
+  | Div (a, b) ->
+      paren 2 (pp_rexpr ~prec:2 a ^ " / " ^ pp_rexpr ~prec:3 b)
+
+let pp_rate = function
+  | Active e -> pp_rexpr e
+  | Passive None -> "infty"
+  | Passive (Some w) -> "infty * " ^ pp_rexpr ~prec:3 w
+
+let pp_actions l = String.concat ", " l
+
+(* Precedence: cooperation 0 (loosest) < choice 1 < hiding 2 <
+   prefix/atoms 3.  Cooperation and choice are printed left-associated,
+   matching the parser. *)
+let rec pp_proc ?(prec = 0) p =
+  let paren p s = if prec > p then "(" ^ s ^ ")" else s in
+  match p with
+  | Stop -> "stop"
+  | Const (c, _) -> c
+  | Prefix (a, r, k) ->
+      Printf.sprintf "(%s, %s).%s" a (pp_rate r) (pp_proc ~prec:3 k)
+  | Choice (a, b) ->
+      paren 1 (pp_proc ~prec:1 a ^ " + " ^ pp_proc ~prec:2 b)
+  | Coop (a, l, b) ->
+      paren 0
+        (Printf.sprintf "%s <%s> %s" (pp_proc ~prec:0 a) (pp_actions l)
+           (pp_proc ~prec:1 b))
+  | Hide (p, l) ->
+      paren 2 (Printf.sprintf "%s / {%s}" (pp_proc ~prec:3 p) (pp_actions l))
+
+let pp_def d = Printf.sprintf "%s = %s" d.d_name (pp_proc d.d_rhs)
+
+let pp_model m =
+  let buf = Buffer.create 256 in
+  (match m.max_states with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "maxstates %d\n" n)
+  | None -> ());
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (pp_def d);
+      Buffer.add_char buf '\n')
+    m.defs;
+  Buffer.add_string buf (pp_proc m.system);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Canonical name of a sequential derivative term, used to label local
+   states of a component (a constant is its own name). *)
+let term_name p = match p with Const (c, _) -> c | _ -> pp_proc ~prec:0 p

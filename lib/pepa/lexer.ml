@@ -1,0 +1,162 @@
+(* Lexer for PEPA bodies.
+
+   Line-oriented like the SHARPE lexer: [Newline] is a token (each
+   constant definition sits on one line; a trailing backslash continues
+   the line), and a [*] in the first column starts a comment line.
+   Identifiers are runs of letters, digits, [_] and ['].  [infty] and
+   [stop] are keywords; everything else that looks like a name is an
+   identifier (actions and constants share the namespace and are told
+   apart by context). *)
+
+type token =
+  | Ident of string
+  | Number of float
+  | Kinfty
+  | Kstop
+  | Kmaxstates
+  | LParen
+  | RParen
+  | LBrace
+  | RBrace
+  | Lt
+  | Gt
+  | Comma
+  | Dot
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Eq
+  | Newline
+  | Eof
+
+type t = { tok : token; line : int; col : int }
+
+exception Error of string * int * int  (* message, line, 0-based column *)
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Number f -> Printf.sprintf "number %s" (Ast.pp_float f)
+  | Kinfty -> "'infty'"
+  | Kstop -> "'stop'"
+  | Kmaxstates -> "'maxstates'"
+  | LParen -> "'('"
+  | RParen -> "')'"
+  | LBrace -> "'{'"
+  | RBrace -> "'}'"
+  | Lt -> "'<'"
+  | Gt -> "'>'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Eq -> "'='"
+  | Newline -> "end of line"
+  | Eof -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* [tokenize ~first_line src] lexes [src]; [first_line] is the absolute
+   source line of the first line of [src], so positions in diagnostics
+   refer to the enclosing file rather than the block. *)
+let tokenize ?(first_line = 1) src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref first_line and bol = ref 0 in
+  let emit tok col = toks := { tok; line = !line; col } :: !toks in
+  let i = ref 0 in
+  let at_line_start = ref true in
+  while !i < n do
+    let c = src.[!i] in
+    let col = !i - !bol in
+    if c = '\n' then begin
+      emit Newline col;
+      incr i;
+      incr line;
+      bol := !i;
+      at_line_start := true
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '*' && !at_line_start then begin
+      (* comment line: skip to end of line, swallowing the newline *)
+      while !i < n && src.[!i] <> '\n' do incr i done;
+      if !i < n then begin
+        incr i;
+        incr line;
+        bol := !i
+      end
+    end
+    else begin
+      at_line_start := false;
+      if c = '\\' && !i + 1 < n && src.[!i + 1] = '\n' then begin
+        (* continuation: no Newline token *)
+        i := !i + 2;
+        incr line;
+        bol := !i
+      end
+      else if is_digit c || (c = '.' && !i + 1 < n && is_digit src.[!i + 1])
+      then begin
+        let j = ref !i in
+        while
+          !j < n
+          && (is_digit src.[!j] || src.[!j] = '.'
+             || src.[!j] = 'e' || src.[!j] = 'E'
+             || ((src.[!j] = '+' || src.[!j] = '-')
+                && !j > !i
+                && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')))
+        do
+          incr j
+        done;
+        let s = String.sub src !i (!j - !i) in
+        (match float_of_string_opt s with
+        | Some f -> emit (Number f) col
+        | None -> raise (Error (Printf.sprintf "bad number %s" s, !line, col)));
+        i := !j
+      end
+      else if is_ident_char c && not (is_digit c) then begin
+        let j = ref !i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let s = String.sub src !i (!j - !i) in
+        let tok =
+          match s with
+          | "infty" -> Kinfty
+          | "stop" -> Kstop
+          | "maxstates" -> Kmaxstates
+          | _ -> Ident s
+        in
+        emit tok col;
+        i := !j
+      end
+      else begin
+        let simple tok = emit tok col; incr i in
+        match c with
+        | '(' -> simple LParen
+        | ')' -> simple RParen
+        | '{' -> simple LBrace
+        | '}' -> simple RBrace
+        | '<' -> simple Lt
+        | '>' -> simple Gt
+        | ',' -> simple Comma
+        | '.' -> simple Dot
+        | '+' -> simple Plus
+        | '-' -> simple Minus
+        | '*' -> simple Star
+        | '/' -> simple Slash
+        | '=' -> simple Eq
+        | _ ->
+            raise
+              (Error (Printf.sprintf "illegal character %C" c, !line, col))
+      end
+    end
+  done;
+  emit Newline (n - !bol);
+  emit Eof (n - !bol);
+  List.rev !toks

@@ -1,0 +1,228 @@
+(* Recursive-descent parser for PEPA bodies.
+
+   Grammar (line-oriented; each definition is one logical line, a
+   trailing backslash continues a line):
+
+     body    ::= { line }
+     line    ::= "maxstates" NUMBER
+               | IDENT "=" coop            constant definition
+               | coop                      the system equation (last line)
+     coop    ::= choice { "<" [ acts ] ">" choice }        left-assoc
+     choice  ::= hide { "+" hide }
+     hide    ::= prim { "/" "{" acts "}" }
+     prim    ::= "(" IDENT "," rate ")" "." prim
+               | IDENT | "stop" | "(" coop ")"
+     acts    ::= IDENT { "," IDENT }
+     rate    ::= "infty" [ "*" mul ] | add
+     add     ::= mul { ("+" | "-") mul }
+     mul     ::= atom { ("*" | "/") atom }
+     atom    ::= NUMBER | IDENT | "(" add ")"
+
+   The only ambiguity is "(": a prefix if the lookahead is
+   [IDENT ","], otherwise grouping. *)
+
+open Ast
+
+exception Error of string * int * int  (* message, line, 0-based column *)
+
+type st = { toks : Lexer.t array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1)
+  else st.toks.(Array.length st.toks - 1)
+
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let fail st msg =
+  let t = peek st in
+  raise (Error (Printf.sprintf "%s (found %s)" msg (Lexer.describe t.tok),
+                t.line, t.col))
+
+let expect st tok what =
+  let t = peek st in
+  if t.tok = tok then advance st else fail st (Printf.sprintf "expected %s" what)
+
+let pos_of (t : Lexer.t) = { line = t.line; col = t.col }
+
+let ident st what =
+  let t = peek st in
+  match t.tok with
+  | Lexer.Ident s -> advance st; (s, pos_of t)
+  | _ -> fail st (Printf.sprintf "expected %s" what)
+
+(* --- rate expressions ----------------------------------------------- *)
+
+let rec parse_add st =
+  let a = ref (parse_mul st) in
+  let rec loop () =
+    match (peek st).tok with
+    | Lexer.Plus -> advance st; a := Add (!a, parse_mul st); loop ()
+    | Lexer.Minus -> advance st; a := Sub (!a, parse_mul st); loop ()
+    | _ -> ()
+  in
+  loop ();
+  !a
+
+and parse_mul st =
+  let a = ref (parse_atom st) in
+  let rec loop () =
+    match (peek st).tok with
+    | Lexer.Star -> advance st; a := Mul (!a, parse_atom st); loop ()
+    | Lexer.Slash -> advance st; a := Div (!a, parse_atom st); loop ()
+    | _ -> ()
+  in
+  loop ();
+  !a
+
+and parse_atom st =
+  let t = peek st in
+  match t.tok with
+  | Lexer.Number f -> advance st; Num f
+  | Lexer.Ident v -> advance st; Var (v, pos_of t)
+  | Lexer.LParen ->
+      advance st;
+      let e = parse_add st in
+      expect st Lexer.RParen "')' closing rate expression";
+      e
+  | _ -> fail st "expected a rate (number, identifier or '(')"
+
+let parse_rate st =
+  match (peek st).tok with
+  | Lexer.Kinfty ->
+      advance st;
+      if (peek st).tok = Lexer.Star then begin
+        advance st;
+        Passive (Some (parse_mul st))
+      end
+      else Passive None
+  | _ -> Active (parse_add st)
+
+(* --- action sets ----------------------------------------------------- *)
+
+let parse_actions st =
+  let a, _ = ident st "an action name" in
+  let acc = ref [ a ] in
+  while (peek st).tok = Lexer.Comma do
+    advance st;
+    let a, _ = ident st "an action name" in
+    acc := a :: !acc
+  done;
+  List.rev !acc
+
+(* --- process terms --------------------------------------------------- *)
+
+let rec parse_coop st =
+  let p = ref (parse_choice st) in
+  while (peek st).tok = Lexer.Lt do
+    advance st;
+    let acts = if (peek st).tok = Lexer.Gt then [] else parse_actions st in
+    expect st Lexer.Gt "'>' closing the cooperation set";
+    let q = parse_choice st in
+    p := Coop (!p, acts, q)
+  done;
+  !p
+
+and parse_choice st =
+  let p = ref (parse_hide st) in
+  while (peek st).tok = Lexer.Plus do
+    advance st;
+    p := Choice (!p, parse_hide st)
+  done;
+  !p
+
+and parse_hide st =
+  let p = ref (parse_prim st) in
+  while (peek st).tok = Lexer.Slash do
+    advance st;
+    expect st Lexer.LBrace "'{' opening the hiding set";
+    let acts = parse_actions st in
+    expect st Lexer.RBrace "'}' closing the hiding set";
+    p := Hide (!p, acts)
+  done;
+  !p
+
+and parse_prim st =
+  let t = peek st in
+  match t.tok with
+  | Lexer.Kstop -> advance st; Stop
+  | Lexer.Ident c -> advance st; Const (c, pos_of t)
+  | Lexer.LParen -> (
+      (* prefix iff the lookahead after '(' is IDENT ',' *)
+      match ((peek2 st).tok,
+             if st.pos + 2 < Array.length st.toks then st.toks.(st.pos + 2).tok
+             else Lexer.Eof)
+      with
+      | Lexer.Ident _, Lexer.Comma ->
+          advance st;
+          let a, _ = ident st "an action name" in
+          expect st Lexer.Comma "',' between action and rate";
+          let r = parse_rate st in
+          expect st Lexer.RParen "')' closing the prefix";
+          expect st Lexer.Dot "'.' after the prefix";
+          Prefix (a, r, parse_prim st)
+      | _ ->
+          advance st;
+          let p = parse_coop st in
+          expect st Lexer.RParen "')' closing the group";
+          p)
+  | _ -> fail st "expected a process term"
+
+(* --- top level -------------------------------------------------------- *)
+
+let skip_newlines st =
+  while (peek st).tok = Lexer.Newline do advance st done
+
+let end_line st what =
+  match (peek st).tok with
+  | Lexer.Newline | Lexer.Eof -> skip_newlines st
+  | _ -> fail st (Printf.sprintf "unexpected trailing tokens after %s" what)
+
+(* [parse ~first_line src] parses a PEPA body.  [first_line] offsets
+   reported positions so they refer to the enclosing file.
+   @raise Error on any lexical or syntax problem. *)
+let parse ?(first_line = 1) src =
+  let toks =
+    try Lexer.tokenize ~first_line src
+    with Lexer.Error (msg, l, c) -> raise (Error (msg, l, c))
+  in
+  let st = { toks = Array.of_list toks; pos = 0 } in
+  let defs = ref [] in
+  let system = ref None in
+  let max_states = ref None in
+  skip_newlines st;
+  while (peek st).tok <> Lexer.Eof do
+    (match !system with
+    | Some _ ->
+        fail st "the system equation must be the last line of the pepa block"
+    | None -> ());
+    (match ((peek st).tok, (peek2 st).tok) with
+    | Lexer.Kmaxstates, _ ->
+        advance st;
+        (match (peek st).tok with
+        | Lexer.Number f
+          when Float.is_integer f && f >= 1.0 && f <= 1e9 ->
+            advance st;
+            max_states := Some (int_of_float f)
+        | _ -> fail st "maxstates takes a positive integer");
+        end_line st "maxstates"
+    | Lexer.Ident name, Lexer.Eq ->
+        let t = peek st in
+        advance st;
+        advance st;
+        let rhs = parse_coop st in
+        end_line st (Printf.sprintf "the definition of %s" name);
+        defs := { d_name = name; d_pos = pos_of t; d_rhs = rhs } :: !defs
+    | _ ->
+        let p = parse_coop st in
+        end_line st "the system equation";
+        system := Some p)
+  done;
+  match !system with
+  | None ->
+      raise
+        (Error
+           ( "pepa block has no system equation (last line must be a \
+              process term)",
+             (peek st).line, 0 ))
+  | Some s -> { defs = List.rev !defs; system = s; max_states = !max_states }

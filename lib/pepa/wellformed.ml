@@ -1,0 +1,230 @@
+(* Static well-formedness checks for a parsed PEPA model, run before
+   any rate is evaluated:
+
+   - every referenced constant is defined, no constant is defined twice;
+   - cooperation and hiding appear only at the model level: a constant
+     used inside a sequential component (under a prefix or a choice)
+     must itself be sequential;
+   - sequential recursion is guarded (every recursive cycle passes
+     through at least one prefix), so local state spaces are finite;
+   - model-level constants are non-recursive, so expanding the system
+     equation terminates;
+   - [tau] never appears in a cooperation set (hidden actions cannot
+     synchronize).
+
+   Violations raise {!Error} with the position of the offending
+   constant or definition; dubious-but-legal constructs (cooperation
+   over an action a side never performs, hiding an action the operand
+   does not have) are returned as warning strings. *)
+
+open Ast
+
+exception Error of string * pos
+
+let err pos fmt = Printf.ksprintf (fun m -> raise (Error (m, pos))) fmt
+
+type info = {
+  defs : (string, def) Hashtbl.t;
+  mutable nonseq : string list;  (* model-level constants *)
+}
+
+let rec iter_consts f p =
+  match p with
+  | Stop -> ()
+  | Const (c, pos) -> f c pos
+  | Prefix (_, _, k) -> iter_consts f k
+  | Choice (a, b) | Coop (a, _, b) -> iter_consts f a; iter_consts f b
+  | Hide (p, _) -> iter_consts f p
+
+let rec has_comp = function
+  | Stop | Const _ -> false
+  | Prefix (_, _, k) -> has_comp k
+  | Choice (a, b) -> has_comp a || has_comp b
+  | Coop _ | Hide _ -> true
+
+module S = Set.Make (String)
+
+(* All actions a term can ever perform, through constants (syntactic
+   over-approximation, used only for warnings; recursive back-edges
+   contribute the empty set, a least-fixpoint approximation). *)
+let actions_of info p =
+  let cache = Hashtbl.create 8 in
+  let rec const_actions c =
+    match Hashtbl.find_opt cache c with
+    | Some s -> s
+    | None -> (
+        Hashtbl.replace cache c S.empty;
+        match Hashtbl.find_opt info.defs c with
+        | Some d ->
+            let s = go d.d_rhs in
+            Hashtbl.replace cache c s;
+            s
+        | None -> S.empty)
+  and go p =
+    match p with
+    | Stop -> S.empty
+    | Const (c, _) -> const_actions c
+    | Prefix (a, _, k) -> S.add a (go k)
+    | Choice (a, b) | Coop (a, _, b) -> S.union (go a) (go b)
+    | Hide (p, l) ->
+        S.map (fun a -> if List.mem a l then "tau" else a) (go p)
+  in
+  S.elements (go p)
+
+let check (m : model) : string list =
+  let info = { defs = Hashtbl.create 16; nonseq = [] } in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem info.defs d.d_name then
+        err d.d_pos "constant %s is defined twice" d.d_name;
+      Hashtbl.replace info.defs d.d_name d)
+    m.defs;
+  (* undefined constants *)
+  let check_defined p =
+    iter_consts
+      (fun c pos ->
+        if not (Hashtbl.mem info.defs c) then
+          err pos "undefined constant %s" c)
+      p
+  in
+  List.iter (fun d -> check_defined d.d_rhs) m.defs;
+  check_defined m.system;
+  (* classify model-level constants: contains cooperation/hiding, or
+     references a model-level constant (fixpoint) *)
+  let nonseq = Hashtbl.create 8 in
+  List.iter
+    (fun d -> if has_comp d.d_rhs then Hashtbl.replace nonseq d.d_name ())
+    m.defs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun d ->
+        if not (Hashtbl.mem nonseq d.d_name) then
+          iter_consts
+            (fun c _ ->
+              if Hashtbl.mem nonseq c && not (Hashtbl.mem nonseq d.d_name)
+              then begin
+                Hashtbl.replace nonseq d.d_name ();
+                changed := true
+              end)
+            d.d_rhs)
+      m.defs
+  done;
+  info.nonseq <- Hashtbl.fold (fun k () l -> k :: l) nonseq [];
+  (* structural placement: no cooperation/hiding (or model-level
+     constant) inside a sequential context *)
+  let rec place ~seq p =
+    match p with
+    | Stop -> ()
+    | Const (c, pos) ->
+        if seq && Hashtbl.mem nonseq c then
+          err pos
+            "constant %s contains cooperation or hiding and cannot be used \
+             inside a sequential component"
+            c
+    | Prefix (_, _, k) -> place ~seq:true k
+    | Choice (a, b) -> place ~seq:true a; place ~seq:true b
+    | Coop (a, l, b) ->
+        if seq then
+          err no_pos "cooperation cannot appear inside a sequential component";
+        if List.mem "tau" l then
+          err no_pos "tau cannot appear in a cooperation set";
+        place ~seq:false a;
+        place ~seq:false b
+    | Hide (p, _) ->
+        if seq then
+          err no_pos "hiding cannot appear inside a sequential component";
+        place ~seq:false p
+  in
+  List.iter (fun d -> place ~seq:false d.d_rhs) m.defs;
+  place ~seq:false m.system;
+  (* guarded sequential recursion: follow constant references reachable
+     without passing through a prefix; a cycle means the local state
+     space is ill-defined *)
+  let rec unguarded f p =
+    match p with
+    | Const (c, pos) -> f c pos
+    | Choice (a, b) -> unguarded f a; unguarded f b
+    | Stop | Prefix _ | Coop _ | Hide _ -> ()
+  in
+  let color = Hashtbl.create 16 in
+  let rec visit name pos =
+    match Hashtbl.find_opt color name with
+    | Some `Done -> ()
+    | Some `Active -> err pos "unguarded recursion through constant %s" name
+    | None -> (
+        Hashtbl.replace color name `Active;
+        (match Hashtbl.find_opt info.defs name with
+        | Some d when not (Hashtbl.mem nonseq name) -> unguarded visit d.d_rhs
+        | _ -> ());
+        Hashtbl.replace color name `Done)
+  in
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem nonseq d.d_name) then visit d.d_name d.d_pos)
+    m.defs;
+  (* model-level constants must expand finitely: their reference graph
+     (restricted to model-level targets) is acyclic *)
+  let mcolor = Hashtbl.create 8 in
+  let rec mvisit name pos =
+    match Hashtbl.find_opt mcolor name with
+    | Some `Done -> ()
+    | Some `Active -> err pos "recursive model-level constant %s" name
+    | None -> (
+        Hashtbl.replace mcolor name `Active;
+        (match Hashtbl.find_opt info.defs name with
+        | Some d ->
+            iter_consts
+              (fun c p -> if Hashtbl.mem nonseq c then mvisit c p)
+              d.d_rhs
+        | None -> ());
+        Hashtbl.replace mcolor name `Done)
+  in
+  Hashtbl.iter (fun name () -> mvisit name no_pos) nonseq;
+  (* warnings *)
+  let warns = ref [] in
+  let warn fmt = Printf.ksprintf (fun m -> warns := m :: !warns) fmt in
+  let rec scan p =
+    match p with
+    | Stop | Const _ -> ()
+    | Prefix (_, _, k) -> scan k
+    | Choice (a, b) -> scan a; scan b
+    | Coop (a, l, b) ->
+        let la = actions_of info a and lb = actions_of info b in
+        List.iter
+          (fun act ->
+            if not (List.mem act la) then
+              warn
+                "cooperation action %s is never performed by the left operand"
+                act;
+            if not (List.mem act lb) then
+              warn
+                "cooperation action %s is never performed by the right operand"
+                act)
+          l;
+        scan a;
+        scan b
+    | Hide (p, l) ->
+        let lp = actions_of info p in
+        List.iter
+          (fun act ->
+            if not (List.mem act lp) then
+              warn "hidden action %s is never performed by the operand" act)
+          l;
+        scan p
+  in
+  List.iter (fun d -> scan d.d_rhs) m.defs;
+  scan m.system;
+  (* unused definitions *)
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun d -> iter_consts (fun c _ -> Hashtbl.replace used c ()) d.d_rhs)
+    m.defs;
+  iter_consts (fun c _ -> Hashtbl.replace used c ()) m.system;
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem used d.d_name) then
+        warn "constant %s is defined but never used" d.d_name)
+    m.defs;
+  List.rev !warns

@@ -25,6 +25,7 @@ let src_root =
   find (Sys.getcwd ()) 6
 
 let examples_dir = Filename.concat src_root "examples/sharpe"
+let pepa_dir = Filename.concat src_root "examples/pepa"
 let golden_dir = Filename.concat src_root "test/golden"
 
 let update_mode =
@@ -32,10 +33,16 @@ let update_mode =
   | Some "" | None -> false
   | Some _ -> true
 
+(* both suites share the flat golden directory; the pepa_ filename
+   prefix keeps the namespaces apart *)
 let examples =
-  Sys.readdir examples_dir |> Array.to_list
-  |> List.filter (fun f -> Filename.check_suffix f ".sharpe")
-  |> List.sort compare
+  List.concat_map
+    (fun dir ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sharpe")
+      |> List.sort compare
+      |> List.map (fun f -> (dir, f)))
+    [ examples_dir; pepa_dir ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -49,11 +56,11 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
-let run_example file =
+let run_example (dir, file) =
   let buf = Buffer.create 4096 in
   let outcome =
     Interp.run_program_file ~print:(Buffer.add_string buf)
-      (Filename.concat examples_dir file)
+      (Filename.concat dir file)
   in
   (Buffer.contents buf, outcome.Interp.failed_statements)
 
@@ -95,8 +102,8 @@ let diff_outputs ~golden ~actual =
     in
     go 1 gl al
 
-let check_example file () =
-  let out, failed = run_example file in
+let check_example ((_, file) as ex) () =
+  let out, failed = run_example ex in
   Alcotest.(check int) (file ^ ": failed statements") 0 failed;
   let golden_path =
     Filename.concat golden_dir (Filename.remove_extension file ^ ".out")
@@ -112,5 +119,5 @@ let check_example file () =
 
 let suite =
   List.map
-    (fun file -> Alcotest.test_case file `Slow (check_example file))
+    (fun ((_, file) as ex) -> Alcotest.test_case file `Slow (check_example ex))
     examples

@@ -342,6 +342,56 @@ let test_restart_recovers_sessions () =
             (Option.bind (Json.member "value" q) Json.to_float);
           Unix.close fd))
 
+(* a [pepa ... end] block is journaled as ordinary statement source, so
+   recovery replays it through the same front end: the model must answer
+   the same query, to the bit, in the next process generation *)
+let test_pepa_block_across_restart () =
+  with_temp_dir (fun dir ->
+      let config = journal_config dir in
+      let src =
+        "bind mu 2\n\
+         pepa srv\n\
+         Idle = (arrive, 1).Busy\n\
+         Busy = (serve, mu).Idle + (fail, 0.1).Down\n\
+         Down = (repair, 0.5).Idle\n\
+         Client = (arrive, infty).Think\n\
+         Think = (think, 0.8).Client\n\
+         Client <arrive> Idle\n\
+         end"
+      in
+      let v1 = ref nan in
+      with_server ~config (fun path ->
+          let fd = connect path in
+          let r =
+            roundtrip fd
+              [ ("op", Json.Str "eval"); ("session", Json.Str "p");
+                ("src", Json.Str src) ]
+          in
+          Alcotest.(check bool) "pepa eval ok" true (is_ok r);
+          let q =
+            roundtrip fd
+              [ ("op", Json.Str "query"); ("session", Json.Str "p");
+                ("expr", Json.Str "tput(srv, serve)") ]
+          in
+          Alcotest.(check bool) "pepa query ok" true (is_ok q);
+          (match Option.bind (Json.member "value" q) Json.to_float with
+          | Some v -> v1 := v
+          | None -> Alcotest.fail "no value for pepa throughput");
+          Alcotest.(check bool) "throughput positive" true (!v1 > 0.0);
+          Unix.close fd);
+      with_server ~config (fun path ->
+          let fd = connect path in
+          let q =
+            roundtrip fd
+              [ ("op", Json.Str "query"); ("session", Json.Str "p");
+                ("expr", Json.Str "tput(srv, serve)") ]
+          in
+          Alcotest.(check bool) "recovered pepa model answers" true (is_ok q);
+          Alcotest.(check (option (float 0.0))) "same throughput after restart"
+            (Some !v1)
+            (Option.bind (Json.member "value" q) Json.to_float);
+          Unix.close fd))
+
 let test_duplicate_request_id_across_restart () =
   with_temp_dir (fun dir ->
       let config = journal_config dir in
@@ -527,6 +577,8 @@ let suite =
       test_rewrite_shrinks_file;
     Alcotest.test_case "restart recovers sessions" `Quick
       test_restart_recovers_sessions;
+    Alcotest.test_case "pepa block across restart" `Quick
+      test_pepa_block_across_restart;
     Alcotest.test_case "duplicate request_id across restart" `Quick
       test_duplicate_request_id_across_restart;
     Alcotest.test_case "TTL-expired sessions stay dead" `Quick

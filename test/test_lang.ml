@@ -329,7 +329,7 @@ let test_instance_cache_invalidation () =
 
 let test_parse_errors_reported () =
   Alcotest.check_raises "bad gate"
-    (Sharpe_lang.Parser.Parse_error "line 2: unknown ftree line bogus")
+    (Sharpe_lang.Parser.Parse_error "line 2, col 7: unknown ftree line bogus")
     (fun () -> ignore (run "ftree f\nbogus x y\nend"))
 
 let test_undefined_name () =

@@ -10,6 +10,7 @@ let () =
       ("pfqn", Test_pfqn.suite);
       ("petri", Test_petri.suite);
       ("lang", Test_lang.suite);
+      ("pepa", Test_pepa.suite);
       ("more", Test_more.suite);
       ("expo-properties", Test_expo_prop.suite);
       ("krylov", Test_krylov.suite);
