@@ -35,6 +35,30 @@ grep -q '"effective_domains"' BENCH_sweep.json || {
   echo "ci: BENCH_sweep.json does not record effective_domains" >&2
   exit 1
 }
+grep -q '"measured_jobs4_domains"' BENCH_sweep.json || {
+  echo "ci: BENCH_sweep.json does not record measured_jobs4_domains" >&2
+  exit 1
+}
+# On a multi-core host the jobs=4 sweep must actually engage >1 domain
+# (measured participation, not the clamp value) and parallelism must not
+# cost speedup.  Single-core hosts legitimately clamp to serial, so the
+# assertions are gated on what the hardware offers.
+if [ "$(nproc)" -gt 1 ]; then
+  measured=$(sed -n 's/.*"measured_jobs4_domains": \([0-9][0-9]*\).*/\1/p' BENCH_sweep.json)
+  [ -n "$measured" ] && [ "$measured" -gt 1 ] || {
+    echo "ci: jobs=4 sweep executed on $measured domain(s) despite $(nproc) cores" >&2
+    exit 1
+  }
+  awk -F': ' '
+    /"speedup_cached":/ { plain = $2 + 0 }
+    /"speedup_cached_jobs4":/ { par = $2 + 0 }
+    END {
+      if (par < plain) {
+        printf "ci: jobs=4 speedup %.2f below serial cached speedup %.2f\n", par, plain > "/dev/stderr"
+        exit 1
+      }
+    }' BENCH_sweep.json
+fi
 grep -q '"dense_materializations": 0' BENCH_large.json || {
   echo "ci: BENCH_large.json reports dense materializations on the large-model path" >&2
   exit 1

@@ -4,9 +4,13 @@ type t = {
   n : int;
   q : Sparse.t; (* full generator, diagonal included *)
   exit : float array; (* exit.(i) = sum of off-diagonal rates out of i *)
-  mutable unif : (float * Sparse.t) option;
-      (* memoized uniformization (lambda, P): the generator is immutable,
-         so the factorization never changes for a given chain *)
+  mutable unif : (float * Sparse.t * Sparse.t) option;
+      (* memoized uniformization (lambda, P, P^T): the generator is
+         immutable, so the factorization never changes for a given chain.
+         The transpose is kept because the transient/cumulative inner
+         loops iterate v <- v P as the bit-identical mat-vec P^T v, whose
+         row partition parallelizes (the vec-mat scatter form cannot be
+         split without changing the reduction order). *)
 }
 
 let make_error msg =
@@ -100,7 +104,7 @@ let absorbing_states c =
 
 let steady_state ?tol c = Linsolve.ctmc_steady_state ?tol c.q
 
-let uniformized_dtmc c =
+let uniformized_full c =
   match c.unif with
   | Some u -> u
   | None ->
@@ -111,16 +115,21 @@ let uniformized_dtmc c =
       for i = 0 to c.n - 1 do
         Sparse.add b i i 1.0
       done;
-      let u = (lambda, Sparse.finalize b) in
+      let p = Sparse.finalize b in
+      let u = (lambda, p, Sparse.transpose p) in
       c.unif <- Some u;
       u
+
+let uniformized_dtmc c =
+  let lambda, p, _ = uniformized_full c in
+  (lambda, p)
 
 let check_init c init =
   if Array.length init <> c.n then invalid_arg "Ctmc: init length"
 
 let transient_many ?(eps = 1e-12) c ~init ts =
   check_init c init;
-  let lambda, p = uniformized_dtmc c in
+  let lambda, _, pt = uniformized_full c in
   (* record the truncated-uniformization provenance once per solve *)
   (match List.filter (fun t -> t > 0.0) ts with
   | [] -> ()
@@ -152,7 +161,12 @@ let transient_many ?(eps = 1e-12) c ~init ts =
         end;
         if kk >= w.Poisson.right then finished := true
         else begin
-          let v' = Sparse.vec_mat !v p in
+          (* v P as P^T v: identical accumulation order per output entry
+             for this nonnegative system, hence bit-identical — and
+             row-parallel when the chain is large and this call is not
+             already inside a pool task (the per-time-point fan-out
+             below keeps nested multiplies serial) *)
+          let v' = Sparse.par_mat_vec pt !v in
           let step = ref 0.0 in
           Array.iteri
             (fun i vi ->
@@ -191,7 +205,7 @@ let cumulative ?(eps = 1e-12) c ~init t =
   check_init c init;
   if t <= 0.0 then Array.make c.n 0.0
   else begin
-    let lambda, p = uniformized_dtmc c in
+    let lambda, _, pt = uniformized_full c in
     let mean = lambda *. t in
     let acc = Array.make c.n 0.0 in
     let v = ref (Array.copy init) in
@@ -217,7 +231,7 @@ let cumulative ?(eps = 1e-12) c ~init t =
         continue_ := false
       end
       else begin
-        v := Sparse.vec_mat !v p;
+        v := Sparse.par_mat_vec pt !v;
         incr k;
         survivor := Float.max 0.0 (!survivor -. Poisson.pmf mean !k)
       end

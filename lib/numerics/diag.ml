@@ -176,6 +176,27 @@ let with_sink sink f =
   sinks := sink :: !sinks;
   Fun.protect ~finally:(fun () -> sinks := List.tl !sinks) f
 
+(* Capture into [sink] ONLY: outer sinks and the context stack are masked
+   for the duration.  This is what the pool wraps batch tasks in — with
+   the teeing [with_sink], a task executed by the CALLING domain (which
+   claims chunks like any worker) would leak its records live into the
+   caller's outer sinks and then replay them again afterwards, so a
+   captured parallel run would see every caller-executed task's records
+   twice (and with the caller's context baked in, unlike a
+   worker-executed task).  Masking makes a task's capture identical
+   whichever domain runs it. *)
+let with_isolated_sink sink f =
+  let sinks = Domain.DLS.get sinks_key in
+  let ctx = Domain.DLS.get context_key in
+  let saved_sinks = !sinks and saved_ctx = !ctx in
+  sinks := [ sink ];
+  ctx := [];
+  Fun.protect
+    ~finally:(fun () ->
+      sinks := saved_sinks;
+      ctx := saved_ctx)
+    f
+
 let capture f =
   let s = create_sink () in
   let v = with_sink s f in

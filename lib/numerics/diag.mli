@@ -106,6 +106,13 @@ val with_sink : sink -> (unit -> 'a) -> 'a
 (** Install [sink] for the dynamic extent of the callback (sinks nest;
     every installed sink receives every record).  Exception-safe. *)
 
+val with_isolated_sink : sink -> (unit -> 'a) -> 'a
+(** Like {!with_sink}, but [sink] is the ONLY receiver: outer sinks and
+    the context stack are masked for the duration.  The pool wraps batch
+    tasks in this so a task's records surface exactly once — via the
+    ordered replay — whether a worker domain or the calling domain
+    (claiming chunks inside an outer capture) happened to execute it. *)
+
 val capture : (unit -> 'a) -> 'a * record list
 (** [capture f] runs [f] under a fresh sink and returns its result with
     the records emitted — the test-suite entry point. *)

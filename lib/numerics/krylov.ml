@@ -15,8 +15,9 @@
    Memory: BiCGStab keeps 7 work vectors; GMRES(m) keeps m+1 basis
    vectors (default m = 30), so BiCGStab is the first choice at 10^6
    states.  All inner products and updates run on flat float arrays via
-   Sparse.mat_vec_into — no per-iteration allocation beyond the small
-   Hessenberg factors of GMRES. *)
+   Sparse.par_mat_vec_into — row-parallel above the Sparse nnz floor,
+   bit-identical to the serial kernel either way — with no per-iteration
+   allocation beyond the small Hessenberg factors of GMRES. *)
 
 type stats = { iterations : int; residual : float; converged : bool }
 
@@ -190,7 +191,7 @@ let bicgstab ?(max_iter = 2000) ?(tol = 1e-12) ?(precond = identity) a b =
     end
     else if Float.is_nan !rnorm || !rnorm > 100.0 *. !best then begin
       Array.blit xbest 0 x 0 n;
-      Sparse.mat_vec_into a x t;
+      Sparse.par_mat_vec_into a x t;
       for i = 0 to n - 1 do
         r.(i) <- b.(i) -. t.(i)
       done;
@@ -206,7 +207,7 @@ let bicgstab ?(max_iter = 2000) ?(tol = 1e-12) ?(precond = identity) a b =
         p.(i) <- r.(i) +. (beta *. (p.(i) -. (!omega *. v.(i))))
       done;
       precond.p_apply p phat;
-      Sparse.mat_vec_into a phat v;
+      Sparse.par_mat_vec_into a phat v;
       let denom = dot rhat v in
       if Float.abs denom < 1e-300 then breakdown ()
       else begin
@@ -223,7 +224,7 @@ let bicgstab ?(max_iter = 2000) ?(tol = 1e-12) ?(precond = identity) a b =
         end
         else begin
           precond.p_apply s shat;
-          Sparse.mat_vec_into a shat t;
+          Sparse.par_mat_vec_into a shat t;
           let tt = dot t t in
           if tt = 0.0 then breakdown ()
           else begin
@@ -245,7 +246,7 @@ let bicgstab ?(max_iter = 2000) ?(tol = 1e-12) ?(precond = identity) a b =
   (* the recursive residual drifts from b - A x (and a breakdown can stop
      the recursion with an already-converged iterate): score convergence
      on the true residual *)
-  Sparse.mat_vec_into a x t;
+  Sparse.par_mat_vec_into a x t;
   let tr = ref 0.0 in
   for i = 0 to n - 1 do
     let d = b.(i) -. t.(i) in
@@ -275,7 +276,7 @@ let gmres ?(restart = 30) ?(max_iter = 2000) ?(tol = 1e-12) ?(precond = identity
   while not !finished do
     Deadline.check ();
     (* r = b - A x *)
-    Sparse.mat_vec_into a x r;
+    Sparse.par_mat_vec_into a x r;
     for i = 0 to n - 1 do
       r.(i) <- b.(i) -. r.(i)
     done;
@@ -297,7 +298,7 @@ let gmres ?(restart = 30) ?(max_iter = 2000) ?(tol = 1e-12) ?(precond = identity
         incr total;
         (* w = A M^-1 v_j *)
         precond.p_apply basis.(jj) z;
-        Sparse.mat_vec_into a z w;
+        Sparse.par_mat_vec_into a z w;
         (* modified Gram-Schmidt *)
         for i = 0 to jj do
           let hij = dot w basis.(i) in

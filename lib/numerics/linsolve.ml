@@ -252,7 +252,7 @@ let krylov_refined variant ~tol a b p =
   let stop = ref st0.Krylov.converged in
   while (not !stop) && !rounds < 2 do
     incr rounds;
-    Sparse.mat_vec_into a x scratch;
+    Sparse.par_mat_vec_into a x scratch;
     for i = 0 to n - 1 do
       scratch.(i) <- b.(i) -. scratch.(i)
     done;
@@ -261,7 +261,7 @@ let krylov_refined variant ~tol a b p =
       x.(i) <- x.(i) +. d.(i)
     done;
     iters := !iters + std.Krylov.iterations;
-    Sparse.mat_vec_into a x scratch;
+    Sparse.par_mat_vec_into a x scratch;
     for i = 0 to n - 1 do
       scratch.(i) <- b.(i) -. scratch.(i)
     done;
@@ -597,12 +597,18 @@ let dtmc_steady_state ?(max_iter = 1_000_000) ?(tol = 1e-13) p =
           Array.make n (1.0 /. float_of_int n)
     in
     let power_chain () =
+    (* Iterate on the transpose: [vec_mat x p] and [mat_vec pT x] add the
+       same nonnegative terms in the same per-entry order (increasing
+       source row), so the switch is bit-identical — and the row-parallel
+       kernel applies, where the scatter form could not be partitioned
+       without changing the reduction order. *)
+    let pt = Sparse.transpose p in
     let x = ref (Array.make n (1.0 /. float_of_int n)) in
     let xprev = ref (Array.copy !x) in
     let k = ref 0 and delta = ref infinity and oscillating = ref false in
     while !delta > tol && !k < max_iter && not !oscillating do
       Deadline.check ();
-      let x' = Sparse.vec_mat !x p in
+      let x' = Sparse.par_mat_vec pt !x in
       normalize_l1 x';
       let d = ref 0.0 and d2 = ref 0.0 in
       Array.iteri

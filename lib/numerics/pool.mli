@@ -2,17 +2,27 @@
     worker domains.
 
     Worker domains are spawned on first use and then shared by every
-    client in the process: parallel sweep batches ({!run}) and the
-    evaluation server's per-request jobs ({!submit}) drain the same
-    queue, so concurrent requests multiplex onto a bounded set of
-    domains instead of each spawning their own.
+    client in the process: parallel sweep batches ({!run}), range-based
+    kernel parallelism ({!run_ranges}) and the evaluation server's
+    per-request jobs ({!submit}) drain the same queue, so concurrent
+    requests multiplex onto a bounded set of domains instead of each
+    spawning their own.
 
     {!run} preserves serial observable order exactly: results come back
     in index order, diagnostics emitted inside tasks are replayed on the
     calling domain in index order (byte-identical to a serial run), and
     the exception of the lowest-index failing task is the one re-raised.
     Nested {!run} calls execute sequentially instead of spawning, so
-    recursive parallelism cannot oversubscribe. *)
+    recursive parallelism cannot oversubscribe.
+
+    Batches are scheduled as {e chunked work-stealing}: the task index
+    space is split into contiguous chunks, each participant (the calling
+    domain plus up to [jobs () - 1] workers) preferentially claims the
+    chunks of its own region and steals from other regions once its own
+    is drained.  Compared to the previous single shared claim counter
+    this guarantees that a worker waking late still finds whole chunks
+    of work instead of arriving after the caller drained everything —
+    the failure mode that collapsed sweep parallelism to one domain. *)
 
 val set_jobs : ?clamp:bool -> int -> unit
 (** Set the batch concurrency budget (1 = serial).  Wired to
@@ -20,12 +30,13 @@ val set_jobs : ?clamp:bool -> int -> unit
     [Domain.recommended_domain_count ()] — oversubscribing domains is
     strictly slower than serial because every minor collection
     synchronizes all of them.  [~clamp:false] keeps the requested value
-    (tests use it to exercise the parallel path on any host).  When a
-    request for more than one job is clamped down to 1, a
-    {!Diag.Warning} is emitted — a silently-serial sweep is a
-    performance regression worth surfacing.  The warning fires once per
-    distinct requested count for the life of the process, so per-model
-    [set_jobs] calls in a sweep do not flood the diagnostic stream. *)
+    (tests use it to exercise the parallel path on any host).  Whenever
+    clamping reduces a request (16 -> 4 as much as 4 -> 1), a
+    {!Diag.Warning} is emitted once per distinct (requested, effective)
+    pair — a silently less-parallel sweep is a performance regression
+    worth surfacing.  The dedup table is bounded; per-model [set_jobs]
+    calls in a sweep cannot flood the diagnostic stream or grow memory
+    without bound. *)
 
 val jobs : unit -> int
 
@@ -42,6 +53,11 @@ val ensure_workers : int -> unit
 val workers : unit -> int
 (** Number of live worker domains. *)
 
+val queue_length : unit -> int
+(** Number of queued items (batch tokens + pending server jobs) right
+    now.  After a batch completes, its leftover tokens are purged, so a
+    quiescent pool always reports 0 (tests pin this). *)
+
 val run : int -> (int -> 'a) -> 'a array
 (** [run n f] is [[| f 0; ...; f (n-1) |]], evaluated concurrently when
     [jobs () > 1].  [f] must not depend on shared mutable state that
@@ -51,6 +67,41 @@ val run : int -> (int -> 'a) -> 'a array
     the diagnostics of the tasks preceding it were replayed.  The calling
     domain's {!Deadline} (if any) is re-installed around every task, so a
     timeout bounds parallel iterations too. *)
+
+val run_ranges : int -> (int -> int -> unit) -> unit
+(** [run_ranges n f] covers [0, n) with disjoint contiguous ranges and
+    calls [f lo hi] for each, concurrently when [jobs () > 1] (and
+    serially as [f 0 n] otherwise, or when called from inside a pool
+    task).  This is the low-overhead primitive behind deterministic
+    parallel kernels (sparse mat-vec): ranges never overlap, so each
+    output cell is written by exactly one domain and the result is
+    bit-identical to a serial loop by construction.  [f] must not emit
+    diagnostics (they would surface on the executing domain, unordered);
+    the caller's {!Deadline} is re-installed around every range, and the
+    lowest-range exception (e.g. [Deadline.Timed_out]) is re-raised on
+    the caller after the batch completes. *)
+
+(** {1 Participation statistics}
+
+    The scheduler records which domains actually executed batch tasks —
+    the measurement that distinguishes "4 domains configured" from
+    "1 domain did all the work" (the regression behind
+    [jobs4_effective_domains: 1] in BENCH_sweep.json). *)
+
+type participation = {
+  batches : int;  (** pool-scheduled batches since the last reset *)
+  serial_batches : int;
+      (** batches that ran serially (jobs = 1, nested, or single task) *)
+  distinct_domains : int;
+      (** distinct domains that executed at least one task *)
+  max_batch_domains : int;
+      (** largest number of distinct domains inside one pool batch *)
+  tasks_per_domain : (int * int) list;
+      (** (domain id, tasks executed), sorted by domain id *)
+}
+
+val reset_participation : unit -> unit
+val participation : unit -> participation
 
 (** {1 Single jobs (the evaluation server's request scheduler)} *)
 

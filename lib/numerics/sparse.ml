@@ -183,17 +183,45 @@ let to_dense t =
 (* Allocation-free kernels: the Krylov solvers call these once per
    iteration on 10^5-10^6-state systems, where an Array.init per mat-vec
    would double the memory traffic and put the GC on the hot path. *)
-let mat_vec_into t v out =
-  if Array.length v <> t.cols || Array.length out <> t.rows then
-    invalid_arg "Sparse.mat_vec_into: shape";
+let mat_vec_range t v out lo hi =
   let rp = t.row_ptr and ci = t.col_idx and vs = t.values in
-  for i = 0 to t.rows - 1 do
+  for i = lo to hi - 1 do
     let s = ref 0.0 in
     for k = rp.(i) to rp.(i + 1) - 1 do
       s := !s +. (vs.(k) *. v.(ci.(k)))
     done;
     out.(i) <- !s
   done
+
+let mat_vec_into t v out =
+  if Array.length v <> t.cols || Array.length out <> t.rows then
+    invalid_arg "Sparse.mat_vec_into: shape";
+  mat_vec_range t v out 0 t.rows
+
+(* Row-parallel mat-vec: rows are partitioned into disjoint ranges, each
+   computed by exactly one domain with the same per-row accumulation
+   order as the serial kernel — the result is bit-identical to
+   [mat_vec_into] by construction, whatever the partitioning.  Engages
+   only above a size floor (a pool round-trip on a 1k-nnz matrix costs
+   more than the multiply) and only outside pool tasks ({!Pool.run_ranges}
+   degrades to the serial loop when nested). *)
+let par_floor = Atomic.make 20_000
+
+let set_par_min_nnz n = Atomic.set par_floor (max 0 n)
+let par_min_nnz () = Atomic.get par_floor
+
+let par_mat_vec_into t v out =
+  if Array.length v <> t.cols || Array.length out <> t.rows then
+    invalid_arg "Sparse.par_mat_vec_into: shape";
+  if Array.length t.values < Atomic.get par_floor then
+    mat_vec_range t v out 0 t.rows
+  else Pool.run_ranges t.rows (mat_vec_range t v out)
+
+let par_mat_vec t v =
+  if Array.length v <> t.cols then invalid_arg "Sparse.par_mat_vec: shape";
+  let out = Array.make t.rows 0.0 in
+  par_mat_vec_into t v out;
+  out
 
 let vec_mat_into v t out =
   if Array.length v <> t.rows || Array.length out <> t.cols then

@@ -57,6 +57,22 @@ val mat_vec_into : t -> float array -> float array -> unit
 (** [mat_vec_into t v out] computes [out <- t v] without allocating.
     [v] and [out] must not alias. *)
 
+val par_mat_vec : t -> float array -> float array
+val par_mat_vec_into : t -> float array -> float array -> unit
+(** Like {!mat_vec_into} but row-parallel on the {!Pool} when
+    [Pool.jobs () > 1], the matrix has at least {!par_min_nnz} nonzeros
+    and the caller is not itself a pool task.  Rows are partitioned into
+    disjoint contiguous ranges and each row is accumulated in the same
+    order as the serial kernel, so the result is {e bit-identical} to
+    {!mat_vec_into} regardless of partitioning. *)
+
+val set_par_min_nnz : int -> unit
+(** Nonzero-count floor below which {!par_mat_vec_into} stays serial
+    (default 20000: a pool round-trip costs more than a small multiply).
+    Tests set 0 to force the parallel path on tiny matrices. *)
+
+val par_min_nnz : unit -> int
+
 val vec_mat_into : float array -> t -> float array -> unit
 (** [vec_mat_into v t out] computes [out <- v t] without allocating.
     [v] and [out] must not alias. *)

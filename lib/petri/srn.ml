@@ -102,6 +102,58 @@ let transient_at s t =
       Hashtbl.replace s.transients t pi;
       pi
 
+(* Evaluate pi(t) for a whole grid of times, fanning the points out over
+   the pool.  The ladder prefix is built once, serially, by querying the
+   largest missing time; each point task then reads a SNAPSHOT of the
+   checkpoint table (the live Hashtbl is not thread-safe) and advances
+   from its highest resident rung without storing anything.  Rung values
+   are canonical (rung j = transient(rung (j-1), delta) whatever subset
+   is resident — see the ladder comment above), so the fan-out is
+   bit-identical to querying the same times serially; results are written
+   back on the calling domain afterwards. *)
+let transient_many s ts =
+  let misses =
+    List.sort_uniq compare
+      (List.filter (fun t -> not (Hashtbl.mem s.transients t)) ts)
+  in
+  (match List.rev misses with
+  | [] -> ()
+  | tmax :: _ -> ignore (transient_at s tmax));
+  let rest = List.filter (fun t -> not (Hashtbl.mem s.transients t)) misses in
+  (match rest with
+  | [] -> ()
+  | _ ->
+      let c = Reach.ctmc s.g in
+      let init0 = Reach.initial_distribution s.g in
+      let lambda, _ = Ctmc.uniformized_dtmc c in
+      let delta = ladder_chunk /. lambda in
+      let snapshot = Hashtbl.copy s.transients in
+      let point t =
+        if (not (Float.is_finite delta)) || delta <= 0.0 || t <= delta then
+          Ctmc.transient c ~init:init0 t
+        else begin
+          let m = min (int_of_float (Float.ceil (t /. delta)) - 1) 100_000 in
+          let start = ref 0 and cp = ref init0 in
+          for j = 1 to m do
+            match Hashtbl.find_opt snapshot (float_of_int j *. delta) with
+            | Some v ->
+                start := j;
+                cp := v
+            | None -> ()
+          done;
+          for _ = !start + 1 to m do
+            cp := Ctmc.transient c ~init:!cp delta
+          done;
+          Ctmc.transient c ~init:!cp (t -. (float_of_int m *. delta))
+        end
+      in
+      let arr = Array.of_list rest in
+      let pis =
+        Sharpe_numerics.Pool.run (Array.length arr) (fun i -> point arr.(i))
+      in
+      Array.iteri (fun i pi -> Hashtbl.replace s.transients arr.(i) pi) pis);
+  List.map (fun t -> (t, transient_at s t)) ts
+
 let cumulative_at s t =
   match Hashtbl.find_opt s.cumulatives t with
   | Some l -> l
@@ -112,6 +164,10 @@ let cumulative_at s t =
       l
 
 let exrt s reward t = weighted s (transient_at s t) reward
+
+let exrt_many s reward ts =
+  List.map (fun (t, pi) -> (t, weighted s pi reward)) (transient_many s ts)
+
 let cexrt s reward t = weighted s (cumulative_at s t) reward
 
 let ave_cexrt s reward t = if t = 0.0 then 0.0 else cexrt s reward t /. t

@@ -8,6 +8,10 @@ module Eval = Sharpe_lang.Eval
 module Pool = Sharpe_numerics.Pool
 module Structhash = Sharpe_numerics.Structhash
 module Diag = Sharpe_numerics.Diag
+module Sparse = Sharpe_numerics.Sparse
+module Ctmc = Sharpe_markov.Ctmc
+module Net = Sharpe_petri.Net
+module Srn = Sharpe_petri.Srn
 
 let run program =
   let buf = Buffer.create 1024 in
@@ -208,6 +212,212 @@ let test_pool_results_in_order () =
     (Array.init 20 (fun i -> (i * i) + 1))
     results
 
+(* --- real multi-domain execution and participation --------------------- *)
+
+let test_pool_multi_domain_execution () =
+  (* tasks sleep long enough that the woken workers claim chunks even on
+     a single-core host (sleeping releases the domain, so the OS can
+     schedule the others); [~clamp:false] bypasses the host clamp *)
+  Pool.reset_participation ();
+  let ids =
+    with_jobs 4 (fun () ->
+        Pool.run 8 (fun _ ->
+            Unix.sleepf 0.05;
+            (Domain.self () :> int)))
+  in
+  let distinct = List.sort_uniq compare (Array.to_list ids) in
+  Alcotest.(check bool) "tasks executed on more than one domain" true
+    (List.length distinct > 1);
+  let part = Pool.participation () in
+  Alcotest.(check int) "participation sees the same distinct domains"
+    (List.length distinct) part.Pool.distinct_domains;
+  Alcotest.(check int) "every task accounted to some domain" 8
+    (List.fold_left (fun a (_, c) -> a + c) 0 part.Pool.tasks_per_domain);
+  Alcotest.(check bool) "the batch is recorded as multi-domain" true
+    (part.Pool.batches >= 1 && part.Pool.max_batch_domains > 1)
+
+let test_run_ranges_disjoint_cover () =
+  (* ranges are claimed exactly once: each cell is written by exactly one
+     domain, so incrementing without synchronization is race-free *)
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  with_jobs 4 (fun () ->
+      Pool.run_ranges n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done));
+  Alcotest.(check bool) "every index covered exactly once" true
+    (Array.for_all (fun c -> c = 1) hits)
+
+let test_stale_tokens_purged () =
+  (* the caller usually drains a trivial batch before the workers touch
+     their queue tokens; those tokens must not outlive the batch *)
+  ignore (with_jobs 4 (fun () -> Pool.run 32 Fun.id));
+  Alcotest.(check int) "no leftover batch tokens after run" 0
+    (Pool.queue_length ());
+  match Pool.await (Pool.submit (fun () -> 41 + 1)) with
+  | Ok v -> Alcotest.(check int) "server job runs after a batch" 42 v
+  | Error (e, _) -> raise e
+
+let test_clamp_warning_once_per_pair () =
+  let recommended = Domain.recommended_domain_count () in
+  let warnings f =
+    let _, records = Diag.capture f in
+    List.length
+      (List.filter (fun r -> r.Diag.severity = Diag.Warning) records)
+  in
+  (* offsets chosen to be unique to this test: the dedup table is global *)
+  Fun.protect
+    ~finally:(fun () -> Pool.set_jobs 1)
+    (fun () ->
+      Alcotest.(check int) "first clamp of a pair warns" 1
+        (warnings (fun () -> Pool.set_jobs (recommended + 13)));
+      Alcotest.(check int) "the same pair never warns again" 0
+        (warnings (fun () -> Pool.set_jobs (recommended + 13)));
+      Alcotest.(check int) "a different pair warns once" 1
+        (warnings (fun () -> Pool.set_jobs (recommended + 17))))
+
+(* --- deterministic parallel kernels ------------------------------------ *)
+
+let bits v = Array.to_list (Array.map Int64.bits_of_float v)
+
+let with_par_floor n f =
+  let saved = Sparse.par_min_nnz () in
+  Fun.protect
+    ~finally:(fun () -> Sparse.set_par_min_nnz saved)
+    (fun () ->
+      Sparse.set_par_min_nnz n;
+      f ())
+
+(* deterministic LCG so the matrices are reproducible across runs *)
+let make_rand seed =
+  let state = ref seed in
+  fun () ->
+    state := ((1103515245 * !state) + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x3FFFFFFF
+
+let random_csr rand n =
+  Sparse.of_rows ~rows:n ~cols:n (fun _ ->
+      List.filter_map
+        (fun j ->
+          if rand () < 0.2 then Some (j, (rand () -. 0.5) *. 4.0) else None)
+        (List.init n Fun.id))
+
+let test_par_spmv_bit_identical () =
+  let rand = make_rand 123456789 in
+  let n = 97 in
+  let m = random_csr rand n in
+  let x = Array.init n (fun _ -> (rand () -. 0.5) *. 2.0) in
+  let serial = Sparse.mat_vec m x in
+  let par =
+    with_par_floor 0 (fun () -> with_jobs 4 (fun () -> Sparse.par_mat_vec m x))
+  in
+  Alcotest.(check (list int64)) "parallel SpMV bit-identical to serial"
+    (bits serial) (bits par)
+
+let test_vec_mat_as_transposed_mat_vec () =
+  (* the transient/power-iteration rewrite: for nonnegative systems,
+     v P == P^T v bit-for-bit (same per-entry accumulation order) *)
+  let rand = make_rand 987654321 in
+  let n = 83 in
+  let p =
+    Sparse.of_rows ~rows:n ~cols:n (fun _ ->
+        List.filter_map
+          (fun j -> if rand () < 0.15 then Some (j, rand ()) else None)
+          (List.init n Fun.id))
+  in
+  let x = Array.init n (fun _ -> rand ()) in
+  let via_vec_mat = Sparse.vec_mat x p in
+  let via_transpose = Sparse.mat_vec (Sparse.transpose p) x in
+  Alcotest.(check (list int64)) "vec_mat == transposed mat_vec bitwise"
+    (bits via_vec_mat) (bits via_transpose)
+
+let sharded_tbl = lazy (Structhash.Table.create ~shared:true "test_sharded")
+
+let test_sharded_cache_parallel () =
+  fresh_cache ();
+  let tbl = Lazy.force sharded_tbl in
+  let results =
+    with_jobs 4 (fun () ->
+        Pool.run 64 (fun i ->
+            let k = i mod 16 in
+            Structhash.Table.find_or_add tbl (Printf.sprintf "key%d" k)
+              (fun () -> k * 7)))
+  in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check int) "concurrent lookups see the right value"
+        (i mod 16 * 7) v)
+    results;
+  for k = 0 to 15 do
+    Alcotest.(check (option int)) "every key resident afterwards"
+      (Some (k * 7))
+      (Structhash.Table.find_opt tbl (Printf.sprintf "key%d" k))
+  done
+
+let test_ctmc_parallel_transient_bits () =
+  (* birth-death chain large enough that the ladder and uniformization do
+     real work; parallel fan-out plus forced-parallel SpMV must be
+     bit-identical to the serial evaluation *)
+  let n = 150 in
+  let rates =
+    List.concat
+      (List.init n (fun i ->
+           (if i + 1 < n then
+              [ (i, i + 1, 0.8 +. (0.01 *. float_of_int i)) ]
+            else [])
+           @ if i > 0 then [ (i, i - 1, 1.3) ] else []))
+  in
+  let init = Array.make n 0.0 in
+  init.(0) <- 1.0;
+  let ts = [ 0.5; 1.0; 2.0; 5.0 ] in
+  let serial = Ctmc.transient_many (Ctmc.make ~n rates) ~init ts in
+  let serial_cum = Ctmc.cumulative (Ctmc.make ~n rates) ~init 3.0 in
+  let par, par_cum =
+    with_par_floor 0 (fun () ->
+        with_jobs 4 (fun () ->
+            ( Ctmc.transient_many (Ctmc.make ~n rates) ~init ts,
+              Ctmc.cumulative (Ctmc.make ~n rates) ~init 3.0 )))
+  in
+  List.iter2
+    (fun (t1, v1) (t2, v2) ->
+      Alcotest.(check (float 0.0)) "same time point" t1 t2;
+      Alcotest.(check (list int64)) "transient distribution bit-identical"
+        (bits v1) (bits v2))
+    serial par;
+  Alcotest.(check (list int64)) "cumulative distribution bit-identical"
+    (bits serial_cum) (bits par_cum)
+
+let repairable_net () =
+  let one_ _ = 1 in
+  let no_guard _ = true in
+  Net.build
+    ~places:[ ("up", 3); ("dn", 0) ]
+    ~transitions:
+      [ { Net.t_name = "fl"; kind = Net.Timed;
+          rate = (fun m -> 0.4 *. float_of_int m.(0));
+          guard = no_guard; priority = 0;
+          inputs = [ (0, one_) ]; outputs = [ (1, one_) ]; inhibitors = [] };
+        { Net.t_name = "rp"; kind = Net.Timed; rate = (fun _ -> 1.0);
+          guard = no_guard; priority = 0;
+          inputs = [ (1, one_) ]; outputs = [ (0, one_) ]; inhibitors = [] } ]
+
+let test_srn_transient_many_bits () =
+  (* horizons past the checkpoint-ladder spacing, so the fan-out path
+     reads resident rungs while the serial baseline builds them one
+     query at a time — canonical rungs make both bit-identical *)
+  let ts = [ 50.0; 150.0; 250.0; 350.0 ] in
+  let reward m = float_of_int m.(0) in
+  let s_serial = Srn.solve (repairable_net ()) in
+  let serial = List.map (fun t -> Srn.exrt s_serial reward t) ts in
+  let s_par = Srn.solve (repairable_net ()) in
+  let par = with_jobs 4 (fun () -> Srn.exrt_many s_par reward ts) in
+  List.iter2
+    (fun a (_, b) ->
+      Alcotest.(check int64) "transient reward bit-identical"
+        (Int64.bits_of_float a) (Int64.bits_of_float b))
+    serial par
+
 (* --- while-loop fuel -------------------------------------------------- *)
 
 let test_while_fuel_exact_boundary () =
@@ -256,5 +466,23 @@ let suite =
       test_parallel_diag_order;
     Alcotest.test_case "pool preserves result order" `Quick
       test_pool_results_in_order;
+    Alcotest.test_case "batch tasks execute on multiple domains" `Quick
+      test_pool_multi_domain_execution;
+    Alcotest.test_case "run_ranges covers every index exactly once" `Quick
+      test_run_ranges_disjoint_cover;
+    Alcotest.test_case "finished batches leave no queue tokens" `Quick
+      test_stale_tokens_purged;
+    Alcotest.test_case "clamp warns once per (requested, effective)" `Quick
+      test_clamp_warning_once_per_pair;
+    Alcotest.test_case "parallel SpMV is bit-identical" `Quick
+      test_par_spmv_bit_identical;
+    Alcotest.test_case "vec_mat equals transposed mat_vec bitwise" `Quick
+      test_vec_mat_as_transposed_mat_vec;
+    Alcotest.test_case "sharded shared cache under parallel load" `Quick
+      test_sharded_cache_parallel;
+    Alcotest.test_case "parallel CTMC transients are bit-identical" `Quick
+      test_ctmc_parallel_transient_bits;
+    Alcotest.test_case "SRN transient_many matches serial bitwise" `Quick
+      test_srn_transient_many_bits;
     Alcotest.test_case "while fuel boundary is not an exhaustion" `Quick
       test_while_fuel_exact_boundary ]
