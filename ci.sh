@@ -42,7 +42,10 @@ grep -q '"measured_jobs4_domains"' BENCH_sweep.json || {
 # On a multi-core host the jobs=4 sweep must actually engage >1 domain
 # (measured participation, not the clamp value) and parallelism must not
 # cost speedup.  Single-core hosts legitimately clamp to serial, so the
-# assertions are gated on what the hardware offers.
+# assertions are gated on what the hardware offers.  The speedup check
+# compares two short wall-clock runs, so it allows a 10% noise margin —
+# only a clearly-slower parallel run (the serial-collapse regression)
+# fails the build.
 if [ "$(nproc)" -gt 1 ]; then
   measured=$(sed -n 's/.*"measured_jobs4_domains": \([0-9][0-9]*\).*/\1/p' BENCH_sweep.json)
   [ -n "$measured" ] && [ "$measured" -gt 1 ] || {
@@ -53,8 +56,8 @@ if [ "$(nproc)" -gt 1 ]; then
     /"speedup_cached":/ { plain = $2 + 0 }
     /"speedup_cached_jobs4":/ { par = $2 + 0 }
     END {
-      if (par < plain) {
-        printf "ci: jobs=4 speedup %.2f below serial cached speedup %.2f\n", par, plain > "/dev/stderr"
+      if (par < 0.9 * plain) {
+        printf "ci: jobs=4 speedup %.2f below 90%% of serial cached speedup %.2f\n", par, plain > "/dev/stderr"
         exit 1
       }
     }' BENCH_sweep.json

@@ -130,25 +130,68 @@ type participation = {
 
 let part_mutex = Mutex.create ()
 let part_batches = ref 0 (* guarded by part_mutex, like the rest *)
-let part_serial = ref 0
 let part_max_batch = ref 0
 let part_tasks : (int, int) Hashtbl.t = Hashtbl.create 8
+
+(* Serial/nested batches are counted in per-domain counters, NOT under
+   [part_mutex]: nested runs inside worker domains are the common case
+   during sweeps, and a shared mutex here would add a cross-domain
+   serialization point to the very path the stats are meant to measure.
+   Each domain registers its counter record once (under [part_mutex], on
+   first use); [record_serial] afterwards only touches its own atomics,
+   which are uncontended.  [participation]/[reset_participation] merge or
+   clear the registered counters under the mutex. *)
+type serial_counter = {
+  sc_dom : int;
+  sc_batches : int Atomic.t;
+  sc_tasks : int Atomic.t;
+}
+
+let serial_counters : serial_counter list ref = ref [] (* guarded by part_mutex *)
+
+let serial_key : serial_counter Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        { sc_dom = (Domain.self () :> int);
+          sc_batches = Atomic.make 0;
+          sc_tasks = Atomic.make 0 }
+      in
+      Mutex.protect part_mutex (fun () ->
+          serial_counters := c :: !serial_counters);
+      c)
 
 let reset_participation () =
   Mutex.protect part_mutex (fun () ->
       part_batches := 0;
-      part_serial := 0;
       part_max_batch := 0;
-      Hashtbl.reset part_tasks)
+      Hashtbl.reset part_tasks;
+      List.iter
+        (fun c ->
+          Atomic.set c.sc_batches 0;
+          Atomic.set c.sc_tasks 0)
+        !serial_counters)
 
 let participation () =
   Mutex.protect part_mutex (fun () ->
+      let merged = Hashtbl.copy part_tasks in
+      let serial = ref 0 in
+      List.iter
+        (fun c ->
+          serial := !serial + Atomic.get c.sc_batches;
+          let t = Atomic.get c.sc_tasks in
+          if t > 0 then
+            Hashtbl.replace merged c.sc_dom
+              ((match Hashtbl.find_opt merged c.sc_dom with
+               | Some x -> x
+               | None -> 0)
+              + t))
+        !serial_counters;
       let tasks =
         List.sort compare
-          (Hashtbl.fold (fun d c acc -> (d, c) :: acc) part_tasks [])
+          (Hashtbl.fold (fun d c acc -> (d, c) :: acc) merged [])
       in
       { batches = !part_batches;
-        serial_batches = !part_serial;
+        serial_batches = !serial;
         distinct_domains = List.length tasks;
         max_batch_domains = !part_max_batch;
         tasks_per_domain = tasks })
@@ -158,10 +201,9 @@ let bump_domain d c =
     ((match Hashtbl.find_opt part_tasks d with Some x -> x | None -> 0) + c)
 
 let record_serial n =
-  let me = (Domain.self () :> int) in
-  Mutex.protect part_mutex (fun () ->
-      incr part_serial;
-      bump_domain me n)
+  let c = Domain.DLS.get serial_key in
+  Atomic.incr c.sc_batches;
+  ignore (Atomic.fetch_and_add c.sc_tasks n)
 
 (* chunk_domain.(c) = id of the domain that executed chunk c (written
    once, before the release on [remaining]; read by the caller after the
@@ -375,18 +417,31 @@ let run n f =
         body i
       done
     in
-    ignore (run_batch ~j ~n ~chunk:(chunk_for ~n ~j) ~exec);
-    (* replay diagnostics in index order, stopping at the first failure *)
+    let chunk = chunk_for ~n ~j in
+    let chunk_exn, _ = run_batch ~j ~n ~chunk ~exec in
+    (* replay diagnostics in index order, stopping at the first failure.
+       A failure is either a task outcome (Raised, captured by [body]) or
+       a CHUNK-level raise: [Deadline.with_current] re-checks the caller's
+       deadline before running a chunk, so a chunk claimed after expiry
+       raises Timed_out without executing any task, leaving its slots
+       [None].  Folding the chunk's exception in at its first unfilled
+       index keeps the serial contract — the exception a left-to-right
+       loop would have surfaced at that index. *)
     let first_exn = ref None in
-    Array.iter
-      (fun slot ->
-        match slot with
-        | Some (outcome, records) when !first_exn = None -> (
-            List.iter Diag.emit_record records;
-            match outcome with
-            | Done _ -> ()
-            | Raised (e, bt) -> first_exn := Some (e, bt))
-        | _ -> ())
+    Array.iteri
+      (fun i slot ->
+        if !first_exn = None then
+          match slot with
+          | Some (outcome, records) -> (
+              List.iter Diag.emit_record records;
+              match outcome with
+              | Done _ -> ()
+              | Raised (e, bt) -> first_exn := Some (e, bt))
+          | None -> (
+              match chunk_exn.(i / chunk) with
+              | Some (e, bt) -> first_exn := Some (e, bt)
+              | None -> assert false (* a chunk finished cleanly yet left
+                                        a slot empty *)))
       slots;
     (match !first_exn with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt

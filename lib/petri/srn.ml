@@ -106,11 +106,14 @@ let transient_at s t =
    the pool.  The ladder prefix is built once, serially, by querying the
    largest missing time; each point task then reads a SNAPSHOT of the
    checkpoint table (the live Hashtbl is not thread-safe) and advances
-   from its highest resident rung without storing anything.  Rung values
-   are canonical (rung j = transient(rung (j-1), delta) whatever subset
-   is resident — see the ladder comment above), so the fan-out is
-   bit-identical to querying the same times serially; results are written
-   back on the calling domain afterwards. *)
+   from its highest resident rung, collecting the stride-th rungs it
+   recomputes along the way.  Rung values are canonical (rung j =
+   transient(rung (j-1), delta) whatever subset is resident — see the
+   ladder comment above), so the fan-out is bit-identical to querying the
+   same times serially; the queried points AND the collected rungs are
+   written back on the calling domain afterwards, leaving the table as
+   populated as the serial path would have — a later query pays the same
+   (bounded) recomputation either way. *)
 let transient_many s ts =
   let misses =
     List.sort_uniq compare
@@ -130,9 +133,10 @@ let transient_many s ts =
       let snapshot = Hashtbl.copy s.transients in
       let point t =
         if (not (Float.is_finite delta)) || delta <= 0.0 || t <= delta then
-          Ctmc.transient c ~init:init0 t
+          (Ctmc.transient c ~init:init0 t, [])
         else begin
           let m = min (int_of_float (Float.ceil (t /. delta)) - 1) 100_000 in
+          let stride = 1 + ((m - 1) / ladder_budget) in
           let start = ref 0 and cp = ref init0 in
           for j = 1 to m do
             match Hashtbl.find_opt snapshot (float_of_int j *. delta) with
@@ -141,17 +145,26 @@ let transient_many s ts =
                 cp := v
             | None -> ()
           done;
-          for _ = !start + 1 to m do
-            cp := Ctmc.transient c ~init:!cp delta
+          let rungs = ref [] in
+          for j = !start + 1 to m do
+            let v = Ctmc.transient c ~init:!cp delta in
+            if j mod stride = 0 then
+              rungs := (float_of_int j *. delta, v) :: !rungs;
+            cp := v
           done;
-          Ctmc.transient c ~init:!cp (t -. (float_of_int m *. delta))
+          (Ctmc.transient c ~init:!cp (t -. (float_of_int m *. delta)),
+           !rungs)
         end
       in
       let arr = Array.of_list rest in
       let pis =
         Sharpe_numerics.Pool.run (Array.length arr) (fun i -> point arr.(i))
       in
-      Array.iteri (fun i pi -> Hashtbl.replace s.transients arr.(i) pi) pis);
+      Array.iteri
+        (fun i (pi, rungs) ->
+          List.iter (fun (tj, v) -> Hashtbl.replace s.transients tj v) rungs;
+          Hashtbl.replace s.transients arr.(i) pi)
+        pis);
   List.map (fun t -> (t, transient_at s t)) ts
 
 let cumulative_at s t =

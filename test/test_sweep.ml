@@ -7,6 +7,7 @@ module Interp = Sharpe_lang.Interp
 module Eval = Sharpe_lang.Eval
 module Pool = Sharpe_numerics.Pool
 module Structhash = Sharpe_numerics.Structhash
+module Deadline = Sharpe_numerics.Deadline
 module Diag = Sharpe_numerics.Diag
 module Sparse = Sharpe_numerics.Sparse
 module Ctmc = Sharpe_markov.Ctmc
@@ -235,6 +236,20 @@ let test_pool_multi_domain_execution () =
     (List.fold_left (fun a (_, c) -> a + c) 0 part.Pool.tasks_per_domain);
   Alcotest.(check bool) "the batch is recorded as multi-domain" true
     (part.Pool.batches >= 1 && part.Pool.max_batch_domains > 1)
+
+let test_run_deadline_mid_batch () =
+  (* the deadline expires while the batch is still being claimed: chunks
+     claimed after expiry raise Timed_out from the deadline re-install
+     BEFORE any of their tasks run (these tasks never check the deadline
+     themselves), leaving their slots empty — Pool.run must surface the
+     chunk's Timed_out, not trip over the never-filled slots *)
+  match
+    with_jobs 4 (fun () ->
+        Deadline.with_timeout 0.05 (fun () ->
+            Pool.run 64 (fun _ -> Unix.sleepf 0.01)))
+  with
+  | _ -> Alcotest.fail "expected Deadline.Timed_out"
+  | exception Deadline.Timed_out -> ()
 
 let test_run_ranges_disjoint_cover () =
   (* ranges are claimed exactly once: each cell is written by exactly one
@@ -468,6 +483,8 @@ let suite =
       test_pool_results_in_order;
     Alcotest.test_case "batch tasks execute on multiple domains" `Quick
       test_pool_multi_domain_execution;
+    Alcotest.test_case "mid-batch deadline expiry raises Timed_out" `Quick
+      test_run_deadline_mid_batch;
     Alcotest.test_case "run_ranges covers every index exactly once" `Quick
       test_run_ranges_disjoint_cover;
     Alcotest.test_case "finished batches leave no queue tokens" `Quick
